@@ -1,0 +1,171 @@
+// Command experiments regenerates the paper's evaluation: the graph
+// table, Fig. 5 through Fig. 8, Table I, and the design-choice ablations,
+// printing each in a form directly comparable to the published results.
+//
+// Examples:
+//
+//	experiments -exp all -scale tiny
+//	experiments -exp fig6 -scale default
+//	experiments -exp table1 -w 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ffmr/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		exp   = flag.String("exp", "all", "experiment: graphs|fig5|fig6|table1|fig7|fig8|ablation|all")
+		scale = flag.String("scale", "tiny", "scale: tiny (10000x down) or default (1000x down)")
+		w     = flag.Int("w", 0, "override super source/sink tap count")
+		seed  = flag.Int64("seed", 0, "override generation seed")
+		nodes = flag.Int("nodes", 0, "override cluster node count")
+		csv   = flag.String("csv", "", "also write each artifact as CSV into this directory")
+	)
+	flag.Parse()
+
+	saveCSV := func(name string, c interface{ CSV(io.Writer) error }) error {
+		if *csv == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csv, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := c.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "tiny":
+		sc = experiments.Tiny()
+	case "default":
+		sc = experiments.Default()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if *w > 0 {
+		sc.W = *w
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *nodes > 0 {
+		sc.Nodes = *nodes
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n\n", strings.ToUpper(name))
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("graphs", func() error {
+		_, tbl, err := experiments.GraphsTable(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return saveCSV("graphs", tbl)
+	})
+	run("fig5", func() error {
+		_, fig, err := experiments.Fig5(sc, []int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+		return saveCSV("fig5", fig)
+	})
+	run("fig6", func() error {
+		_, tbl, err := experiments.Fig6(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return saveCSV("fig6", tbl)
+	})
+	run("table1", func() error {
+		_, tbl, err := experiments.Table1(sc, sc.W)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return saveCSV("table1", tbl)
+	})
+	run("fig7", func() error {
+		_, fig, err := experiments.Fig7(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+		return saveCSV("fig7", fig)
+	})
+	run("fig8", func() error {
+		_, fig, err := experiments.Fig8(sc, []int{5, 10, 20})
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+		return saveCSV("fig8", fig)
+	})
+	run("ablation", func() error {
+		_, tbl, err := experiments.AblationTechniques(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		_, tbl2, err := experiments.AblationK(sc, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl2)
+		_, tbl3, err := experiments.AblationCombiner(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl3)
+		if err := saveCSV("ablation-techniques", tbl); err != nil {
+			return err
+		}
+		if err := saveCSV("ablation-k", tbl2); err != nil {
+			return err
+		}
+		return saveCSV("ablation-combiner", tbl3)
+	})
+	run("mrbsp", func() error {
+		_, tbl, err := experiments.CompareMRBSP(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return saveCSV("mrbsp", tbl)
+	})
+
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,191 @@
+// Command ffmr computes a maximum flow on a graph using the FFMR
+// MapReduce algorithms and prints per-round statistics.
+//
+// Examples:
+//
+//	# Generate a Barabási-Albert graph with super source/sink taps and
+//	# run FF5 on a 8-node simulated cluster.
+//	ffmr -gen ba -n 20000 -m 4 -w 16 -variant 5 -nodes 8
+//
+//	# Load an edge list, run FF2, cross-check against sequential Dinic.
+//	ffmr -input graph.txt -variant 2 -check
+//
+//	# Compare against the MR-BFS baseline.
+//	ffmr -gen ws -n 5000 -k 6 -beta 0.1 -bfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ffmr/internal/core"
+	"ffmr/internal/dfs"
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/maxflow"
+	"ffmr/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ffmr: ")
+
+	var (
+		gen     = flag.String("gen", "", "generate a graph: ba|ws|rmat|er (mutually exclusive with -input)")
+		input   = flag.String("input", "", "read an edge-list file instead of generating")
+		n       = flag.Int("n", 10000, "vertices (ba, ws, er)")
+		m       = flag.Int("m", 4, "attachment count (ba) / edges factor (rmat) / edges (er, absolute)")
+		k       = flag.Int("k", 6, "ring neighbours (ws)")
+		beta    = flag.Float64("beta", 0.1, "rewire probability (ws)")
+		scale   = flag.Int("rmat-scale", 12, "log2 vertices (rmat)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		w       = flag.Int("w", 0, "attach a super source/sink with w taps (0 = use highest-degree endpoints)")
+		minDeg  = flag.Int("min-degree", 8, "tap eligibility threshold for -w")
+		variant = flag.Int("variant", 5, "algorithm variant 1..5 (FF1..FF5)")
+		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
+		slots   = flag.Int("slots", 4, "worker slots per node")
+		kPaths  = flag.Int("excess-paths", 4, "per-vertex excess path limit (FF1..FF4)")
+		maxR    = flag.Int("max-rounds", 1000, "abort after this many rounds")
+		paperT  = flag.Bool("paper-termination", false, "terminate exactly per the paper's Fig. 2 rule")
+		check   = flag.Bool("check", false, "cross-check the result against sequential Dinic")
+		bfs     = flag.Bool("bfs", false, "also run the MR-BFS baseline")
+		bsp     = flag.Bool("bsp", false, "also run the Pregel/BSP translation")
+		real    = flag.Bool("realistic", true, "charge Hadoop-like per-round overhead in simulated time")
+		rounds  = flag.Bool("rounds", true, "print the per-round statistics table")
+		live    = flag.Bool("progress", false, "print each round's statistics as it completes")
+	)
+	flag.Parse()
+
+	in, err := buildGraph(*gen, *input, *n, *m, *k, *beta, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *w > 0 {
+		in, err = graphgen.AttachSuperSourceSink(in, *w, *minDeg, *seed+100)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("graph: %d vertices, %d edges, s=%d, t=%d\n",
+		in.NumVertices, len(in.Edges), in.Source, in.Sink)
+
+	cluster := newCluster(*nodes, *slots, *real)
+	opts := core.Options{
+		Variant:   core.Variant(*variant),
+		K:         *kPaths,
+		MaxRounds: *maxR,
+	}
+	if *paperT {
+		opts.Termination = core.TerminationPaper
+	}
+	if *live {
+		opts.RoundCallback = func(rs core.RoundStat) {
+			fmt.Printf("round %d: %s paths accepted (+%s flow), %s records out, %s shuffled, %s active\n",
+				rs.Round, stats.FormatCount(rs.APaths), stats.FormatCount(rs.FlowDelta),
+				stats.FormatCount(rs.MapOutRecords), stats.FormatBytes(rs.ShuffleBytes),
+				stats.FormatCount(rs.ActiveVertices))
+		}
+	}
+	res, err := core.Run(cluster, in, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%s max-flow: %d in %d rounds (sim %s, wall %s)\n",
+		res.Variant, res.MaxFlow, res.Rounds,
+		stats.FormatDuration(res.TotalSimTime), stats.FormatDuration(res.TotalWallTime))
+	fmt.Printf("graph size: %s, max size during run: %s\n",
+		stats.FormatBytes(res.InputGraphBytes), stats.FormatBytes(res.MaxGraphBytes))
+
+	if *rounds {
+		t := stats.NewTable("\nPer-round statistics",
+			"R", "A-Paths", "MaxQ", "Map Out", "Shuffle(KB)", "Active", "SimTime")
+		for _, rs := range res.RoundStats {
+			t.AddRow(rs.Round, stats.FormatCount(rs.APaths), stats.FormatCount(rs.MaxQueue),
+				stats.FormatCount(rs.MapOutRecords), stats.FormatCount(rs.ShuffleBytes/1024),
+				stats.FormatCount(rs.ActiveVertices), stats.FormatDuration(rs.SimTime))
+		}
+		fmt.Println(t)
+	}
+
+	if *check {
+		net, err := maxflow.FromInput(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := maxflow.Dinic(net, int(in.Source), int(in.Sink))
+		if want == res.MaxFlow {
+			fmt.Printf("check: sequential Dinic agrees (%d)\n", want)
+		} else {
+			fmt.Printf("check: MISMATCH — Dinic computed %d\n", want)
+			os.Exit(1)
+		}
+	}
+
+	if *bfs {
+		bres, err := core.RunBFS(newCluster(*nodes, *slots, *real), in, 0, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("BFS baseline: %d rounds, s-t distance %d, visited %d (sim %s)\n",
+			bres.Rounds, bres.SinkDist, bres.Visited, stats.FormatDuration(bres.TotalSimTime))
+	}
+
+	if *bsp {
+		bres, err := core.RunBSP(in, core.BSPOptions{Workers: *nodes * *slots})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("BSP translation: max-flow %d in %d supersteps, %s messages, %s moved (wall %s)\n",
+			bres.MaxFlow, bres.Supersteps, stats.FormatCount(bres.Messages),
+			stats.FormatBytes(bres.MessageBytes), stats.FormatDuration(bres.WallTime))
+		if bres.MaxFlow != res.MaxFlow {
+			fmt.Println("WARNING: BSP and MR flows disagree")
+			os.Exit(1)
+		}
+	}
+}
+
+func newCluster(nodes, slots int, realistic bool) *mapreduce.Cluster {
+	fs := dfs.New(dfs.Config{Nodes: nodes, BlockSize: 4 << 20, Replication: 2})
+	c := mapreduce.NewCluster(nodes, slots, fs)
+	if realistic {
+		c.Cost = mapreduce.DefaultCostModel()
+	} else {
+		c.Cost = mapreduce.ZeroCostModel()
+	}
+	return c
+}
+
+func buildGraph(gen, input string, n, m, k int, beta float64, scale int, seed int64) (*graph.Input, error) {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graphgen.ReadEdgeList(f)
+	}
+	var in *graph.Input
+	var err error
+	switch gen {
+	case "ba", "":
+		in, err = graphgen.BarabasiAlbert(n, m, seed)
+	case "ws":
+		in, err = graphgen.WattsStrogatz(n, k, beta, seed)
+	case "rmat":
+		in, err = graphgen.RMAT(scale, m, seed)
+	case "er":
+		in, err = graphgen.ErdosRenyi(n, m, seed)
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want ba, ws, rmat or er)", gen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	return in, nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ffmr/internal/graphgen"
+)
+
+func TestBuildGraphGenerators(t *testing.T) {
+	tests := []struct {
+		name string
+		gen  string
+	}{
+		{"barabasi-albert", "ba"},
+		{"default is ba", ""},
+		{"watts-strogatz", "ws"},
+		{"rmat", "rmat"},
+		{"erdos-renyi", "er"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := buildGraph(tc.gen, "", 200, 3, 4, 0.1, 7, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("generated graph invalid: %v", err)
+			}
+		})
+	}
+	if _, err := buildGraph("bogus", "", 100, 3, 4, 0.1, 7, 1); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestBuildGraphFromFile(t *testing.T) {
+	gen, err := graphgen.BarabasiAlbert(100, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Source, gen.Sink = graphgen.PickEndpoints(gen)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphgen.WriteEdgeList(f, gen); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	in, err := buildGraph("", path, 0, 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumVertices != gen.NumVertices || len(in.Edges) != len(gen.Edges) {
+		t.Errorf("loaded %d/%d, want %d/%d",
+			in.NumVertices, len(in.Edges), gen.NumVertices, len(gen.Edges))
+	}
+	if _, err := buildGraph("", filepath.Join(t.TempDir(), "missing"), 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestNewClusterModes(t *testing.T) {
+	real := newCluster(3, 2, true)
+	if real.Nodes != 3 || real.SlotsPerNode != 2 {
+		t.Errorf("cluster shape: %d/%d", real.Nodes, real.SlotsPerNode)
+	}
+	if real.Cost.RoundOverhead == 0 {
+		t.Error("realistic cluster has no round overhead")
+	}
+	fast := newCluster(1, 1, false)
+	if fast.Cost.RoundOverhead != 0 {
+		t.Error("zero-cost cluster has round overhead")
+	}
+}

@@ -1,0 +1,97 @@
+package ffmr_test
+
+import (
+	"fmt"
+
+	"ffmr"
+)
+
+// The CLRS Figure 26.1 network, computed with the FF5 MapReduce
+// algorithm on a simulated 4-node cluster.
+func ExampleCompute() {
+	g := ffmr.NewGraph(6)
+	g.SetSource(0)
+	g.SetSink(5)
+	g.AddArc(0, 1, 16)
+	g.AddArc(0, 2, 13)
+	g.AddArc(1, 2, 10)
+	g.AddArc(2, 1, 4)
+	g.AddArc(1, 3, 12)
+	g.AddArc(3, 2, 9)
+	g.AddArc(2, 4, 14)
+	g.AddArc(4, 3, 7)
+	g.AddArc(3, 5, 20)
+	g.AddArc(4, 5, 4)
+
+	res, err := ffmr.Compute(g, ffmr.WithVariant(ffmr.FF5), ffmr.WithNodes(4))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("max flow:", res.MaxFlow)
+	// Output: max flow: 23
+}
+
+// A minimum cut separates two planted clusters joined by two bridges.
+func ExampleMinCut() {
+	g := ffmr.NewGraph(6)
+	g.SetSource(0)
+	g.SetSink(3)
+	// Cluster A: 0-1-2 triangle; cluster B: 3-4-5 triangle. In-cluster
+	// edges are heavy so the bridges are the unique bottleneck.
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 5)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(3, 4, 5)
+	g.AddEdge(4, 5, 5)
+	g.AddEdge(3, 5, 5)
+	// Two bridges.
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(1, 4, 1)
+
+	side, capacity, err := ffmr.MinCut(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("cut capacity:", capacity)
+	fmt.Println("source side:", side[0], side[1], side[2])
+	fmt.Println("sink side:", !side[3], !side[4], !side[5])
+	// Output:
+	// cut capacity: 2
+	// source side: true true true
+	// sink side: true true true
+}
+
+// Rational capacities reduce to exact integer arithmetic internally.
+func ExampleGraph_AddEdgeRational() {
+	g := ffmr.NewGraph(3)
+	g.SetSource(0)
+	g.SetSink(2)
+	_ = g.AddEdgeRational(0, 1, 3, 2) // capacity 3/2
+	_ = g.AddEdgeRational(1, 2, 4, 5) // capacity 4/5
+
+	flow, _ := ffmr.ComputeSequential(g, ffmr.AlgoDinic)
+	num, den := g.FlowRational(flow)
+	fmt.Printf("max flow: %d/%d\n", num, den)
+	// Output: max flow: 4/5
+}
+
+// The BSP (Pregel-style) translation computes the same flows.
+func ExampleComputeBSP() {
+	g := ffmr.NewGraph(4)
+	g.SetSource(0)
+	g.SetSink(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(2, 3, 1)
+
+	res, err := ffmr.ComputeBSP(g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("max flow:", res.MaxFlow)
+	// Output: max flow: 3
+}

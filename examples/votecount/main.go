@@ -1,0 +1,116 @@
+// Sybil-resilient online content voting via maximum flow, after Tran,
+// Min, Li and Subramanian ("Sybil-resilient online content voting", NSDI
+// 2009, the SumUp system) — another application the paper's introduction
+// cites.
+//
+// The principle: votes are collected as unit flows from voters to a
+// trusted vote collector over the social network's edges. An attacker
+// can create unlimited sybil identities, but all of them attach to the
+// honest region through a limited number of attack edges, so the max
+// flow from the sybil region — and therefore the number of bogus votes
+// accepted — is bounded by the attack-edge count regardless of the
+// sybil region's size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ffmr"
+)
+
+const (
+	honestUsers = 2000
+	sybilNodes  = 800
+	attackEdges = 7
+	honestVotes = 40
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(23))
+
+	// The social graph: honest users form a small-world network; the
+	// vote collector is user 0. Vertex n-2 is the "voting super source"
+	// on the honest side, n-1 the one on the sybil side.
+	n := honestUsers + sybilNodes + 3
+	collector := 0
+	honestSrc := n - 2
+	sybilSrc := n - 1
+
+	g := ffmr.NewGraph(n)
+	// Honest region: ring + random chords (Watts-Strogatz-like).
+	for v := 0; v < honestUsers; v++ {
+		g.AddEdge(v, (v+1)%honestUsers, 1)
+		g.AddEdge(v, (v+7)%honestUsers, 1)
+		if rng.Intn(4) == 0 {
+			if u := rng.Intn(honestUsers); u != v {
+				g.AddEdge(v, u, 1)
+			}
+		}
+	}
+	// Sybil region: arbitrarily dense (the attacker controls it).
+	for v := honestUsers; v < honestUsers+sybilNodes; v++ {
+		for l := 0; l < 4; l++ {
+			u := honestUsers + rng.Intn(sybilNodes)
+			if u != v {
+				g.AddEdge(v, u, 1)
+			}
+		}
+	}
+	// The vote collector is a well-connected account (SumUp gives the
+	// collector high capacity so honest votes are not choked by its own
+	// degree; a popular hub models the same thing).
+	for i := 0; i < 200; i++ {
+		if u := 1 + rng.Intn(honestUsers-1); u != collector {
+			g.AddEdge(collector, u, 1)
+		}
+	}
+	// The few attack edges linking the sybil region to honest users.
+	for i := 0; i < attackEdges; i++ {
+		g.AddEdge(honestUsers+rng.Intn(sybilNodes), rng.Intn(honestUsers), 1)
+	}
+
+	countVotes := func(src int, voters []int) int64 {
+		// Each voter gets one unit of voting capacity from the super
+		// source; the flow that reaches the collector is the vote count.
+		for _, v := range voters {
+			g.AddArc(src, v, 1)
+		}
+		g.SetSource(src)
+		g.SetSink(collector)
+		res, err := ffmr.Compute(g, ffmr.WithVariant(ffmr.FF5), ffmr.WithNodes(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.MaxFlow
+	}
+
+	// Honest voters: random honest users cast one vote each.
+	voters := make([]int, honestVotes)
+	for i := range voters {
+		voters[i] = 1 + rng.Intn(honestUsers-1)
+	}
+	accepted := countVotes(honestSrc, voters)
+
+	// Sybil voters: every sybil identity votes.
+	sybilVoters := make([]int, sybilNodes)
+	for i := range sybilVoters {
+		sybilVoters[i] = honestUsers + i
+	}
+	bogus := countVotes(sybilSrc, sybilVoters)
+
+	fmt.Printf("social graph: %d honest users, %d sybil identities, %d attack edges\n",
+		honestUsers, sybilNodes, attackEdges)
+	fmt.Printf("honest votes cast: %d, accepted: %d (%.0f%%)\n",
+		honestVotes, accepted, 100*float64(accepted)/float64(honestVotes))
+	fmt.Printf("sybil votes cast: %d, accepted: %d (bounded by %d attack edges)\n",
+		sybilNodes, bogus, attackEdges)
+	if bogus > int64(attackEdges) {
+		log.Fatalf("sybil votes (%d) exceeded the attack-edge bound (%d)", bogus, attackEdges)
+	}
+	if accepted < int64(honestVotes*3/4) {
+		log.Fatalf("too few honest votes accepted: %d of %d", accepted, honestVotes)
+	}
+}

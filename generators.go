@@ -1,0 +1,154 @@
+package ffmr
+
+import (
+	"ffmr/internal/graphgen"
+)
+
+// Graph generators re-exported from the internal graphgen package. All
+// generators take a seed and are deterministic given it.
+
+// WattsStrogatzGraph generates a Watts-Strogatz small-world graph: a ring
+// lattice of n vertices with k nearest neighbours each (k even), rewired
+// with probability beta. Source and sink default to the two
+// highest-degree non-adjacent vertices; override with SetSource/SetSink
+// or AttachSuperSourceSink.
+func WattsStrogatzGraph(n, k int, beta float64, seed int64) (*Graph, error) {
+	in, err := graphgen.WattsStrogatz(n, k, beta, seed)
+	if err != nil {
+		return nil, err
+	}
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	return fromInput(in), nil
+}
+
+// BarabasiAlbertGraph generates a scale-free preferential-attachment
+// graph with n vertices, each new vertex attaching to m existing ones.
+func BarabasiAlbertGraph(n, m int, seed int64) (*Graph, error) {
+	in, err := graphgen.BarabasiAlbert(n, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	return fromInput(in), nil
+}
+
+// RMATGraph generates a Graph500-style R-MAT graph with 2^scale vertices
+// and about edgeFactor*2^scale edges.
+func RMATGraph(scale, edgeFactor int, seed int64) (*Graph, error) {
+	in, err := graphgen.RMAT(scale, edgeFactor, seed)
+	if err != nil {
+		return nil, err
+	}
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	return fromInput(in), nil
+}
+
+// ErdosRenyiGraph generates a uniform G(n, m) random graph — the
+// non-small-world control used in tests and benchmarks.
+func ErdosRenyiGraph(n, m int, seed int64) (*Graph, error) {
+	in, err := graphgen.ErdosRenyi(n, m, seed)
+	if err != nil {
+		return nil, err
+	}
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	return fromInput(in), nil
+}
+
+// FacebookChainSpec names one member of a nested crawl chain.
+type FacebookChainSpec struct {
+	Name     string
+	Vertices int
+}
+
+// FacebookChain generates the nested FB1 ⊂ FB2 ⊂ ... subgraph chain that
+// emulates the paper's Facebook crawl (scaled to the given vertex
+// counts). Pass nil to use the default chain, the paper's FB1..FB6
+// vertex counts scaled down by 1000x. attach is the preferential-
+// attachment parameter of the master graph (half the average degree).
+func FacebookChain(specs []FacebookChainSpec, attach int, seed int64) ([]*Graph, error) {
+	gspecs := make([]graphgen.FBSpec, 0, len(specs))
+	if specs == nil {
+		gspecs = graphgen.DefaultFBChain()
+	} else {
+		for _, s := range specs {
+			gspecs = append(gspecs, graphgen.FBSpec{Name: s.Name, Vertices: s.Vertices})
+		}
+	}
+	chain, err := graphgen.CrawlChain(gspecs, attach, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Graph, len(chain))
+	for i, in := range chain {
+		in.Source, in.Sink = graphgen.PickEndpoints(in)
+		out[i] = fromInput(in)
+	}
+	return out, nil
+}
+
+// AttachSuperSourceSink implements the paper's Section V-A1 workload
+// construction: w random vertices with degree >= minDegree are wired to a
+// new super source, another disjoint w to a new super sink, with infinite
+// capacity. The returned graph has two extra vertices with source and
+// sink set accordingly; the receiver is unchanged.
+func (g *Graph) AttachSuperSourceSink(w, minDegree int, seed int64) (*Graph, error) {
+	in, err := graphgen.AttachSuperSourceSink(g.input(), w, minDegree, seed)
+	if err != nil {
+		return nil, err
+	}
+	return fromInput(in), nil
+}
+
+// RandomizeCapacities replaces all edge capacities with values drawn
+// uniformly from [1, maxCap].
+func (g *Graph) RandomizeCapacities(maxCap int64, seed int64) {
+	graphgen.RandomCapacities(&g.in, maxCap, seed)
+}
+
+// Degrees returns the undirected degree of every vertex.
+func (g *Graph) Degrees() []int { return graphgen.Degrees(&g.in) }
+
+// DecomposeHighDegree splits every vertex with degree above maxDegree
+// into a chain of infinite-capacity-linked clones, per the paper's
+// Section V remark that a vertex with too many edges "can be decomposed
+// into several vertices of smaller degree" without loss of generality.
+// Max-flow values are preserved; the receiver is unchanged.
+func (g *Graph) DecomposeHighDegree(maxDegree int) (*Graph, error) {
+	dec, err := graphgen.DecomposeHighDegree(g.input(), maxDegree)
+	if err != nil {
+		return nil, err
+	}
+	out := fromInput(dec)
+	out.den = g.den
+	return out, nil
+}
+
+// GraphMetrics summarizes a graph's small-world statistics — the
+// structural properties (low diameter, heavy-tailed degrees, high
+// clustering) the paper's algorithm exploits.
+type GraphMetrics struct {
+	Vertices          int
+	Edges             int
+	AverageDegree     float64
+	MaxDegree         int
+	EstimatedDiameter int
+	AveragePathLength float64
+	Clustering        float64
+	LargestComponent  float64
+}
+
+// Measure computes sampled small-world metrics for the graph. samples
+// controls how many BFS sweeps are used (<=0 selects a default).
+func (g *Graph) Measure(samples int, seed int64) GraphMetrics {
+	m := graphgen.Measure(&g.in, samples, seed)
+	return GraphMetrics{
+		Vertices:          m.Vertices,
+		Edges:             m.Edges,
+		AverageDegree:     m.AverageDegree,
+		MaxDegree:         m.MaxDegree,
+		EstimatedDiameter: m.EstimatedDiameter,
+		AveragePathLength: m.AveragePathLength,
+		Clustering:        m.Clustering,
+		LargestComponent:  m.LargestComponent,
+	}
+}

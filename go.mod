@@ -1,0 +1,3 @@
+module ffmr
+
+go 1.22

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+
+	"ffmr/internal/graph"
+)
+
+// This file implements aug_proc, the FF2 "stateful extension for MR"
+// (paper Section IV-A): an external process, reachable from every reducer
+// over a persistent connection, that accepts candidate augmenting paths
+// as they are found. Candidates are enqueued and acknowledged
+// immediately so reducers are never delayed; a single consumer goroutine
+// drains the queue and decides acceptance with the accumulator. The
+// paper implements the connection with Java RMI; this implementation
+// uses net/rpc over TCP, which has the same persistent-connection,
+// request/response semantics.
+
+// SubmitArgs is the RPC request: a batch of wire-encoded candidate
+// augmenting paths (graph.EncodePath format).
+type SubmitArgs struct {
+	Paths [][]byte
+}
+
+// SubmitReply is the (empty) RPC acknowledgement; Submit returns as soon
+// as the batch is enqueued.
+type SubmitReply struct{}
+
+// AugProcStats reports one round of aug_proc activity: the columns
+// "A-Paths" and "MaxQ" of the paper's Table I.
+type AugProcStats struct {
+	// Submitted counts candidate paths received.
+	Submitted int64
+	// Accepted counts candidates the accumulator accepted (A-Paths).
+	Accepted int64
+	// TotalDelta is the flow added by accepted paths this round.
+	TotalDelta int64
+	// MaxQueue is the maximum processing-queue length observed (MaxQ).
+	MaxQueue int64
+	// DecodeErrors counts malformed submissions (always 0 in practice).
+	DecodeErrors int64
+}
+
+type augItem struct {
+	paths [][]byte
+	flush chan struct{} // non-nil for drain barriers
+}
+
+// AugProcServer is the aug_proc service. Create with NewAugProcServer,
+// drive with BeginRound/EndRound around each MapReduce round, and Close
+// when the computation finishes.
+type AugProcServer struct {
+	listener net.Listener
+	queue    chan augItem
+	done     chan struct{}
+
+	queued atomic.Int64 // paths currently enqueued
+	maxQ   atomic.Int64
+
+	mu      sync.Mutex
+	acc     Accumulator
+	stats   AugProcStats
+	serving bool
+}
+
+// RPC service wrapper type so only Submit is exported over the wire.
+type augProcService struct{ s *AugProcServer }
+
+// Submit enqueues a batch of candidate augmenting paths and returns
+// immediately (paper: "inserts them to a processing queue and returns
+// immediately to avoid delaying the reducer").
+func (svc *augProcService) Submit(args *SubmitArgs, _ *SubmitReply) error {
+	s := svc.s
+	n := int64(len(args.Paths))
+	q := s.queued.Add(n)
+	for {
+		m := s.maxQ.Load()
+		if q <= m || s.maxQ.CompareAndSwap(m, q) {
+			break
+		}
+	}
+	s.queue <- augItem{paths: args.Paths}
+	return nil
+}
+
+// NewAugProcServer starts an aug_proc server on a loopback TCP port.
+func NewAugProcServer() (*AugProcServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: aug_proc listen: %w", err)
+	}
+	s := &AugProcServer{
+		listener: ln,
+		queue:    make(chan augItem, 4096),
+		done:     make(chan struct{}),
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("AugProc", &augProcService{s: s}); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("core: aug_proc register: %w", err)
+	}
+	go s.consume()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	s.serving = true
+	return s, nil
+}
+
+// Addr returns the server's listen address for clients to dial.
+func (s *AugProcServer) Addr() string { return s.listener.Addr().String() }
+
+// consume is the single accumulator thread: it drains the processing
+// queue, deciding acceptance sequentially so there are no data races on
+// the accumulator (the paper's design).
+func (s *AugProcServer) consume() {
+	for {
+		select {
+		case item := <-s.queue:
+			if item.flush != nil {
+				close(item.flush)
+				continue
+			}
+			s.mu.Lock()
+			for _, pb := range item.paths {
+				p, err := graph.DecodePath(pb)
+				if err != nil {
+					s.stats.DecodeErrors++
+					continue
+				}
+				s.stats.Submitted++
+				if d := s.acc.Accept(&p, graph.CapInf); d > 0 {
+					s.stats.Accepted++
+					s.stats.TotalDelta += d
+				}
+			}
+			s.mu.Unlock()
+			s.queued.Add(-int64(len(item.paths)))
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// BeginRound resets per-round state before a MapReduce round starts.
+func (s *AugProcServer) BeginRound() {
+	s.drain()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acc.Reset()
+	s.stats = AugProcStats{}
+	s.maxQ.Store(0)
+}
+
+// drain blocks until every path enqueued so far has been processed.
+func (s *AugProcServer) drain() {
+	flush := make(chan struct{})
+	s.queue <- augItem{flush: flush}
+	<-flush
+}
+
+// EndRound waits for the queue to drain ("aug_proc finishes immediately
+// after the last reducer") and returns the round's statistics and the
+// accepted flow deltas for the next round's AugmentedEdges side file.
+func (s *AugProcServer) EndRound() (AugProcStats, map[graph.EdgeID]int64) {
+	s.drain()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MaxQueue = s.maxQ.Load()
+	return st, s.acc.Deltas()
+}
+
+// Close shuts the server down.
+func (s *AugProcServer) Close() error {
+	if !s.serving {
+		return nil
+	}
+	s.serving = false
+	close(s.done)
+	return s.listener.Close()
+}
+
+// AugProcClient is a reducer's persistent connection to aug_proc.
+// It is safe for concurrent use by multiple reducer tasks (net/rpc
+// multiplexes calls over one connection).
+type AugProcClient struct {
+	c *rpc.Client
+}
+
+// DialAugProc connects to an aug_proc server.
+func DialAugProc(addr string) (*AugProcClient, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: aug_proc dial: %w", err)
+	}
+	return &AugProcClient{c: c}, nil
+}
+
+// Submit sends candidate augmenting paths to aug_proc.
+func (c *AugProcClient) Submit(paths []graph.ExcessPath) error {
+	if len(paths) == 0 {
+		return nil
+	}
+	args := &SubmitArgs{Paths: make([][]byte, len(paths))}
+	for i := range paths {
+		args.Paths[i] = graph.EncodePath(&paths[i])
+	}
+	return c.c.Call("AugProc.Submit", args, &SubmitReply{})
+}
+
+// Close closes the connection.
+func (c *AugProcClient) Close() error { return c.c.Close() }

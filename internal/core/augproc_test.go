@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"ffmr/internal/graph"
+)
+
+func newTestAugProc(t *testing.T) *AugProcServer {
+	t.Helper()
+	s, err := NewAugProcServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func simplePath(id graph.EdgeID, cap int64) graph.ExcessPath {
+	return graph.ExcessPath{Edges: []graph.PathEdge{
+		{ID: id, From: 0, To: 1, Cap: cap, Fwd: true},
+	}}
+}
+
+func TestAugProcAcceptsOverRPC(t *testing.T) {
+	s := newTestAugProc(t)
+	s.BeginRound()
+	c, err := DialAugProc(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Submit([]graph.ExcessPath{simplePath(1, 1), simplePath(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	st, deltas := s.EndRound()
+	if st.Submitted != 2 || st.Accepted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TotalDelta != 2 {
+		t.Fatalf("total delta = %d", st.TotalDelta)
+	}
+	if deltas[1] != 1 || deltas[2] != 1 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+}
+
+func TestAugProcRejectsConflicts(t *testing.T) {
+	s := newTestAugProc(t)
+	s.BeginRound()
+	c, err := DialAugProc(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two candidates over the same unit-capacity edge: only one wins.
+	if err := c.Submit([]graph.ExcessPath{simplePath(7, 1), simplePath(7, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.EndRound()
+	if st.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", st.Accepted)
+	}
+}
+
+func TestAugProcRoundIsolation(t *testing.T) {
+	s := newTestAugProc(t)
+	c, err := DialAugProc(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	s.BeginRound()
+	if err := c.Submit([]graph.ExcessPath{simplePath(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := s.EndRound()
+	if st1.Accepted != 1 {
+		t.Fatalf("round 1 accepted = %d", st1.Accepted)
+	}
+
+	// A new round must reset grants: the same edge is available again.
+	s.BeginRound()
+	if err := c.Submit([]graph.ExcessPath{simplePath(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := s.EndRound()
+	if st2.Accepted != 1 {
+		t.Fatalf("round 2 accepted = %d (grants leaked across rounds)", st2.Accepted)
+	}
+}
+
+func TestAugProcConcurrentClients(t *testing.T) {
+	s := newTestAugProc(t)
+	s.BeginRound()
+
+	const clients = 8
+	const perClient = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := DialAugProc(s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				id := graph.EdgeID(ci*perClient + i)
+				if err := c.Submit([]graph.ExcessPath{simplePath(id, 1)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+
+	st, deltas := s.EndRound()
+	if st.Submitted != clients*perClient {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, clients*perClient)
+	}
+	if st.Accepted != clients*perClient {
+		t.Fatalf("accepted = %d, want %d (all edges disjoint)", st.Accepted, clients*perClient)
+	}
+	if len(deltas) != clients*perClient {
+		t.Fatalf("deltas = %d entries", len(deltas))
+	}
+	if st.MaxQueue < 1 {
+		t.Errorf("max queue = %d, want >= 1", st.MaxQueue)
+	}
+}
+
+func TestAugProcEmptySubmit(t *testing.T) {
+	s := newTestAugProc(t)
+	s.BeginRound()
+	c, err := DialAugProc(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Submit(nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.EndRound()
+	if st.Submitted != 0 {
+		t.Fatalf("empty submit counted: %+v", st)
+	}
+}
+
+func TestAugProcDialFailure(t *testing.T) {
+	if _, err := DialAugProc("127.0.0.1:1"); err == nil {
+		t.Error("dialing a dead port succeeded")
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/graph"
+	"ffmr/internal/mapreduce"
+)
+
+// This file implements the multi-round MapReduce breadth-first search the
+// paper uses both to estimate graph diameter (Section V-A1) and as the
+// lower-bound baseline for rounds and runtime in Fig. 6 and Fig. 8 ("we
+// highlight that our FFMR algorithm is comparable in terms of number of
+// rounds performed and only a constant factor slower than the BFS
+// algorithm in MR").
+
+// bfsValue is a BFS vertex record: the distance from the source (-1 when
+// unvisited) plus the adjacency list. Fragments carry only a proposed
+// distance.
+type bfsValue struct {
+	master    bool
+	dist      int64
+	neighbors []graph.VertexID
+}
+
+func encodeBFS(dst []byte, v *bfsValue) []byte {
+	if v.master {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendVarint(dst, v.dist)
+	if v.master {
+		dst = binary.AppendUvarint(dst, uint64(len(v.neighbors)))
+		for _, n := range v.neighbors {
+			dst = binary.AppendUvarint(dst, uint64(n))
+		}
+	}
+	return dst
+}
+
+func decodeBFS(data []byte, v *bfsValue) error {
+	if len(data) < 1 {
+		return fmt.Errorf("core: empty bfs value")
+	}
+	v.master = data[0] != 0
+	off := 1
+	d, n := binary.Varint(data[off:])
+	if n <= 0 {
+		return fmt.Errorf("core: corrupt bfs dist")
+	}
+	off += n
+	v.dist = d
+	v.neighbors = v.neighbors[:0]
+	if !v.master {
+		return nil
+	}
+	cnt, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return fmt.Errorf("core: corrupt bfs neighbor count")
+	}
+	off += n
+	for i := uint64(0); i < cnt; i++ {
+		nb, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return fmt.Errorf("core: corrupt bfs neighbor")
+		}
+		off += n
+		v.neighbors = append(v.neighbors, graph.VertexID(nb))
+	}
+	return nil
+}
+
+// bfsConvertMapper emits each endpoint of every raw edge to the other.
+type bfsConvertMapper struct{}
+
+func (bfsConvertMapper) Map(ctx *mapreduce.TaskContext, key, value []byte) error {
+	e, err := decodeInputEdge(value)
+	if err != nil {
+		return err
+	}
+	var buf [10]byte
+	ctx.Emit(graph.KeyBytes(e.U), binary.AppendUvarint(buf[:0], uint64(e.V)))
+	ctx.Emit(graph.KeyBytes(e.V), binary.AppendUvarint(buf[:0], uint64(e.U)))
+	return nil
+}
+
+type bfsConvertReducer struct {
+	source graph.VertexID
+}
+
+func (r *bfsConvertReducer) Reduce(ctx *mapreduce.TaskContext, key, _ []byte, values *mapreduce.Values) error {
+	u, err := graph.DecodeKey(key)
+	if err != nil {
+		return err
+	}
+	v := bfsValue{master: true, dist: -1}
+	if u == r.source {
+		v.dist = 0
+	}
+	seen := make(map[graph.VertexID]bool)
+	for {
+		vb := values.Next()
+		if vb == nil {
+			break
+		}
+		nb, n := binary.Uvarint(vb)
+		if n <= 0 {
+			return fmt.Errorf("core: corrupt bfs neighbor fragment")
+		}
+		if !seen[graph.VertexID(nb)] {
+			seen[graph.VertexID(nb)] = true
+			v.neighbors = append(v.neighbors, graph.VertexID(nb))
+		}
+	}
+	sort.Slice(v.neighbors, func(i, j int) bool { return v.neighbors[i] < v.neighbors[j] })
+	ctx.Emit(key, encodeBFS(nil, &v))
+	return nil
+}
+
+// bfsMapper expands the current frontier: vertices whose distance equals
+// round-1 propose distance round to every neighbour.
+type bfsMapper struct{ round int64 }
+
+func (m *bfsMapper) Map(ctx *mapreduce.TaskContext, key, value []byte) error {
+	var v bfsValue
+	if err := decodeBFS(value, &v); err != nil {
+		return err
+	}
+	if v.dist == m.round-1 {
+		frag := bfsValue{dist: m.round}
+		enc := encodeBFS(nil, &frag)
+		for _, nb := range v.neighbors {
+			ctx.Emit(graph.KeyBytes(nb), enc)
+		}
+	}
+	ctx.Emit(key, value)
+	return nil
+}
+
+type bfsReducer struct{}
+
+func (bfsReducer) Reduce(ctx *mapreduce.TaskContext, key, _ []byte, values *mapreduce.Values) error {
+	var master bfsValue
+	var proposed int64 = -1
+	var haveMaster bool
+	var v bfsValue
+	for {
+		vb := values.Next()
+		if vb == nil {
+			break
+		}
+		if err := decodeBFS(vb, &v); err != nil {
+			return err
+		}
+		if v.master {
+			master = v
+			master.neighbors = append([]graph.VertexID(nil), v.neighbors...)
+			haveMaster = true
+		} else if proposed < 0 || v.dist < proposed {
+			proposed = v.dist
+		}
+	}
+	if !haveMaster {
+		return fmt.Errorf("core: bfs vertex lost its master record")
+	}
+	if master.dist < 0 && proposed >= 0 {
+		master.dist = proposed
+		ctx.Inc("frontier", 1)
+	}
+	ctx.Emit(key, encodeBFS(nil, &master))
+	return nil
+}
+
+// BFSResult reports a multi-round MR BFS run.
+type BFSResult struct {
+	// Rounds is the number of expansion rounds executed (excluding the
+	// conversion round #0); it equals the eccentricity of the source
+	// within its component, plus one final empty round that detects
+	// termination.
+	Rounds int
+	// SinkDist is the source-to-sink distance, or -1 if unreachable.
+	SinkDist int
+	// Visited is the number of vertices reached.
+	Visited int64
+	// RoundStats has one entry per round, index 0 being round #0.
+	RoundStats []RoundStat
+
+	TotalSimTime  time.Duration
+	TotalWallTime time.Duration
+}
+
+// RunBFS executes a multi-round MapReduce BFS from in.Source, the
+// baseline the paper compares FFMR against.
+func RunBFS(cluster *mapreduce.Cluster, in *graph.Input, reducers int, pathPrefix string) (*BFSResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if reducers <= 0 {
+		reducers = cluster.Nodes * cluster.SlotsPerNode
+		if reducers > 64 {
+			reducers = 64
+		}
+	}
+	if pathPrefix == "" {
+		pathPrefix = "bfs/"
+	}
+	fs := cluster.FS
+	fs.DeletePrefix(pathPrefix)
+	inputs, err := WriteInput(fs, pathPrefix, in, cluster.Nodes*2)
+	if err != nil {
+		return nil, err
+	}
+
+	result := &BFSResult{SinkDist: -1}
+	job0 := &mapreduce.Job{
+		Name:         "bfs-round-0-convert",
+		Round:        0,
+		Inputs:       inputs,
+		OutputPrefix: roundPrefix(pathPrefix, 0),
+		NumReducers:  reducers,
+		NewMapper:    func() mapreduce.Mapper { return bfsConvertMapper{} },
+		NewReducer:   func() mapreduce.Reducer { return &bfsConvertReducer{source: in.Source} },
+	}
+	res0, err := cluster.Run(job0)
+	if err != nil {
+		return nil, err
+	}
+	result.RoundStats = append(result.RoundStats, jobStat(0, res0, AugProcStats{}))
+	result.Visited = 1
+
+	maxRounds := in.NumVertices + 1
+	for round := 1; round <= maxRounds; round++ {
+		r := round
+		job := &mapreduce.Job{
+			Name:         fmt.Sprintf("bfs-round-%d", round),
+			Round:        round,
+			Inputs:       fs.List(roundPrefix(pathPrefix, round-1)),
+			OutputPrefix: roundPrefix(pathPrefix, round),
+			NumReducers:  reducers,
+			NewMapper:    func() mapreduce.Mapper { return &bfsMapper{round: int64(r)} },
+			NewReducer:   func() mapreduce.Reducer { return bfsReducer{} },
+		}
+		res, err := cluster.Run(job)
+		if err != nil {
+			return nil, err
+		}
+		result.RoundStats = append(result.RoundStats, jobStat(round, res, AugProcStats{}))
+		result.Rounds = round
+		frontier := res.Counter("frontier")
+		result.Visited += frontier
+		if round >= 2 {
+			fs.DeletePrefix(roundPrefix(pathPrefix, round-2))
+		}
+		if frontier == 0 {
+			break
+		}
+	}
+
+	// Recover the sink distance from the final records.
+	verts := fs.List(roundPrefix(pathPrefix, result.Rounds))
+	sinkKey := graph.KeyBytes(in.Sink)
+	for _, name := range verts {
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if d, ok, err := findBFSDist(data, sinkKey); err != nil {
+			return nil, err
+		} else if ok {
+			result.SinkDist = int(d)
+			break
+		}
+	}
+
+	for i := range result.RoundStats {
+		result.TotalSimTime += result.RoundStats[i].SimTime
+		result.TotalWallTime += result.RoundStats[i].WallTime
+	}
+	return result, nil
+}
+
+func findBFSDist(fileData, key []byte) (int64, bool, error) {
+	r := dfs.NewRecordReader(fileData)
+	for {
+		k, v, ok, err := r.Next()
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			return 0, false, nil
+		}
+		if string(k) == string(key) {
+			var bv bfsValue
+			if err := decodeBFS(v, &bv); err != nil {
+				return 0, false, err
+			}
+			return bv.dist, true, nil
+		}
+	}
+}

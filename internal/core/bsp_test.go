@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ffmr/internal/graphgen"
+	"ffmr/internal/maxflow"
+)
+
+func TestBSPPathGraph(t *testing.T) {
+	res, err := RunBSP(pathGraph(5, 1), BSPOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow != 1 {
+		t.Fatalf("max flow = %d, want 1", res.MaxFlow)
+	}
+	if res.Supersteps < 3 {
+		t.Errorf("supersteps = %d", res.Supersteps)
+	}
+}
+
+func TestBSPMatchesDinicOnRandomGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random cross-check is slow")
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		n := 12 + rng.Intn(30)
+		m := n + rng.Intn(3*n)
+		in, err := graphgen.ErdosRenyi(n, m, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial%2 == 1 {
+			graphgen.RandomCapacities(in, 5, rng.Int63())
+		}
+		in.Source, in.Sink = graphgen.PickEndpoints(in)
+		want := dinicValue(t, in)
+		res, err := RunBSP(in, BSPOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.MaxFlow != want {
+			t.Fatalf("trial %d: BSP = %d, dinic = %d (n=%d m=%d)", trial, res.MaxFlow, want, n, m)
+		}
+	}
+}
+
+func TestBSPSmallWorldSuperSourceSink(t *testing.T) {
+	base, err := graphgen.BarabasiAlbert(800, 4, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 6, 6, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dinicValue(t, in)
+	res, err := RunBSP(in, BSPOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow != want {
+		t.Fatalf("BSP = %d, dinic = %d", res.MaxFlow, want)
+	}
+	t.Logf("BSP: flow=%d supersteps=%d messages=%d bytes=%d",
+		res.MaxFlow, res.Supersteps, res.Messages, res.MessageBytes)
+}
+
+func TestBSPAblations(t *testing.T) {
+	base, err := graphgen.WattsStrogatz(300, 4, 0.1, 93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 3, 3, 94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dinicValue(t, in)
+	for _, opts := range []BSPOptions{
+		{DisableSentTracking: true},
+		{DisableBidirectional: true},
+		{DisableSentTracking: true, DisableBidirectional: true, K: 2},
+	} {
+		res, err := RunBSP(in, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if res.MaxFlow != want {
+			t.Fatalf("%+v: BSP = %d, want %d", opts, res.MaxFlow, want)
+		}
+	}
+}
+
+// TestBSPMessageVolumeBelowFF1Shuffle checks the structural claim behind
+// the paper's Pregel conjecture: because vertex state persists across
+// supersteps, master records never travel, so the BSP translation moves
+// far less data than FF1/FF2 (whose master re-shuffle is what the
+// schimmy pattern was invented to avoid).
+func TestBSPMessageVolumeBelowFF1Shuffle(t *testing.T) {
+	base, err := graphgen.BarabasiAlbert(600, 4, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 4, 6, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsp, err := RunBSP(in, BSPOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := Run(testCluster(4), in, Options{Variant: FF1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bsp.MaxFlow != mr.MaxFlow {
+		t.Fatalf("BSP flow %d != MR flow %d", bsp.MaxFlow, mr.MaxFlow)
+	}
+	var mrShuffle int64
+	for _, rs := range mr.RoundStats {
+		mrShuffle += rs.ShuffleBytes
+	}
+	if bsp.MessageBytes >= mrShuffle {
+		t.Errorf("BSP moved %d bytes, MR FF1 shuffled %d; expected BSP below",
+			bsp.MessageBytes, mrShuffle)
+	}
+	// Rounds/supersteps are of the same order: the BSP run pays a small
+	// constant number of extra steps for message lag and termination.
+	if bsp.Supersteps > mr.Rounds*3+4 {
+		t.Errorf("BSP took %d supersteps, MR took %d rounds", bsp.Supersteps, mr.Rounds)
+	}
+}
+
+func TestBSPDisconnected(t *testing.T) {
+	in := pathGraph(2, 1)
+	in.NumVertices = 5
+	in.Sink = 4 // vertex 4 has no edges at all
+	res, err := RunBSP(in, BSPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow != 0 {
+		t.Fatalf("flow to isolated sink = %d", res.MaxFlow)
+	}
+}
+
+func TestBSPInvalidInput(t *testing.T) {
+	in := pathGraph(2, 1)
+	in.Source = 99
+	if _, err := RunBSP(in, BSPOptions{}); err == nil {
+		t.Fatal("invalid input accepted")
+	}
+}
+
+// TestBSPAgainstEdmondsKarp is a second-oracle check on capacitated
+// graphs.
+func TestBSPAgainstEdmondsKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	in, err := graphgen.ErdosRenyi(40, 140, rng.Int63())
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphgen.RandomCapacities(in, 9, rng.Int63())
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	net, err := maxflow.FromInput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := maxflow.EdmondsKarp(net, int(in.Source), int(in.Sink))
+	res, err := RunBSP(in, BSPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow != want {
+		t.Fatalf("BSP = %d, edmonds-karp = %d", res.MaxFlow, want)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ffmr/internal/dfs"
+)
+
+// Multi-round MR chains at the paper's scale run for hours; a failure in
+// round 7 of 9 should not force recomputation from round 0. The driver
+// therefore checkpoints its state to the DFS after every round: the last
+// completed round, the flow accumulated so far, and the per-round
+// statistics. Run with Options.Resume picks up from the checkpoint,
+// reusing the retained round outputs and AugmentedEdges file.
+
+const checkpointVersion = 1
+
+type checkpoint struct {
+	Variant   Variant
+	Reducers  int
+	Round     int // last completed round
+	MaxFlow   int64
+	Converged bool
+	Stats     []RoundStat
+}
+
+func checkpointName(prefix string) string { return prefix + "checkpoint" }
+
+func encodeCheckpoint(cp *checkpoint) []byte {
+	buf := binary.AppendUvarint(nil, checkpointVersion)
+	buf = binary.AppendVarint(buf, int64(cp.Variant))
+	buf = binary.AppendVarint(buf, int64(cp.Reducers))
+	buf = binary.AppendVarint(buf, int64(cp.Round))
+	buf = binary.AppendVarint(buf, cp.MaxFlow)
+	if cp.Converged {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(cp.Stats)))
+	for _, s := range cp.Stats {
+		for _, v := range []int64{
+			int64(s.Round), s.APaths, s.Submitted, s.MaxQueue, s.FlowDelta,
+			s.SourceMove, s.SinkMove, s.ActiveVertices, s.MapOutRecords,
+			s.MapOutBytes, s.ShuffleBytes, s.MaxRecordBytes, s.MaxGroupBytes,
+			s.OutputBytes, int64(s.SimTime), int64(s.WallTime),
+		} {
+			buf = binary.AppendVarint(buf, v)
+		}
+	}
+	return buf
+}
+
+type cpDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *cpDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("core: truncated checkpoint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *cpDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("core: truncated checkpoint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *cpDecoder) boolByte() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.err = fmt.Errorf("core: truncated checkpoint at offset %d", d.off)
+		return false
+	}
+	v := d.b[d.off] != 0
+	d.off++
+	return v
+}
+
+func decodeCheckpoint(data []byte) (*checkpoint, error) {
+	d := cpDecoder{b: data}
+	if v := d.uvarint(); d.err == nil && v != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", v, checkpointVersion)
+	}
+	cp := &checkpoint{
+		Variant:  Variant(d.varint()),
+		Reducers: int(d.varint()),
+		Round:    int(d.varint()),
+		MaxFlow:  d.varint(),
+	}
+	cp.Converged = d.boolByte()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(data)) {
+		return nil, fmt.Errorf("core: implausible checkpoint stat count %d", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var s RoundStat
+		s.Round = int(d.varint())
+		s.APaths = d.varint()
+		s.Submitted = d.varint()
+		s.MaxQueue = d.varint()
+		s.FlowDelta = d.varint()
+		s.SourceMove = d.varint()
+		s.SinkMove = d.varint()
+		s.ActiveVertices = d.varint()
+		s.MapOutRecords = d.varint()
+		s.MapOutBytes = d.varint()
+		s.ShuffleBytes = d.varint()
+		s.MaxRecordBytes = d.varint()
+		s.MaxGroupBytes = d.varint()
+		s.OutputBytes = d.varint()
+		s.SimTime = time.Duration(d.varint())
+		s.WallTime = time.Duration(d.varint())
+		cp.Stats = append(cp.Stats, s)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return cp, nil
+}
+
+func writeCheckpoint(fs *dfs.FS, prefix string, cp *checkpoint) error {
+	return fs.WriteFile(checkpointName(prefix), encodeCheckpoint(cp))
+}
+
+func readCheckpoint(fs *dfs.FS, prefix string) (*checkpoint, error) {
+	data, err := fs.ReadFile(checkpointName(prefix))
+	if err != nil {
+		return nil, err
+	}
+	return decodeCheckpoint(data)
+}

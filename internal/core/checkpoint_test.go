@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"ffmr/internal/graphgen"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := &checkpoint{
+		Variant: FF3, Reducers: 7, Round: 4, MaxFlow: 123, Converged: true,
+		Stats: []RoundStat{
+			{Round: 0, MapOutRecords: 10, OutputBytes: 999, SimTime: 5},
+			{Round: 1, APaths: 3, FlowDelta: 3, ShuffleBytes: 4567, WallTime: 17},
+		},
+	}
+	got, err := decodeCheckpoint(encodeCheckpoint(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Variant != cp.Variant || got.Reducers != cp.Reducers || got.Round != cp.Round ||
+		got.MaxFlow != cp.MaxFlow || got.Converged != cp.Converged {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Stats) != 2 || got.Stats[1] != cp.Stats[1] {
+		t.Fatalf("stats mismatch: %+v", got.Stats)
+	}
+	if _, err := decodeCheckpoint([]byte{0x07}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := decodeCheckpoint(encodeCheckpoint(cp)[:5]); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}
+
+func TestResumeContinuesInterruptedRun(t *testing.T) {
+	base, err := graphgen.BarabasiAlbert(500, 4, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 4, 6, 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dinicValue(t, in)
+
+	// Reference: uninterrupted run.
+	full, err := Run(testCluster(3), in, Options{Variant: FF5, Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.MaxFlow != want {
+		t.Fatalf("reference run flow %d, want %d", full.MaxFlow, want)
+	}
+
+	// Interrupted run: stop after 2 rounds (MaxRounds exceeded -> error
+	// with partial result), then resume on the SAME cluster/DFS.
+	cluster := testCluster(3)
+	opts := Options{Variant: FF5, Reducers: 4, MaxRounds: 2}
+	if _, err := Run(cluster, in, opts); err == nil {
+		t.Fatal("2-round run unexpectedly converged; pick a harder graph")
+	}
+
+	opts.MaxRounds = 0 // default
+	opts.Resume = true
+	res, err := Run(cluster, in, opts)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if res.MaxFlow != want {
+		t.Fatalf("resumed run flow %d, want %d", res.MaxFlow, want)
+	}
+	if !res.Converged {
+		t.Fatal("resumed run did not converge")
+	}
+	// Round stats must cover every round exactly once (0..Rounds).
+	for i, rs := range res.RoundStats {
+		if rs.Round != i {
+			t.Fatalf("stats gap at index %d: round %d", i, rs.Round)
+		}
+	}
+}
+
+func TestResumeAfterConvergenceIsNoOp(t *testing.T) {
+	in := pathGraph(4, 1)
+	cluster := testCluster(2)
+	opts := Options{Variant: FF2, Reducers: 2}
+	first, err := Run(cluster, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Resume = true
+	second, err := Run(cluster, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.MaxFlow != first.MaxFlow || second.Rounds != first.Rounds {
+		t.Fatalf("no-op resume diverged: %+v vs %+v", second, first)
+	}
+}
+
+func TestResumeRejectsMismatchedOptions(t *testing.T) {
+	in := pathGraph(4, 1)
+	cluster := testCluster(2)
+	if _, err := Run(cluster, in, Options{Variant: FF2, Reducers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cluster, in, Options{Variant: FF5, Reducers: 2, Resume: true}); err == nil {
+		t.Fatal("variant mismatch accepted on resume")
+	}
+	if _, err := Run(cluster, in, Options{Variant: FF2, Reducers: 3, Resume: true}); err == nil {
+		t.Fatal("reducer mismatch accepted on resume")
+	}
+}
+
+func TestResumeWithoutCheckpointRunsFresh(t *testing.T) {
+	in := pathGraph(4, 1)
+	res, err := Run(testCluster(2), in, Options{Variant: FF1, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxFlow != 1 {
+		t.Fatalf("flow = %d", res.MaxFlow)
+	}
+}

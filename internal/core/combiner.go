@@ -1,0 +1,61 @@
+package core
+
+import (
+	"ffmr/internal/graph"
+	"ffmr/internal/mapreduce"
+)
+
+// ffCombiner merges the vertex fragments a single map task emits toward
+// the same destination vertex into one fragment, deduplicating excess
+// paths by signature. Master vertex records pass through untouched so
+// the reducer's master-first merge priority is preserved.
+//
+// This is the combiner the paper evaluated and rejected for FFMR: "as a
+// rule of thumb, combiners are only cost-effective if the map output can
+// be aggregated sufficiently, i.e. by 20-30%", and fragment streams
+// rarely aggregate that much because most destinations receive one
+// fragment per task. It is kept behind Options.UseCombiner so the
+// finding can be reproduced (see the combiner ablation benchmark).
+type ffCombiner struct {
+	frag graph.VertexValue
+}
+
+func newFFCombiner() mapreduce.Combiner { return &ffCombiner{} }
+
+// Combine implements mapreduce.Combiner.
+func (c *ffCombiner) Combine(key []byte, values [][]byte) ([][]byte, error) {
+	if len(values) <= 1 {
+		return values, nil
+	}
+	var out [][]byte
+	var merged graph.VertexValue
+	seen := make(map[uint64]bool)
+	for _, vb := range values {
+		c.frag.Reset()
+		if err := graph.DecodeValueInto(vb, &c.frag); err != nil {
+			return nil, err
+		}
+		if c.frag.IsMaster() {
+			out = append(out, vb)
+			continue
+		}
+		for i := range c.frag.Su {
+			if sig := c.frag.Su[i].Signature(); !seen[sig] {
+				seen[sig] = true
+				merged.Su = append(merged.Su, c.frag.Su[i].Clone())
+			}
+		}
+		for i := range c.frag.Tu {
+			// Source and sink paths share the signature space; offset the
+			// sink side so a degenerate collision cannot drop a path kind.
+			if sig := c.frag.Tu[i].Signature() ^ 0x9e3779b97f4a7c15; !seen[sig] {
+				seen[sig] = true
+				merged.Tu = append(merged.Tu, c.frag.Tu[i].Clone())
+			}
+		}
+	}
+	if len(merged.Su) > 0 || len(merged.Tu) > 0 {
+		out = append(out, graph.EncodeValue(&merged))
+	}
+	return out, nil
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/graph"
+	"ffmr/internal/mapreduce"
+)
+
+// RoundStat captures one round of execution. The fields correspond to
+// the columns of the paper's Table I: accepted augmenting paths
+// (A-Paths), the maximum aug_proc queue length (MaxQ), the number of
+// intermediate records emitted by mappers (Map Out), the bytes shuffled
+// between map and reduce (Shuffle), and the round's runtime.
+type RoundStat struct {
+	Round int
+
+	// APaths is the number of augmenting paths accepted this round.
+	APaths int64
+	// Submitted is the number of candidate augmenting paths offered.
+	Submitted int64
+	// MaxQueue is the largest aug_proc queue length observed (0 for FF1
+	// and for round 0).
+	MaxQueue int64
+	// FlowDelta is the flow value added by this round's accepted paths.
+	FlowDelta int64
+
+	SourceMove int64
+	SinkMove   int64
+	// ActiveVertices counts vertices holding at least one excess path at
+	// the round's end — the paper's available-parallelism measure.
+	ActiveVertices int64
+
+	MapOutRecords  int64
+	MapOutBytes    int64
+	ShuffleBytes   int64
+	MaxRecordBytes int64
+	// MaxGroupBytes is the largest reduce group of the round — the
+	// paper's "size of the biggest record": in FF1 the sink vertex's
+	// group holds every candidate augmenting path.
+	MaxGroupBytes int64
+	OutputBytes   int64
+
+	SimTime  time.Duration
+	WallTime time.Duration
+}
+
+// Result is the outcome of an FFMR run.
+type Result struct {
+	Variant Variant
+	// MaxFlow is the computed maximum flow value.
+	MaxFlow int64
+	// Rounds is the number of max-flow rounds executed, excluding the
+	// round #0 graph conversion (matching how the paper counts rounds).
+	Rounds int
+	// Converged reports whether the termination rule fired before
+	// Options.MaxRounds.
+	Converged bool
+	// RoundStats has one entry per executed round; index 0 is round #0.
+	RoundStats []RoundStat
+
+	TotalSimTime  time.Duration
+	TotalWallTime time.Duration
+
+	// InputGraphBytes is the converted graph's size in the DFS after
+	// round #0 (the paper's "Size" column); MaxGraphBytes is the largest
+	// per-round graph size observed (the "Max Size" column), which grows
+	// as vertices accumulate excess paths.
+	InputGraphBytes int64
+	MaxGraphBytes   int64
+}
+
+func roundPrefix(prefix string, round int) string {
+	return fmt.Sprintf("%sround-%05d/", prefix, round)
+}
+
+func deltaName(prefix string, round int) string {
+	return fmt.Sprintf("%sdeltas-%05d", prefix, round)
+}
+
+// Run executes the FFMR algorithm selected by opts on the given cluster,
+// implementing the multi-round main program of Fig. 2. The input graph
+// is written to the DFS, converted by round #0, and processed by
+// max-flow rounds until the termination rule fires.
+func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, error) {
+	opts.applyDefaults(cluster.Nodes * cluster.SlotsPerNode)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	feat := opts.Variant.features()
+	fs := cluster.FS
+	prefix := opts.PathPrefix
+
+	result := &Result{Variant: opts.Variant}
+	startRound := 1
+
+	if opts.Resume && fs.Exists(checkpointName(prefix)) {
+		cp, err := readCheckpoint(fs, prefix)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		if cp.Variant != opts.Variant || cp.Reducers != opts.Reducers {
+			return nil, fmt.Errorf("core: resume: checkpoint is %s with %d reducers, run is %s with %d",
+				cp.Variant, cp.Reducers, opts.Variant, opts.Reducers)
+		}
+		result.MaxFlow = cp.MaxFlow
+		result.Rounds = cp.Round
+		result.RoundStats = cp.Stats
+		result.Converged = cp.Converged
+		for _, s := range cp.Stats {
+			if s.Round == 0 {
+				result.InputGraphBytes = s.OutputBytes
+			}
+			if s.OutputBytes > result.MaxGraphBytes {
+				result.MaxGraphBytes = s.OutputBytes
+			}
+		}
+		if cp.Converged {
+			for i := range result.RoundStats {
+				result.TotalSimTime += result.RoundStats[i].SimTime
+				result.TotalWallTime += result.RoundStats[i].WallTime
+			}
+			return result, nil
+		}
+		startRound = cp.Round + 1
+		if !fs.Exists(deltaName(prefix, startRound)) {
+			return nil, fmt.Errorf("core: resume: AugmentedEdges file for round %d is missing", startRound)
+		}
+	} else {
+		fs.DeletePrefix(prefix)
+
+		inputs, err := WriteInput(fs, prefix, in, cluster.Nodes*2)
+		if err != nil {
+			return nil, err
+		}
+
+		// Round #0: convert the edge list into vertex records.
+		job0 := &mapreduce.Job{
+			Name:         "ffmr-round-0-convert",
+			Round:        0,
+			Inputs:       inputs,
+			OutputPrefix: roundPrefix(prefix, 0),
+			NumReducers:  opts.Reducers,
+			NewMapper:    func() mapreduce.Mapper { return convertMapper{} },
+			NewReducer: func() mapreduce.Reducer {
+				return &convertReducer{
+					source:        in.Source,
+					sink:          in.Sink,
+					bidirectional: !opts.DisableBidirectional,
+					sentTracking:  feat.sentTracking,
+				}
+			},
+		}
+		res0, err := cluster.Run(job0)
+		if err != nil {
+			return nil, err
+		}
+		result.RoundStats = append(result.RoundStats, jobStat(0, res0, AugProcStats{}))
+		result.InputGraphBytes = res0.OutputBytes
+		result.MaxGraphBytes = res0.OutputBytes
+
+		// The first max-flow round sees an empty AugmentedEdges table.
+		if err := fs.WriteFile(deltaName(prefix, 1), EncodeDeltas(nil)); err != nil {
+			return nil, err
+		}
+		if err := writeCheckpoint(fs, prefix, &checkpoint{
+			Variant: opts.Variant, Reducers: opts.Reducers, Round: 0,
+			Stats: result.RoundStats,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	var aug *AugProcServer
+	if feat.augProc {
+		var err error
+		aug, err = NewAugProcServer()
+		if err != nil {
+			return nil, err
+		}
+		defer aug.Close() //nolint:errcheck // shutdown of a loopback listener
+	}
+
+	for round := startRound; round <= opts.MaxRounds; round++ {
+		cfg := &runConfig{
+			opts:       opts,
+			feat:       feat,
+			source:     in.Source,
+			sink:       in.Sink,
+			deltasFile: deltaName(prefix, round),
+		}
+
+		var service any
+		var collector *ff1Collector
+		var client *AugProcClient
+		if feat.augProc {
+			aug.BeginRound()
+			c, err := DialAugProc(aug.Addr())
+			if err != nil {
+				return nil, err
+			}
+			client = c
+			service = client
+		} else {
+			collector = newFF1Collector()
+			service = collector
+		}
+
+		job := &mapreduce.Job{
+			Name:         fmt.Sprintf("ffmr-%s-round-%d", opts.Variant, round),
+			Round:        round,
+			Inputs:       fs.List(roundPrefix(prefix, round-1)),
+			OutputPrefix: roundPrefix(prefix, round),
+			NumReducers:  opts.Reducers,
+			SideFiles:    []string{cfg.deltasFile},
+			Schimmy:      feat.schimmy,
+			SchimmyBase:  roundPrefix(prefix, round-1),
+			Service:      service,
+			NewMapper:    func() mapreduce.Mapper { return newFFMapper(cfg) },
+			NewReducer:   func() mapreduce.Reducer { return newFFReducer(cfg) },
+		}
+		if opts.UseCombiner {
+			job.NewCombiner = newFFCombiner
+		}
+		res, err := cluster.Run(job)
+		if client != nil {
+			client.Close() //nolint:errcheck // loopback connection teardown
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		var st AugProcStats
+		var deltas map[graph.EdgeID]int64
+		if feat.augProc {
+			st, deltas = aug.EndRound()
+		} else {
+			st, deltas = collector.round()
+		}
+		result.MaxFlow += st.TotalDelta
+		result.Rounds = round
+
+		if err := fs.WriteFile(deltaName(prefix, round+1), EncodeDeltas(deltas)); err != nil {
+			return nil, err
+		}
+
+		stat := jobStat(round, res, st)
+		result.RoundStats = append(result.RoundStats, stat)
+		if opts.RoundCallback != nil {
+			opts.RoundCallback(stat)
+		}
+		if res.OutputBytes > result.MaxGraphBytes {
+			result.MaxGraphBytes = res.OutputBytes
+		}
+
+		if !opts.KeepIntermediate && round >= 2 {
+			fs.DeletePrefix(roundPrefix(prefix, round-2))
+			fs.Delete(deltaName(prefix, round-1))
+		}
+
+		// Termination (Fig. 2 line 10): stop once either search is
+		// quiescent. The strict rule also requires the round to have
+		// accepted nothing, so it never stops mid-progress and leaves no
+		// unapplied flow deltas. With bi-directional search disabled the
+		// sink never moves, so only the source counter is consulted.
+		som := res.Counter("source move")
+		sim := res.Counter("sink move")
+		quiescent := som == 0 || sim == 0
+		if opts.DisableBidirectional {
+			quiescent = som == 0
+		}
+		switch opts.Termination {
+		case TerminationPaper:
+			if quiescent {
+				result.Converged = true
+			}
+		case TerminationStrict:
+			if quiescent && st.Accepted == 0 {
+				result.Converged = true
+			}
+		}
+		if err := writeCheckpoint(fs, prefix, &checkpoint{
+			Variant: opts.Variant, Reducers: opts.Reducers, Round: round,
+			MaxFlow: result.MaxFlow, Converged: result.Converged,
+			Stats: result.RoundStats,
+		}); err != nil {
+			return nil, err
+		}
+		if result.Converged {
+			break
+		}
+	}
+
+	for i := range result.RoundStats {
+		result.TotalSimTime += result.RoundStats[i].SimTime
+		result.TotalWallTime += result.RoundStats[i].WallTime
+	}
+	if !result.Converged {
+		return result, fmt.Errorf("core: %s did not converge within %d rounds", opts.Variant, opts.MaxRounds)
+	}
+	return result, nil
+}
+
+func jobStat(round int, res *mapreduce.Result, st AugProcStats) RoundStat {
+	return RoundStat{
+		Round:          round,
+		APaths:         st.Accepted,
+		Submitted:      st.Submitted,
+		MaxQueue:       st.MaxQueue,
+		FlowDelta:      st.TotalDelta,
+		SourceMove:     res.Counter("source move"),
+		SinkMove:       res.Counter("sink move"),
+		ActiveVertices: res.Counter("active vertices"),
+		MapOutRecords:  res.MapOutputRecords,
+		MapOutBytes:    res.MapOutputBytes,
+		ShuffleBytes:   res.ShuffleBytes,
+		MaxRecordBytes: res.MaxRecordBytes,
+		MaxGroupBytes:  res.MaxGroupBytes,
+		OutputBytes:    res.OutputBytes,
+		SimTime:        res.SimTime,
+		WallTime:       res.WallTime,
+	}
+}
+
+// FinalGraphPrefix returns the DFS prefix of the last round's vertex
+// records for a run configured with KeepIntermediate (used by tests and
+// tools to inspect the final residual network).
+func FinalGraphPrefix(opts Options, rounds int) string {
+	prefix := opts.PathPrefix
+	if prefix == "" {
+		prefix = "ffmr/"
+	}
+	return roundPrefix(prefix, rounds)
+}
+
+// ReadVertices decodes every vertex record under a round prefix,
+// returning a map from vertex ID to its value. Intended for validation
+// and tooling, not for the data path.
+func ReadVertices(fsys interface {
+	List(prefix string) []string
+	ReadFile(name string) ([]byte, error)
+}, prefix string) (map[graph.VertexID]*graph.VertexValue, error) {
+	out := make(map[graph.VertexID]*graph.VertexValue)
+	for _, name := range fsys.List(prefix) {
+		data, err := fsys.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := decodeVertexFile(data, out); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+	}
+	return out, nil
+}
+
+func decodeVertexFile(data []byte, out map[graph.VertexID]*graph.VertexValue) error {
+	r := dfs.NewRecordReader(data)
+	for {
+		key, value, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		u, err := graph.DecodeKey(key)
+		if err != nil {
+			return err
+		}
+		v, err := graph.DecodeValue(value)
+		if err != nil {
+			return err
+		}
+		out[u] = v
+	}
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ffmr/internal/graph"
+	"ffmr/internal/mapreduce"
+)
+
+// runConfig is the immutable per-round configuration shared by all of a
+// job's mapper and reducer instances.
+type runConfig struct {
+	opts       Options
+	feat       features
+	source     graph.VertexID
+	sink       graph.VertexID
+	deltasFile string
+}
+
+func (c *runConfig) pathLimit(v *graph.VertexValue) int {
+	if c.feat.sentTracking {
+		// FF5: k is the vertex's (in-)degree, guaranteeing a receiving
+		// vertex always has room for an incoming extension.
+		if k := len(v.Eu); k > 0 {
+			return k
+		}
+		return 1
+	}
+	return c.opts.K
+}
+
+// ff1Collector stands in for aug_proc in FF1: the sink vertex's reducer
+// performs the final acceptance itself and deposits the resulting
+// AugmentedEdges table here for the driver to broadcast next round.
+type ff1Collector struct {
+	mu     sync.Mutex
+	deltas map[graph.EdgeID]int64
+	stats  AugProcStats
+}
+
+func newFF1Collector() *ff1Collector {
+	return &ff1Collector{deltas: make(map[graph.EdgeID]int64)}
+}
+
+// add publishes the sink reducer's acceptance outcome. Exactly one
+// reduce group (the sink vertex's) ever calls it, so the semantics are
+// replace-not-accumulate: a retried reduce attempt (task fault
+// tolerance) must not double-count its deltas.
+func (c *ff1Collector) add(deltas map[graph.EdgeID]int64, st AugProcStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deltas = deltas
+	c.stats = st
+}
+
+func (c *ff1Collector) round() (AugProcStats, map[graph.EdgeID]int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats, c.deltas
+}
+
+// deltaCache lazily parses the AugmentedEdges side file once per task.
+type deltaCache struct {
+	loaded bool
+	deltas map[graph.EdgeID]int64
+}
+
+func (dc *deltaCache) get(ctx *mapreduce.TaskContext, file string) (map[graph.EdgeID]int64, error) {
+	if dc.loaded {
+		return dc.deltas, nil
+	}
+	data := ctx.SideFile(file)
+	m, err := DecodeDeltas(data)
+	if err != nil {
+		return nil, err
+	}
+	dc.deltas = m
+	dc.loaded = true
+	return m, nil
+}
+
+// ffMapper implements the MAP function of Fig. 3 for all variants.
+type ffMapper struct {
+	cfg *runConfig
+	dc  deltaCache
+
+	// Reused buffers (FF4, Section IV-C). For earlier variants these are
+	// left nil and fresh objects are allocated per record, reproducing
+	// the allocation churn FF4 eliminates.
+	val *graph.VertexValue
+	buf []byte
+}
+
+func newFFMapper(cfg *runConfig) mapreduce.Mapper {
+	m := &ffMapper{cfg: cfg}
+	if cfg.feat.reuseObjects {
+		m.val = new(graph.VertexValue)
+		m.buf = make([]byte, 0, 256)
+	}
+	return m
+}
+
+func (m *ffMapper) Map(ctx *mapreduce.TaskContext, key, value []byte) error {
+	u, err := graph.DecodeKey(key)
+	if err != nil {
+		return err
+	}
+	var val *graph.VertexValue
+	if m.cfg.feat.reuseObjects {
+		m.val.Reset()
+		val = m.val
+	} else {
+		val = new(graph.VertexValue)
+	}
+	if err := graph.DecodeValueInto(value, val); err != nil {
+		return err
+	}
+	if !val.IsMaster() {
+		return fmt.Errorf("core: mapper got a non-master record for vertex %d", u)
+	}
+
+	deltas, err := m.dc.get(ctx, m.cfg.deltasFile)
+	if err != nil {
+		return err
+	}
+
+	// Update All Edge Flows (MAP lines 1-4).
+	updateVertex(val, deltas)
+
+	encode := func(v *graph.VertexValue) []byte {
+		if m.cfg.feat.reuseObjects {
+			m.buf = graph.AppendValue(m.buf[:0], v)
+			return m.buf
+		}
+		return graph.EncodeValue(v)
+	}
+
+	// Generate Augmenting Paths (MAP lines 5-8). Only FF1 does this in
+	// the map phase; FF2+ moved generation into the previous reduce.
+	if !m.cfg.feat.augProc {
+		sinkKey := graph.KeyBytes(m.cfg.sink)
+		generateCandidates(val, func(cand graph.ExcessPath) {
+			frag := graph.VertexValue{Su: []graph.ExcessPath{cand}}
+			ctx.Emit(sinkKey, encode(&frag))
+		})
+	}
+
+	// Extending Excess Paths (MAP lines 9-16).
+	extcfg := extendConfig{
+		source:       m.cfg.source,
+		sink:         m.cfg.sink,
+		sentTracking: m.cfg.feat.sentTracking,
+	}
+	extendVertex(u, val, &extcfg, func(f fragment) {
+		ctx.Emit(graph.KeyBytes(f.To), encode(&f.Value))
+	})
+
+	// Emit the master vertex (MAP line 17) — suppressed by the schimmy
+	// pattern from FF3 on.
+	if !m.cfg.feat.schimmy {
+		ctx.Emit(key, encode(val))
+	}
+	return nil
+}
+
+// ffReducer implements the REDUCE function of Fig. 4 for all variants.
+type ffReducer struct {
+	cfg *runConfig
+	dc  deltaCache
+
+	out  *graph.VertexValue
+	frag *graph.VertexValue
+	buf  []byte
+}
+
+func newFFReducer(cfg *runConfig) mapreduce.Reducer {
+	r := &ffReducer{cfg: cfg, frag: new(graph.VertexValue)}
+	if cfg.feat.reuseObjects {
+		r.out = new(graph.VertexValue)
+		r.buf = make([]byte, 0, 256)
+	}
+	return r
+}
+
+func (r *ffReducer) Reduce(ctx *mapreduce.TaskContext, key, master []byte, values *mapreduce.Values) error {
+	u, err := graph.DecodeKey(key)
+	if err != nil {
+		return err
+	}
+	isSink := u == r.cfg.sink
+
+	var out *graph.VertexValue
+	if r.cfg.feat.reuseObjects {
+		r.out.Reset()
+		out = r.out
+	} else {
+		out = new(graph.VertexValue)
+	}
+
+	// Buffer the shuffled fragments. With schimmy the master arrives via
+	// the base partition; otherwise it is one of the shuffled values,
+	// distinguished by having edges (Fig. 4 line 4).
+	var masterVal *graph.VertexValue
+	var frags []*graph.VertexValue
+	for {
+		vb := values.Next()
+		if vb == nil {
+			break
+		}
+		v := new(graph.VertexValue)
+		if err := graph.DecodeValueInto(vb, v); err != nil {
+			return err
+		}
+		if v.IsMaster() {
+			if masterVal != nil {
+				return fmt.Errorf("core: vertex %d has two master records", u)
+			}
+			masterVal = v
+			continue
+		}
+		frags = append(frags, v)
+	}
+
+	if r.cfg.feat.schimmy {
+		if master == nil {
+			return fmt.Errorf("core: vertex %d missing from schimmy base", u)
+		}
+		masterVal = new(graph.VertexValue)
+		if err := graph.DecodeValueInto(master, masterVal); err != nil {
+			return err
+		}
+		// Recompute the mapper's master-side state transition: apply the
+		// round's deltas, drop saturated paths, and replay the extension
+		// pass to reproduce the FF5 sent-flag updates. extendVertex is
+		// deterministic in (value, deltas), so this reproduces exactly
+		// what the mapper computed and did not ship.
+		deltas, err := r.dc.get(ctx, r.cfg.deltasFile)
+		if err != nil {
+			return err
+		}
+		updateVertex(masterVal, deltas)
+		extcfg := extendConfig{
+			source:       r.cfg.source,
+			sink:         r.cfg.sink,
+			sentTracking: r.cfg.feat.sentTracking,
+		}
+		extendVertex(u, masterVal, &extcfg, nil)
+	}
+	if masterVal == nil {
+		return fmt.Errorf("core: vertex %d received fragments but no master record", u)
+	}
+
+	out.Eu = append(out.Eu, masterVal.Eu...)
+	out.SentS = append(out.SentS, masterVal.SentS...)
+	out.SentT = append(out.SentT, masterVal.SentT...)
+
+	k := r.cfg.pathLimit(masterVal)
+	sm, tm := len(masterVal.Su), len(masterVal.Tu)
+
+	var as, at Accumulator
+	var ap Accumulator // FF1 sink-side final acceptance
+	seenS := make(map[uint64]bool, k)
+	seenT := make(map[uint64]bool, k)
+	var candidates []graph.ExcessPath
+	var ff1Stats AugProcStats
+
+	mergeSource := func(se *graph.ExcessPath) {
+		if isSink {
+			// Fig. 4 line 6: at the sink every incoming source excess
+			// path is a candidate augmenting path.
+			if r.cfg.feat.augProc {
+				candidates = append(candidates, se.Clone())
+			} else {
+				ff1Stats.Submitted++
+				if d := ap.Accept(se, graph.CapInf); d > 0 {
+					ff1Stats.Accepted++
+					ff1Stats.TotalDelta += d
+				}
+			}
+			return
+		}
+		sig := se.Signature()
+		if seenS[sig] || len(out.Su) >= k {
+			return
+		}
+		// The empty seed path at the source must always survive.
+		if se.Len() == 0 || as.Accept(se, 1) > 0 {
+			seenS[sig] = true
+			out.Su = append(out.Su, se.Clone())
+		}
+	}
+	mergeSink := func(te *graph.ExcessPath) {
+		sig := te.Signature()
+		if seenT[sig] || len(out.Tu) >= k {
+			return
+		}
+		if te.Len() == 0 || at.Accept(te, 1) > 0 {
+			seenT[sig] = true
+			out.Tu = append(out.Tu, te.Clone())
+		}
+	}
+
+	// The master's surviving paths merge first so established paths are
+	// not evicted by new arrivals; fragments follow in the engine's
+	// deterministic sorted order (Fig. 4 lines 3-9).
+	for i := range masterVal.Su {
+		mergeSource(&masterVal.Su[i])
+	}
+	for i := range masterVal.Tu {
+		mergeSink(&masterVal.Tu[i])
+	}
+	for _, f := range frags {
+		for i := range f.Su {
+			mergeSource(&f.Su[i])
+		}
+		for i := range f.Tu {
+			mergeSink(&f.Tu[i])
+		}
+	}
+
+	// Movement counters (Fig. 4 lines 10-11) drive termination.
+	if sm == 0 && len(out.Su) > 0 {
+		ctx.Inc("source move", 1)
+	}
+	if tm == 0 && len(out.Tu) > 0 {
+		ctx.Inc("sink move", 1)
+	}
+	// Active vertices — the paper's available-parallelism measure
+	// (Section III-B: "we want the number of active vertices ... to be
+	// large compared to the available computing resources").
+	if len(out.Su) > 0 || len(out.Tu) > 0 {
+		ctx.Inc("active vertices", 1)
+	}
+
+	// FF2+: generate candidate augmenting paths here, from the post-merge
+	// state, and send them to aug_proc over the persistent connection as
+	// soon as they are found (Section IV-A).
+	if r.cfg.feat.augProc {
+		generateCandidates(out, func(cand graph.ExcessPath) {
+			candidates = append(candidates, cand)
+		})
+		if len(candidates) > 0 {
+			client, ok := ctx.Service().(*AugProcClient)
+			if !ok {
+				return fmt.Errorf("core: job service is not an aug_proc client")
+			}
+			if err := client.Submit(candidates); err != nil {
+				return err
+			}
+			ctx.Inc("candidates sent", int64(len(candidates)))
+		}
+	} else if isSink {
+		// FF1: the sink reducer finalizes acceptance and publishes the
+		// round's AugmentedEdges table (Fig. 4 lines 12-14).
+		col, ok := ctx.Service().(*ff1Collector)
+		if !ok {
+			return fmt.Errorf("core: job service is not an FF1 collector")
+		}
+		col.add(ap.Deltas(), ff1Stats)
+	}
+
+	var enc []byte
+	if r.cfg.feat.reuseObjects {
+		r.buf = graph.AppendValue(r.buf[:0], out)
+		enc = r.buf
+	} else {
+		enc = graph.EncodeValue(out)
+	}
+	ctx.Emit(key, enc)
+	return nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/graph"
+)
+
+// This file validates a finished run's final residual network against
+// the flow-network axioms of Section II-A: capacity constraint, skew
+// symmetry, and flow conservation. Validation reads the last round's
+// vertex records from the DFS (requires Options.KeepIntermediate) and is
+// used by the test suite as a whole-system invariant check; it is not on
+// the data path.
+
+// Validate checks the final residual network of a completed run.
+//
+// It verifies, for every vertex record:
+//   - capacity constraint: flow <= capacity on every half-edge;
+//   - skew symmetry: the two halves of every edge carry opposite flows;
+//   - flow conservation: net flow out of every vertex other than the
+//     source and sink is zero;
+//   - flow value: net flow out of the source equals res.MaxFlow (only
+//     when the run terminated strictly, so no accepted deltas are left
+//     unapplied).
+func Validate(fs *dfs.FS, in *graph.Input, opts Options, res *Result) error {
+	opts.applyDefaults(1)
+	prefix := roundPrefix(opts.PathPrefix, res.Rounds)
+	verts, err := ReadVertices(fs, prefix)
+	if err != nil {
+		return fmt.Errorf("core: validate: %w", err)
+	}
+	if len(verts) == 0 {
+		return fmt.Errorf("core: validate: no vertex records under %q (run with KeepIntermediate)", prefix)
+	}
+
+	// The final round's records predate the application of that round's
+	// accepted deltas. Under strict termination the final round accepts
+	// nothing, so the records are the fixed point; still apply the
+	// outstanding delta file defensively if it exists.
+	deltaFile := deltaName(opts.PathPrefix, res.Rounds+1)
+	if fs.Exists(deltaFile) {
+		data, err := fs.ReadFile(deltaFile)
+		if err != nil {
+			return err
+		}
+		deltas, err := DecodeDeltas(data)
+		if err != nil {
+			return err
+		}
+		for _, v := range verts {
+			updateVertex(v, deltas)
+		}
+	}
+
+	type halfSeen struct {
+		flow int64
+		n    int
+	}
+	edges := make(map[graph.EdgeID]halfSeen)
+	netOut := make(map[graph.VertexID]int64, len(verts))
+
+	for u, v := range verts {
+		for i := range v.Eu {
+			e := &v.Eu[i]
+			if e.Flow > e.Cap {
+				return fmt.Errorf("core: validate: vertex %d edge %d violates capacity: flow %d > cap %d",
+					u, e.ID, e.Flow, e.Cap)
+			}
+			canonical := e.Flow
+			if !e.Fwd {
+				canonical = -canonical
+			}
+			hs := edges[e.ID]
+			if hs.n == 1 && hs.flow != canonical {
+				return fmt.Errorf("core: validate: edge %d violates skew symmetry: %d vs %d",
+					e.ID, hs.flow, canonical)
+			}
+			hs.flow = canonical
+			hs.n++
+			edges[e.ID] = hs
+			netOut[u] += e.Flow
+		}
+	}
+	for id, hs := range edges {
+		if hs.n != 2 {
+			return fmt.Errorf("core: validate: edge %d has %d halves", id, hs.n)
+		}
+	}
+	for u, out := range netOut {
+		if u == in.Source || u == in.Sink {
+			continue
+		}
+		if out != 0 {
+			return fmt.Errorf("core: validate: vertex %d violates conservation by %d", u, out)
+		}
+	}
+	if res.Converged && netOut[in.Source] != res.MaxFlow {
+		return fmt.Errorf("core: validate: source net flow %d != reported max flow %d",
+			netOut[in.Source], res.MaxFlow)
+	}
+	if res.Converged && netOut[in.Sink] != -res.MaxFlow {
+		return fmt.Errorf("core: validate: sink net flow %d != -max flow %d",
+			netOut[in.Sink], res.MaxFlow)
+	}
+	return nil
+}

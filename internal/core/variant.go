@@ -1,0 +1,174 @@
+package core
+
+import "fmt"
+
+// Variant selects which FFMR algorithm version to run. Each variant
+// includes the optimizations of the previous ones, matching the paper's
+// cumulative evaluation (Fig. 6).
+type Variant int
+
+const (
+	// FF1 is the baseline parallel Ford-Fulkerson of Section III:
+	// speculative incremental path finding, bi-directional search,
+	// multiple excess paths, accumulator-based conflict resolution, and
+	// augmenting-path acceptance at the sink vertex's reducer.
+	FF1 Variant = iota + 1
+	// FF2 adds the stateful aug_proc extension (Section IV-A): candidate
+	// augmenting paths are generated in the REDUCE function and sent to
+	// an external accumulator process over persistent connections instead
+	// of being shuffled to the sink vertex.
+	FF2
+	// FF3 adds the schimmy design pattern (Section IV-B): master vertex
+	// records are not re-emitted as intermediate records; reducers
+	// merge-join against the previous round's partition-aligned output.
+	FF3
+	// FF4 adds object-instantiation elimination (Section IV-C): workers
+	// decode into preallocated, reused buffers.
+	FF4
+	// FF5 adds redundant-message prevention (Section IV-D): the per-vertex
+	// excess-path limit k becomes the vertex's in-degree and each vertex
+	// remembers which excess path it extended along each edge, re-sending
+	// only when the sent path saturates.
+	FF5
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case FF1:
+		return "FF1"
+	case FF2:
+		return "FF2"
+	case FF3:
+		return "FF3"
+	case FF4:
+		return "FF4"
+	case FF5:
+		return "FF5"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// features decomposes a variant into its optimization flags.
+type features struct {
+	augProc      bool // FF2+: external stateful accumulator
+	schimmy      bool // FF3+: no master re-emission
+	reuseObjects bool // FF4+: allocation-free decode/encode
+	sentTracking bool // FF5: k = in-degree + sent-path bookkeeping
+}
+
+func (v Variant) features() features {
+	return features{
+		augProc:      v >= FF2,
+		schimmy:      v >= FF3,
+		reuseObjects: v >= FF4,
+		sentTracking: v >= FF5,
+	}
+}
+
+// TerminationMode selects the stopping rule of the multi-round driver.
+type TerminationMode int
+
+const (
+	// TerminationStrict stops when a round sees no source-move, or no
+	// sink-move, and additionally accepted no augmenting path. This is
+	// the conservative extension of the paper's rule; it never stops in a
+	// round that still made progress. It is the default.
+	TerminationStrict TerminationMode = iota
+	// TerminationPaper stops exactly per Fig. 2 of the paper: as soon as
+	// the source-move or sink-move counter of a round is zero.
+	TerminationPaper
+)
+
+// String describes the termination mode.
+func (m TerminationMode) String() string {
+	switch m {
+	case TerminationStrict:
+		return "strict"
+	case TerminationPaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("TerminationMode(%d)", int(m))
+	}
+}
+
+// Options configures an FFMR run. The zero value is completed by
+// applyDefaults; use the ffmr facade package for a friendlier surface.
+type Options struct {
+	// Variant selects FF1..FF5 (default FF5).
+	Variant Variant
+	// K is the maximum number of source (and sink) excess paths stored
+	// per vertex (default 4). FF5 ignores K and uses each vertex's
+	// degree, per the paper's second redundancy-prevention strategy.
+	K int
+	// DisableBidirectional turns off sink-side excess paths
+	// (Section III-B2). It is an ablation knob that reproduces the
+	// paper's claim that bi-directional search halves the round count.
+	DisableBidirectional bool
+	// DisableMultiPaths forces K to 1, turning off the multiple
+	// excess-path optimization of Section III-B3 (ablation knob).
+	DisableMultiPaths bool
+	// Termination selects the stopping rule (default TerminationStrict).
+	Termination TerminationMode
+	// MaxRounds aborts runs that fail to converge (default 1000).
+	MaxRounds int
+	// Reducers is the number of reduce tasks per round (default: cluster
+	// worker slots, capped at 64).
+	Reducers int
+	// KeepIntermediate retains each round's output files in the DFS
+	// instead of deleting round r-1 after round r succeeds. Needed when
+	// inspecting per-round graph state; default false.
+	KeepIntermediate bool
+	// UseCombiner enables map-side fragment combining. The paper
+	// evaluated combiners for FFMR and found them counterproductive
+	// ("we do not use any combiners as we found worse performance");
+	// this knob exists to reproduce that ablation.
+	UseCombiner bool
+	// Resume continues an interrupted run from the checkpoint the driver
+	// writes to the DFS after every round, instead of starting over.
+	// Variant and Reducers must match the checkpointed run.
+	Resume bool
+	// RoundCallback, if non-nil, is invoked after every completed round
+	// with that round's statistics — live progress for long runs.
+	RoundCallback func(RoundStat)
+	// PathPrefix namespaces this run's DFS files (default "ffmr/").
+	PathPrefix string
+}
+
+func (o *Options) applyDefaults(clusterSlots int) {
+	if o.Variant == 0 {
+		o.Variant = FF5
+	}
+	if o.K <= 0 {
+		o.K = 4
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 1000
+	}
+	if o.Reducers <= 0 {
+		o.Reducers = clusterSlots
+		if o.Reducers > 64 {
+			o.Reducers = 64
+		}
+		if o.Reducers < 1 {
+			o.Reducers = 1
+		}
+	}
+	if o.DisableMultiPaths {
+		o.K = 1
+	}
+	if o.PathPrefix == "" {
+		o.PathPrefix = "ffmr/"
+	}
+}
+
+func (o *Options) validate() error {
+	if o.Variant < FF1 || o.Variant > FF5 {
+		return fmt.Errorf("core: unknown variant %d", o.Variant)
+	}
+	if o.Termination != TerminationStrict && o.Termination != TerminationPaper {
+		return fmt.Errorf("core: unknown termination mode %d", o.Termination)
+	}
+	return nil
+}

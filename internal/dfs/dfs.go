@@ -1,0 +1,270 @@
+// Package dfs emulates the distributed file system underneath the
+// MapReduce engine (HDFS in the paper's Hadoop deployment, GFS in
+// Google's). Files are split into fixed-size blocks placed on simulated
+// cluster nodes with a configurable replication factor, and the store
+// keeps byte-level accounting of everything written and read so the
+// experiment harness can report graph sizes ("Size" / "Max Size" columns
+// of the paper's graph table) and model I/O cost per MapReduce round.
+//
+// Data lives in memory: the goal is faithful accounting and placement
+// behaviour, not durability.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultBlockSize mirrors the common HDFS configuration (64 MiB); tests
+// use much smaller blocks to exercise multi-block paths.
+const DefaultBlockSize = 64 << 20
+
+// Config parameterizes a file system instance.
+type Config struct {
+	// Nodes is the number of storage nodes (the paper's slave nodes).
+	Nodes int
+	// BlockSize is the maximum block payload size in bytes.
+	BlockSize int
+	// Replication is the number of nodes holding a copy of each block
+	// (the paper sets DFS replication to 2).
+	Replication int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.Replication > c.Nodes {
+		c.Replication = c.Nodes
+	}
+}
+
+// Block is one block of a file together with its replica placement.
+type Block struct {
+	Data []byte
+	// Nodes lists the node IDs that hold a replica, primary first.
+	Nodes []int
+}
+
+// fileData is the stored representation of a file.
+type fileData struct {
+	blocks []Block
+	size   int64
+}
+
+// Stats is a snapshot of cumulative I/O counters.
+type Stats struct {
+	BytesWritten int64 // payload bytes written (before replication)
+	BytesRead    int64
+	BytesStored  int64 // current payload bytes across all live files
+	FilesCreated int64
+	FilesDeleted int64
+}
+
+// FS is an in-memory distributed file system emulation. The zero value is
+// not usable; create instances with New.
+type FS struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	files     map[string]*fileData
+	nextNode  int
+	stats     Stats
+	nodeBytes []int64 // replica bytes per node
+}
+
+// New creates a file system with the given configuration.
+func New(cfg Config) *FS {
+	cfg.applyDefaults()
+	return &FS{
+		cfg:       cfg,
+		files:     make(map[string]*fileData),
+		nodeBytes: make([]int64, cfg.Nodes),
+	}
+}
+
+// Config returns the configuration the file system was created with
+// (after defaulting).
+func (fs *FS) Config() Config { return fs.cfg }
+
+// placement chooses replica nodes for the next block, round-robin over
+// nodes the way HDFS spreads blocks across a quiet cluster.
+func (fs *FS) placement() []int {
+	nodes := make([]int, fs.cfg.Replication)
+	for i := range nodes {
+		nodes[i] = (fs.nextNode + i) % fs.cfg.Nodes
+	}
+	fs.nextNode = (fs.nextNode + 1) % fs.cfg.Nodes
+	return nodes
+}
+
+// WriteFile stores data as a new file, replacing any existing file with
+// the same name (MapReduce output paths are overwritten between rounds).
+func (fs *FS) WriteFile(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("dfs: empty file name")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.deleteLocked(name)
+
+	fd := &fileData{size: int64(len(data))}
+	for off := 0; off < len(data) || off == 0; off += fs.cfg.BlockSize {
+		end := off + fs.cfg.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		blk := Block{Data: append([]byte(nil), data[off:end]...), Nodes: fs.placement()}
+		fd.blocks = append(fd.blocks, blk)
+		for _, n := range blk.Nodes {
+			fs.nodeBytes[n] += int64(len(blk.Data))
+		}
+		if len(data) == 0 {
+			break
+		}
+	}
+	fs.files[name] = fd
+	fs.stats.FilesCreated++
+	fs.stats.BytesWritten += int64(len(data))
+	fs.stats.BytesStored += int64(len(data))
+	return nil
+}
+
+// ReadFile returns the full contents of a file.
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fd, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	out := make([]byte, 0, fd.size)
+	for _, blk := range fd.blocks {
+		out = append(out, blk.Data...)
+	}
+	fs.stats.BytesRead += fd.size
+	return out, nil
+}
+
+// Blocks returns the block layout of a file (shared, read-only slices).
+// The MapReduce engine uses block placement for locality-aware scheduling.
+func (fs *FS) Blocks(name string) ([]Block, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	fd, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	return fd.blocks, nil
+}
+
+// Size returns the payload size of a file in bytes.
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	fd, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	return fd.size, nil
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Delete removes a file if it exists.
+func (fs *FS) Delete(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.deleteLocked(name)
+}
+
+func (fs *FS) deleteLocked(name string) {
+	fd, ok := fs.files[name]
+	if !ok {
+		return
+	}
+	for _, blk := range fd.blocks {
+		for _, n := range blk.Nodes {
+			fs.nodeBytes[n] -= int64(len(blk.Data))
+		}
+	}
+	fs.stats.BytesStored -= fd.size
+	fs.stats.FilesDeleted++
+	delete(fs.files, name)
+}
+
+// DeletePrefix removes every file whose name starts with prefix and
+// returns the number removed (used to clean up a round's output dir).
+func (fs *FS) DeletePrefix(prefix string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var victims []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			victims = append(victims, name)
+		}
+	}
+	for _, name := range victims {
+		fs.deleteLocked(name)
+	}
+	return len(victims)
+}
+
+// List returns the names of files with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var names []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalSize returns the combined payload size of all files with the given
+// prefix. The experiment harness uses it for the paper's "Size" and
+// "Max Size" graph-table columns.
+func (fs *FS) TotalSize(prefix string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var total int64
+	for name, fd := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			total += fd.size
+		}
+	}
+	return total
+}
+
+// Stats returns a snapshot of the cumulative I/O counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.stats
+}
+
+// NodeBytes returns the replica bytes currently stored on each node.
+func (fs *FS) NodeBytes() []int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]int64, len(fs.nodeBytes))
+	copy(out, fs.nodeBytes)
+	return out
+}

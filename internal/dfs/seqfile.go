@@ -1,0 +1,106 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SequenceFile-style record framing: the paper stores the graph in HDFS
+// "in SequenceFile format as a list of vertices". Records are
+// length-prefixed <key, value> byte-string pairs:
+//
+//	uvarint keyLen | key bytes | uvarint valueLen | value bytes
+//
+// The framing is self-contained per record so a reader can stream records
+// without knowing the payload schema.
+
+// RecordWriter accumulates framed records into a buffer destined for one
+// DFS file. The zero value is ready to use.
+type RecordWriter struct {
+	buf     []byte
+	records int
+}
+
+// Append adds one record.
+func (w *RecordWriter) Append(key, value []byte) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(key)))
+	w.buf = append(w.buf, key...)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(value)))
+	w.buf = append(w.buf, value...)
+	w.records++
+}
+
+// Len returns the current encoded size in bytes.
+func (w *RecordWriter) Len() int { return len(w.buf) }
+
+// Records returns the number of records appended so far.
+func (w *RecordWriter) Records() int { return w.records }
+
+// Bytes returns the encoded file contents. The slice aliases the writer's
+// buffer; write it to the FS before appending more records.
+func (w *RecordWriter) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse, retaining capacity.
+func (w *RecordWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.records = 0
+}
+
+// RecordReader streams framed records from an encoded file.
+type RecordReader struct {
+	data []byte
+	off  int
+}
+
+// NewRecordReader wraps encoded file contents.
+func NewRecordReader(data []byte) *RecordReader {
+	return &RecordReader{data: data}
+}
+
+// Next returns the next record. The returned slices alias the underlying
+// file data and must not be modified. ok is false at end of file.
+func (r *RecordReader) Next() (key, value []byte, ok bool, err error) {
+	if r.off >= len(r.data) {
+		return nil, nil, false, nil
+	}
+	key, err = r.readChunk()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	value, err = r.readChunk()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return key, value, true, nil
+}
+
+func (r *RecordReader) readChunk() ([]byte, error) {
+	n, sz := binary.Uvarint(r.data[r.off:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("dfs: corrupt record length at offset %d", r.off)
+	}
+	r.off += sz
+	if uint64(len(r.data)-r.off) < n {
+		return nil, fmt.Errorf("dfs: truncated record at offset %d (want %d bytes, have %d)",
+			r.off, n, len(r.data)-r.off)
+	}
+	chunk := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return chunk, nil
+}
+
+// CountRecords returns the number of records in encoded file contents.
+func CountRecords(data []byte) (int, error) {
+	r := NewRecordReader(data)
+	n := 0
+	for {
+		_, _, ok, err := r.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}

@@ -1,0 +1,220 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ffmr/internal/graph"
+)
+
+// FBSpec describes one graph of the crawl chain. The paper's FB1..FB6
+// range from 21M vertices / 112M edges to 411M / 31B; the default chain
+// below scales each by ~1000x so the whole chain fits in one process
+// while preserving the relative growth between consecutive graphs.
+type FBSpec struct {
+	Name     string
+	Vertices int
+}
+
+// DefaultFBChain mirrors the paper's FB1..FB6 vertex counts divided by
+// 1000 (21M..411M becomes 21K..411K).
+func DefaultFBChain() []FBSpec {
+	return []FBSpec{
+		{Name: "FB1", Vertices: 21_000},
+		{Name: "FB2", Vertices: 73_000},
+		{Name: "FB3", Vertices: 97_000},
+		{Name: "FB4", Vertices: 151_000},
+		{Name: "FB5", Vertices: 225_000},
+		{Name: "FB6", Vertices: 411_000},
+	}
+}
+
+// TinyFBChain is a fast chain for tests and quick benchmark runs.
+func TinyFBChain() []FBSpec {
+	return []FBSpec{
+		{Name: "FB1", Vertices: 2_100},
+		{Name: "FB2", Vertices: 7_300},
+		{Name: "FB3", Vertices: 9_700},
+		{Name: "FB4", Vertices: 15_100},
+		{Name: "FB5", Vertices: 22_500},
+		{Name: "FB6", Vertices: 41_100},
+	}
+}
+
+// CrawlChain emulates the paper's construction of nested Facebook
+// subgraphs: a master small-world graph is generated (Barabási-Albert,
+// matching a social network's heavy-tailed degrees), vertices are visited
+// in a randomized breadth-first crawl from a seed, and FBi is the induced
+// subgraph on the first specs[i].Vertices crawled vertices. This yields
+// FBi ⊂ FBj for i < j, exactly as the paper splits its crawl. Vertices
+// of each subgraph are relabelled to a dense [0, n) range in crawl order,
+// so a vertex keeps its ID across all chain members that contain it.
+//
+// attach is the Barabási-Albert attachment parameter for the master graph
+// (the paper reports ~130 friends per user on average; attach is half the
+// expected average degree).
+func CrawlChain(specs []FBSpec, attach int, seed int64) ([]*graph.Input, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("graphgen: empty crawl chain spec")
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Vertices <= specs[i-1].Vertices {
+			return nil, fmt.Errorf("graphgen: crawl chain not increasing at %q", specs[i].Name)
+		}
+	}
+	master, err := BarabasiAlbert(specs[len(specs)-1].Vertices, attach, seed)
+	if err != nil {
+		return nil, err
+	}
+	order, err := crawlOrder(master, seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	// rank[v] = position of vertex v in crawl order = its relabelled ID.
+	rank := make([]int, master.NumVertices)
+	for i, v := range order {
+		rank[v] = i
+	}
+
+	// Sort edges by the later-crawled endpoint so each subgraph is a
+	// prefix of the relabelled edge list.
+	type redge struct{ u, v int }
+	redges := make([]redge, 0, len(master.Edges))
+	for i := range master.Edges {
+		ru, rv := rank[master.Edges[i].U], rank[master.Edges[i].V]
+		if ru > rv {
+			ru, rv = rv, ru
+		}
+		redges = append(redges, redge{u: ru, v: rv})
+	}
+	sort.Slice(redges, func(i, j int) bool {
+		if redges[i].v != redges[j].v {
+			return redges[i].v < redges[j].v
+		}
+		return redges[i].u < redges[j].u
+	})
+
+	chain := make([]*graph.Input, len(specs))
+	ei := 0
+	edges := make([]graph.InputEdge, 0, len(redges))
+	for si, spec := range specs {
+		for ei < len(redges) && redges[ei].v < spec.Vertices {
+			edges = append(edges, graph.InputEdge{
+				U: graph.VertexID(redges[ei].u), V: graph.VertexID(redges[ei].v), Cap: 1,
+			})
+			ei++
+		}
+		sub := &graph.Input{
+			NumVertices: spec.Vertices,
+			Edges:       append([]graph.InputEdge(nil), edges...),
+		}
+		chain[si] = sub
+	}
+	return chain, nil
+}
+
+// crawlOrder returns all vertices in randomized-BFS crawl order starting
+// from vertex 0, with unreached vertices (if any) appended afterwards.
+func crawlOrder(in *graph.Input, seed int64) ([]graph.VertexID, error) {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]graph.VertexID, in.NumVertices)
+	for i := range in.Edges {
+		e := &in.Edges[i]
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	order := make([]graph.VertexID, 0, in.NumVertices)
+	seen := make([]bool, in.NumVertices)
+	queue := []graph.VertexID{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		// Randomize neighbour visit order so the crawl frontier is not
+		// biased by edge insertion order.
+		nbrs := adj[u]
+		rng.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
+		for _, v := range nbrs {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for v := 0; v < in.NumVertices; v++ {
+		if !seen[v] {
+			order = append(order, graph.VertexID(v))
+		}
+	}
+	return order, nil
+}
+
+// AttachSuperSourceSink implements the paper's Section V-A1 workload
+// construction: select w random vertices with at least minDegree edges
+// and connect them to a new super source s, select another disjoint set
+// of w vertices and connect them to a new super sink t, with infinite
+// capacity on the new edges. The returned graph has two extra vertices;
+// s and t are set on it.
+func AttachSuperSourceSink(in *graph.Input, w, minDegree int, seed int64) (*graph.Input, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("graphgen: w must be positive, got %d", w)
+	}
+	deg := Degrees(in)
+	var eligible []graph.VertexID
+	for v, d := range deg {
+		if d >= minDegree {
+			eligible = append(eligible, graph.VertexID(v))
+		}
+	}
+	if len(eligible) < 2*w {
+		return nil, fmt.Errorf("graphgen: only %d vertices with degree >= %d, need %d",
+			len(eligible), minDegree, 2*w)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+
+	s := graph.VertexID(in.NumVertices)
+	t := graph.VertexID(in.NumVertices + 1)
+	edges := make([]graph.InputEdge, 0, len(in.Edges)+2*w)
+	edges = append(edges, in.Edges...)
+	for _, v := range eligible[:w] {
+		edges = append(edges, graph.InputEdge{U: s, V: v, Cap: graph.CapInf, Directed: true})
+	}
+	for _, v := range eligible[w : 2*w] {
+		edges = append(edges, graph.InputEdge{U: v, V: t, Cap: graph.CapInf, Directed: true})
+	}
+	out := &graph.Input{
+		NumVertices: in.NumVertices + 2,
+		Edges:       edges,
+		Source:      s,
+		Sink:        t,
+	}
+	return out, nil
+}
+
+// PickEndpoints selects a source and sink for graphs without a super
+// source/sink: the two highest-degree vertices that are not adjacent,
+// falling back to the top two by degree.
+func PickEndpoints(in *graph.Input) (s, t graph.VertexID) {
+	deg := Degrees(in)
+	best, second := -1, -1
+	for v, d := range deg {
+		switch {
+		case best < 0 || d > deg[best]:
+			second = best
+			best = v
+		case second < 0 || d > deg[second]:
+			second = v
+		}
+	}
+	if best < 0 {
+		return 0, graph.VertexID(in.NumVertices - 1)
+	}
+	if second < 0 {
+		second = (best + 1) % in.NumVertices
+	}
+	return graph.VertexID(best), graph.VertexID(second)
+}

@@ -1,0 +1,80 @@
+package graphgen
+
+import (
+	"fmt"
+
+	"ffmr/internal/graph"
+)
+
+// DecomposeHighDegree implements the paper's Section V remark: "if a
+// vertex has too many edges, without loss of generality, it can be
+// decomposed into several vertices of smaller degree." Every vertex
+// whose degree exceeds maxDegree is split into a chain of clones joined
+// by infinite-capacity edges, with the original incident edges spread
+// across the clones. The transformation preserves every s-t max-flow
+// value: the infinite chain makes the clone set behave as one vertex
+// for flow purposes (it cannot constrain any finite flow through it).
+//
+// The source and sink are never decomposed (their identity must remain
+// a single vertex for the algorithm's seeds).
+func DecomposeHighDegree(in *graph.Input, maxDegree int) (*graph.Input, error) {
+	if maxDegree < 2 {
+		return nil, fmt.Errorf("graphgen: maxDegree must be at least 2, got %d", maxDegree)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	deg := Degrees(in)
+
+	// Assign clone IDs: vertex v with degree d needs ceil(d/maxDegree)
+	// clones (at least 1); clone 0 keeps the original ID.
+	next := graph.VertexID(in.NumVertices)
+	clones := make(map[graph.VertexID][]graph.VertexID)
+	out := &graph.Input{Source: in.Source, Sink: in.Sink}
+	var chain []graph.InputEdge
+	for v := 0; v < in.NumVertices; v++ {
+		id := graph.VertexID(v)
+		if deg[v] <= maxDegree || id == in.Source || id == in.Sink {
+			continue
+		}
+		// Each clone carries up to maxDegree-2 original edges so that,
+		// with its (up to) two chain edges, its total degree stays
+		// within maxDegree.
+		per := maxDegree - 2
+		if per < 1 {
+			per = 1
+		}
+		n := (deg[v] + per - 1) / per
+		ids := make([]graph.VertexID, n)
+		ids[0] = id
+		for i := 1; i < n; i++ {
+			ids[i] = next
+			next++
+			chain = append(chain, graph.InputEdge{
+				U: ids[i-1], V: ids[i], Cap: graph.CapInf,
+			})
+		}
+		clones[id] = ids
+	}
+	out.NumVertices = int(next)
+
+	// Spread each vertex's incident edges round-robin over its clones.
+	used := make(map[graph.VertexID]int, len(clones))
+	pick := func(v graph.VertexID) graph.VertexID {
+		ids, ok := clones[v]
+		if !ok {
+			return v
+		}
+		i := used[v]
+		used[v]++
+		return ids[i%len(ids)]
+	}
+	out.Edges = make([]graph.InputEdge, 0, len(in.Edges)+len(chain))
+	for _, e := range in.Edges {
+		out.Edges = append(out.Edges, graph.InputEdge{
+			U: pick(e.U), V: pick(e.V), Cap: e.Cap, Directed: e.Directed,
+		})
+	}
+	out.Edges = append(out.Edges, chain...)
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package graphgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"ffmr/internal/graph"
+	"ffmr/internal/maxflow"
+)
+
+func TestDecomposePreservesMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 10; trial++ {
+		in, err := BarabasiAlbert(200, 4, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial%2 == 0 {
+			RandomCapacities(in, 6, rng.Int63())
+		}
+		in.Source, in.Sink = PickEndpoints(in)
+
+		before, err := maxflow.FromInput(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := maxflow.Dinic(before, int(in.Source), int(in.Sink))
+
+		dec, err := DecomposeHighDegree(in, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Validate(); err != nil {
+			t.Fatalf("decomposed graph invalid: %v", err)
+		}
+		after, err := maxflow.FromInput(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := maxflow.Dinic(after, int(dec.Source), int(dec.Sink))
+		if got != want {
+			t.Fatalf("trial %d: flow %d after decomposition, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestDecomposeBoundsDegrees(t *testing.T) {
+	in, err := BarabasiAlbert(500, 5, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Source, in.Sink = PickEndpoints(in)
+	const maxDeg = 10
+	dec, err := DecomposeHighDegree(in, maxDeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := Degrees(dec)
+	for v, d := range deg {
+		if graph.VertexID(v) == dec.Source || graph.VertexID(v) == dec.Sink {
+			continue // endpoints are exempt by design
+		}
+		if d > maxDeg {
+			t.Fatalf("vertex %d has degree %d > %d after decomposition", v, d, maxDeg)
+		}
+	}
+	if dec.NumVertices <= in.NumVertices {
+		t.Error("decomposition added no clones on a scale-free graph")
+	}
+}
+
+func TestDecomposeNoOpOnLowDegreeGraph(t *testing.T) {
+	in, err := WattsStrogatz(100, 4, 0, 113)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Source, in.Sink = PickEndpoints(in)
+	dec, err := DecomposeHighDegree(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumVertices != in.NumVertices || len(dec.Edges) != len(in.Edges) {
+		t.Errorf("no-op decomposition changed the graph: %d/%d vertices, %d/%d edges",
+			dec.NumVertices, in.NumVertices, len(dec.Edges), len(in.Edges))
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	in, _ := WattsStrogatz(10, 2, 0, 1)
+	in.Source, in.Sink = PickEndpoints(in)
+	if _, err := DecomposeHighDegree(in, 1); err == nil {
+		t.Error("maxDegree 1 accepted")
+	}
+	bad := &graph.Input{NumVertices: 0}
+	if _, err := DecomposeHighDegree(bad, 5); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Package graphgen generates the graphs the evaluation runs on. The paper
+// crawls Facebook subgraphs FB1..FB6 (21M..411M vertices); that data is
+// proprietary, so this package provides synthetic small-world generators
+// with the properties the algorithm exploits — low diameter and
+// heavy-tailed degree — plus a crawl-subset chain emulating the paper's
+// nested FBi ⊂ FBj construction, and the super source/sink attachment
+// procedure of Section V-A1.
+//
+// Generators: Watts-Strogatz (small world by construction),
+// Barabási-Albert preferential attachment (scale-free, low diameter),
+// R-MAT/Graph500 Kronecker graphs, and Erdős-Rényi as a non-small-world
+// control.
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ffmr/internal/graph"
+)
+
+// WattsStrogatz generates an undirected Watts-Strogatz small-world graph:
+// a ring lattice of n vertices each joined to its k nearest neighbours
+// (k even), with each edge rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64) (*graph.Input, error) {
+	if n < 4 || k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("graphgen: invalid watts-strogatz parameters n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graphgen: beta %f out of [0,1]", beta)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct{ u, v graph.VertexID }
+	seen := make(map[pair]bool, n*k/2)
+	addKey := func(u, v graph.VertexID) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[pair{u, v}] {
+			return false
+		}
+		seen[pair{u, v}] = true
+		return true
+	}
+
+	edges := make([]graph.InputEdge, 0, n*k/2)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			u := graph.VertexID(i)
+			v := graph.VertexID((i + j) % n)
+			if beta > 0 && rng.Float64() < beta {
+				// Rewire the far endpoint to a uniform random vertex,
+				// avoiding self-loops and duplicates.
+				for attempts := 0; attempts < 32; attempts++ {
+					w := graph.VertexID(rng.Intn(n))
+					if addKey(u, w) {
+						edges = append(edges, graph.InputEdge{U: u, V: w, Cap: 1})
+						v = u // mark handled
+						break
+					}
+				}
+				if v == u {
+					continue
+				}
+			}
+			if addKey(u, v) {
+				edges = append(edges, graph.InputEdge{U: u, V: v, Cap: 1})
+			}
+		}
+	}
+	return &graph.Input{NumVertices: n, Edges: edges}, nil
+}
+
+// BarabasiAlbert generates an undirected scale-free graph by preferential
+// attachment: each new vertex attaches to m existing vertices chosen with
+// probability proportional to degree. The result has the heavy-tailed
+// degree distribution and low diameter of social graphs.
+func BarabasiAlbert(n, m int, seed int64) (*graph.Input, error) {
+	if m < 1 || n <= m {
+		return nil, fmt.Errorf("graphgen: invalid barabasi-albert parameters n=%d m=%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// targets holds one entry per half-edge endpoint, so uniform sampling
+	// from it is degree-proportional sampling.
+	targets := make([]graph.VertexID, 0, 2*n*m)
+	edges := make([]graph.InputEdge, 0, n*m)
+
+	// Seed clique over the first m+1 vertices.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			edges = append(edges, graph.InputEdge{U: graph.VertexID(i), V: graph.VertexID(j), Cap: 1})
+			targets = append(targets, graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	chosen := make(map[graph.VertexID]bool, m)
+	picked := make([]graph.VertexID, 0, m)
+	for v := m + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		picked = picked[:0]
+		for len(picked) < m {
+			u := targets[rng.Intn(len(targets))]
+			if int(u) != v && !chosen[u] {
+				chosen[u] = true
+				picked = append(picked, u)
+			}
+		}
+		// Attach in pick order (not map order) so the generator is
+		// deterministic for a given seed.
+		for _, u := range picked {
+			edges = append(edges, graph.InputEdge{U: u, V: graph.VertexID(v), Cap: 1})
+			targets = append(targets, u, graph.VertexID(v))
+		}
+	}
+	return &graph.Input{NumVertices: n, Edges: edges}, nil
+}
+
+// RMAT generates a Graph500-style Kronecker graph with 2^scale vertices
+// and edgeFactor*2^scale undirected edges, using the standard partition
+// probabilities (a=0.57, b=0.19, c=0.19, d=0.05). Self-loops and
+// duplicate edges are dropped, as Graph500's construction kernel does.
+func RMAT(scale, edgeFactor int, seed int64) (*graph.Input, error) {
+	if scale < 2 || scale > 30 || edgeFactor < 1 {
+		return nil, fmt.Errorf("graphgen: invalid rmat parameters scale=%d edgeFactor=%d", scale, edgeFactor)
+	}
+	const a, b, c = 0.57, 0.19, 0.19
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	target := edgeFactor * n
+
+	type pair struct{ u, v graph.VertexID }
+	seen := make(map[pair]bool, target)
+	edges := make([]graph.InputEdge, 0, target)
+	for attempts := 0; len(edges) < target && attempts < target*8; attempts++ {
+		var u, v int
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: neither bit set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		p := pair{graph.VertexID(u), graph.VertexID(v)}
+		if p.u > p.v {
+			p.u, p.v = p.v, p.u
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		edges = append(edges, graph.InputEdge{U: p.u, V: p.v, Cap: 1})
+	}
+	return &graph.Input{NumVertices: n, Edges: edges}, nil
+}
+
+// ErdosRenyi generates a G(n, m) uniform random graph. Erdős-Rényi graphs
+// have low clustering and, at low density, larger diameter than social
+// graphs; the test suite uses them as the non-small-world control.
+func ErdosRenyi(n, m int, seed int64) (*graph.Input, error) {
+	if n < 2 || m < 1 {
+		return nil, fmt.Errorf("graphgen: invalid erdos-renyi parameters n=%d m=%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct{ u, v graph.VertexID }
+	seen := make(map[pair]bool, m)
+	edges := make([]graph.InputEdge, 0, m)
+	for attempts := 0; len(edges) < m && attempts < m*16; attempts++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		p := pair{u, v}
+		if p.u > p.v {
+			p.u, p.v = p.v, p.u
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		edges = append(edges, graph.InputEdge{U: p.u, V: p.v, Cap: 1})
+	}
+	return &graph.Input{NumVertices: n, Edges: edges}, nil
+}
+
+// Degrees returns the undirected degree of every vertex.
+func Degrees(in *graph.Input) []int {
+	deg := make([]int, in.NumVertices)
+	for i := range in.Edges {
+		deg[in.Edges[i].U]++
+		deg[in.Edges[i].V]++
+	}
+	return deg
+}
+
+// RandomCapacities assigns each edge a capacity drawn uniformly from
+// [1, maxCap], replacing the generators' unit capacities. The paper's
+// experiments use unit capacities but the algorithm "supports rational
+// numbers for the edge capacities"; integer-valued capacities exercise
+// the same code paths (rationals reduce to integers by scaling).
+func RandomCapacities(in *graph.Input, maxCap int64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range in.Edges {
+		in.Edges[i].Cap = 1 + rng.Int63n(maxCap)
+	}
+}

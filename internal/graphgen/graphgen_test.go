@@ -1,0 +1,385 @@
+package graphgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ffmr/internal/graph"
+)
+
+// bfsDistances returns hop distances from src (-1 unreachable).
+func bfsDistances(in *graph.Input, src graph.VertexID) []int {
+	adj := make([][]graph.VertexID, in.NumVertices)
+	for i := range in.Edges {
+		e := &in.Edges[i]
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	dist := make([]int, in.NumVertices)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []graph.VertexID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// noDuplicateEdges verifies an undirected edge appears at most once.
+func noDuplicateEdges(t *testing.T, in *graph.Input) {
+	t.Helper()
+	seen := make(map[[2]graph.VertexID]bool, len(in.Edges))
+	for _, e := range in.Edges {
+		k := [2]graph.VertexID{e.U, e.V}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestWattsStrogatzBasics(t *testing.T) {
+	in, err := WattsStrogatz(100, 6, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Source, in.Sink = PickEndpoints(in)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	noDuplicateEdges(t, in)
+	// The ring lattice gives n*k/2 edges; rewiring preserves the count
+	// except for skipped duplicates.
+	if len(in.Edges) < 250 || len(in.Edges) > 300 {
+		t.Errorf("edge count %d outside expected band [250,300]", len(in.Edges))
+	}
+}
+
+func TestWattsStrogatzSmallWorldProperty(t *testing.T) {
+	// With rewiring the characteristic path length must be far below the
+	// pure ring lattice's n/(2k).
+	ring, err := WattsStrogatz(500, 4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := WattsStrogatz(500, 4, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(in *graph.Input) float64 {
+		d := bfsDistances(in, 0)
+		sum, cnt := 0, 0
+		for _, x := range d {
+			if x > 0 {
+				sum += x
+				cnt++
+			}
+		}
+		return float64(sum) / float64(cnt)
+	}
+	ringAvg, smallAvg := avg(ring), avg(small)
+	if smallAvg >= ringAvg/2 {
+		t.Errorf("rewiring did not shrink path length: ring %.1f, rewired %.1f", ringAvg, smallAvg)
+	}
+}
+
+func TestWattsStrogatzParameterValidation(t *testing.T) {
+	cases := []struct{ n, k int }{{3, 2}, {10, 3}, {10, 0}, {10, 10}}
+	for _, c := range cases {
+		if _, err := WattsStrogatz(c.n, c.k, 0.1, 1); err == nil {
+			t.Errorf("n=%d k=%d accepted", c.n, c.k)
+		}
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, 1); err == nil {
+		t.Error("beta out of range accepted")
+	}
+}
+
+func TestBarabasiAlbertDegreeDistribution(t *testing.T) {
+	in, err := BarabasiAlbert(2000, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err == nil {
+		// Validate requires source != sink which defaults 0/0; set them.
+		in.Source, in.Sink = PickEndpoints(in)
+	}
+	noDuplicateEdges(t, in)
+	deg := Degrees(in)
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	// Heavy tail: the max degree must greatly exceed the median (a hub
+	// exists), and the minimum degree must be >= m for attached vertices.
+	if deg[0] < 5*deg[len(deg)/2] {
+		t.Errorf("no hub: max degree %d vs median %d", deg[0], deg[len(deg)/2])
+	}
+	// Connectivity: preferential attachment yields one component.
+	d := bfsDistances(in, 0)
+	for v, x := range d {
+		if x < 0 {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+	}
+}
+
+func TestBarabasiAlbertLowDiameter(t *testing.T) {
+	in, err := BarabasiAlbert(5000, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bfsDistances(in, 0)
+	max := 0
+	for _, x := range d {
+		if x > max {
+			max = x
+		}
+	}
+	// Scale-free graphs have diameter ~ log n / log log n; allow slack.
+	if max > 10 {
+		t.Errorf("eccentricity %d too large for a scale-free graph of 5000 vertices", max)
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	in, err := RMAT(10, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDuplicateEdges(t, in)
+	if in.NumVertices != 1024 {
+		t.Errorf("n = %d, want 1024", in.NumVertices)
+	}
+	if len(in.Edges) < 1024*6 {
+		t.Errorf("edge count %d below expectation", len(in.Edges))
+	}
+	deg := Degrees(in)
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	if deg[0] < 3*deg[len(deg)/4] {
+		t.Errorf("R-MAT degree skew missing: max %d vs p75 %d", deg[0], deg[len(deg)/4])
+	}
+}
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	in, err := ErdosRenyi(500, 1500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDuplicateEdges(t, in)
+	if len(in.Edges) != 1500 {
+		t.Errorf("edge count %d, want 1500", len(in.Edges))
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	a, err := BarabasiAlbert(300, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(300, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("same seed diverged at edge %d", i)
+		}
+	}
+	c, err := BarabasiAlbert(300, 3, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		identical := true
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestCrawlChainNesting(t *testing.T) {
+	specs := []FBSpec{
+		{Name: "A", Vertices: 500},
+		{Name: "B", Vertices: 1200},
+		{Name: "C", Vertices: 3000},
+	}
+	chain, err := CrawlChain(specs, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain length %d", len(chain))
+	}
+	for i, sub := range chain {
+		if sub.NumVertices != specs[i].Vertices {
+			t.Errorf("chain[%d] has %d vertices, want %d", i, sub.NumVertices, specs[i].Vertices)
+		}
+		for _, e := range sub.Edges {
+			if int(e.U) >= sub.NumVertices || int(e.V) >= sub.NumVertices {
+				t.Fatalf("chain[%d] edge out of range: %v", i, e)
+			}
+		}
+	}
+	// Nesting: every edge of chain[i] appears in chain[i+1].
+	for i := 0; i < len(chain)-1; i++ {
+		bigger := make(map[[2]graph.VertexID]bool, len(chain[i+1].Edges))
+		for _, e := range chain[i+1].Edges {
+			bigger[[2]graph.VertexID{e.U, e.V}] = true
+		}
+		for _, e := range chain[i].Edges {
+			if !bigger[[2]graph.VertexID{e.U, e.V}] {
+				t.Fatalf("edge %v of chain[%d] missing from chain[%d]", e, i, i+1)
+			}
+		}
+	}
+	// Edge growth should roughly track the paper's super-linear growth.
+	if len(chain[2].Edges) <= len(chain[1].Edges) || len(chain[1].Edges) <= len(chain[0].Edges) {
+		t.Error("edge counts not increasing along the chain")
+	}
+	// Crawled subgraphs must be connected at the small end.
+	d := bfsDistances(chain[0], 0)
+	unreachable := 0
+	for _, x := range d {
+		if x < 0 {
+			unreachable++
+		}
+	}
+	if unreachable > 0 {
+		t.Errorf("%d unreachable vertices in the crawled subgraph", unreachable)
+	}
+}
+
+func TestCrawlChainValidation(t *testing.T) {
+	if _, err := CrawlChain(nil, 3, 1); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := []FBSpec{{Name: "A", Vertices: 100}, {Name: "B", Vertices: 100}}
+	if _, err := CrawlChain(bad, 3, 1); err == nil {
+		t.Error("non-increasing chain accepted")
+	}
+}
+
+func TestAttachSuperSourceSink(t *testing.T) {
+	base, err := BarabasiAlbert(500, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := AttachSuperSourceSink(base, 8, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumVertices != base.NumVertices+2 {
+		t.Errorf("vertex count %d", in.NumVertices)
+	}
+	if len(in.Edges) != len(base.Edges)+16 {
+		t.Errorf("edge count %d, want %d", len(in.Edges), len(base.Edges)+16)
+	}
+	var sTaps, tTaps int
+	taps := make(map[graph.VertexID]int)
+	for _, e := range in.Edges[len(base.Edges):] {
+		if !e.Directed || e.Cap != graph.CapInf {
+			t.Errorf("super edge not infinite directed: %+v", e)
+		}
+		if e.U == in.Source {
+			sTaps++
+			taps[e.V]++
+		}
+		if e.V == in.Sink {
+			tTaps++
+			taps[e.U]++
+		}
+	}
+	if sTaps != 8 || tTaps != 8 {
+		t.Errorf("tap counts %d/%d, want 8/8", sTaps, tTaps)
+	}
+	for v, n := range taps {
+		if n > 1 {
+			t.Errorf("vertex %d tapped twice (source and sink sets overlap)", v)
+		}
+	}
+}
+
+func TestAttachSuperSourceSinkInsufficientDegree(t *testing.T) {
+	base := &graph.Input{NumVertices: 4, Edges: []graph.InputEdge{
+		{U: 0, V: 1, Cap: 1}, {U: 2, V: 3, Cap: 1},
+	}}
+	if _, err := AttachSuperSourceSink(base, 3, 1, 1); err == nil {
+		t.Error("insufficient eligible vertices accepted")
+	}
+	if _, err := AttachSuperSourceSink(base, 0, 1, 1); err == nil {
+		t.Error("w=0 accepted")
+	}
+}
+
+func TestPickEndpoints(t *testing.T) {
+	in := &graph.Input{NumVertices: 5, Edges: []graph.InputEdge{
+		{U: 0, V: 1, Cap: 1}, {U: 0, V: 2, Cap: 1}, {U: 0, V: 3, Cap: 1},
+		{U: 4, V: 1, Cap: 1}, {U: 4, V: 2, Cap: 1},
+	}}
+	s, tt := PickEndpoints(in)
+	deg := Degrees(in)
+	if s != 0 {
+		t.Errorf("source = %d, want 0 (highest degree)", s)
+	}
+	if s == tt || deg[tt] != 2 {
+		t.Errorf("sink = %d (degree %d), want a distinct degree-2 vertex", tt, deg[tt])
+	}
+}
+
+func TestRandomCapacities(t *testing.T) {
+	in, err := ErdosRenyi(100, 300, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RandomCapacities(in, 10, 15)
+	seen := make(map[int64]bool)
+	for _, e := range in.Edges {
+		if e.Cap < 1 || e.Cap > 10 {
+			t.Fatalf("capacity %d out of [1,10]", e.Cap)
+		}
+		seen[e.Cap] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("capacities not spread: %d distinct values", len(seen))
+	}
+}
+
+func TestDegreesMatchManualCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	in, err := ErdosRenyi(50, 120, rng.Int63())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := Degrees(in)
+	var total int
+	for _, d := range deg {
+		total += d
+	}
+	if total != 2*len(in.Edges) {
+		t.Errorf("degree sum %d != 2*edges %d", total, 2*len(in.Edges))
+	}
+}

@@ -1,0 +1,96 @@
+package graphgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ffmr/internal/graph"
+)
+
+// Text edge-list format used by the command-line tools:
+//
+//	# comment lines are skipped
+//	graph <numVertices> <source> <sink>
+//	<u> <v> <capacity> [D]
+//
+// The optional trailing D marks a directed edge. The format is meant for
+// interchange with external crawls and for inspecting generated graphs.
+
+// WriteEdgeList writes a graph in the text edge-list format.
+func WriteEdgeList(w io.Writer, in *graph.Input) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ffmr edge list: %d vertices, %d edges\n", in.NumVertices, len(in.Edges))
+	fmt.Fprintf(bw, "graph %d %d %d\n", in.NumVertices, in.Source, in.Sink)
+	for i := range in.Edges {
+		e := &in.Edges[i]
+		if e.Directed {
+			fmt.Fprintf(bw, "%d %d %d D\n", e.U, e.V, e.Cap)
+		} else {
+			fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.Cap)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format.
+func ReadEdgeList(r io.Reader) (*graph.Input, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	in := &graph.Input{}
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "graph" {
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graphgen: line %d: malformed graph header", line)
+			}
+			n, err1 := strconv.Atoi(fields[1])
+			s, err2 := strconv.ParseUint(fields[2], 10, 32)
+			t, err3 := strconv.ParseUint(fields[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graphgen: line %d: malformed graph header", line)
+			}
+			in.NumVertices = n
+			in.Source = graph.VertexID(s)
+			in.Sink = graph.VertexID(t)
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("graphgen: line %d: edge before graph header", line)
+		}
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("graphgen: line %d: malformed edge", line)
+		}
+		u, err1 := strconv.ParseUint(fields[0], 10, 32)
+		v, err2 := strconv.ParseUint(fields[1], 10, 32)
+		c, err3 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graphgen: line %d: malformed edge", line)
+		}
+		e := graph.InputEdge{U: graph.VertexID(u), V: graph.VertexID(v), Cap: c}
+		if len(fields) == 4 {
+			if fields[3] != "D" {
+				return nil, fmt.Errorf("graphgen: line %d: unknown edge flag %q", line, fields[3])
+			}
+			e.Directed = true
+		}
+		in.Edges = append(in.Edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("graphgen: missing graph header")
+	}
+	return in, in.Validate()
+}

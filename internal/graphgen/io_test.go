@@ -1,0 +1,83 @@
+package graphgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ffmr/internal/graph"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	in, err := BarabasiAlbert(200, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Source, in.Sink = PickEndpoints(in)
+	in.Edges = append(in.Edges, graph.InputEdge{U: 0, V: 5, Cap: 9, Directed: true})
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != in.NumVertices || got.Source != in.Source || got.Sink != in.Sink {
+		t.Fatalf("header mismatch: %d/%d/%d", got.NumVertices, got.Source, got.Sink)
+	}
+	if len(got.Edges) != len(in.Edges) {
+		t.Fatalf("edge count %d, want %d", len(got.Edges), len(in.Edges))
+	}
+	for i := range in.Edges {
+		if in.Edges[i] != got.Edges[i] {
+			t.Fatalf("edge %d mismatch: %+v vs %+v", i, in.Edges[i], got.Edges[i])
+		}
+	}
+}
+
+func TestReadEdgeListSkipsCommentsAndBlank(t *testing.T) {
+	src := `
+# a comment
+graph 3 0 2
+
+0 1 5
+# another comment
+1 2 5 D
+`
+	in, err := ReadEdgeList(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Edges) != 2 {
+		t.Fatalf("got %d edges", len(in.Edges))
+	}
+	if !in.Edges[1].Directed || in.Edges[0].Directed {
+		t.Error("directed flags wrong")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no header", "0 1 5\n"},
+		{"malformed header", "graph 3 0\n"},
+		{"non-numeric header", "graph x 0 2\n"},
+		{"malformed edge", "graph 3 0 2\n0 1\n"},
+		{"non-numeric edge", "graph 3 0 2\n0 y 5\n"},
+		{"bad flag", "graph 3 0 2\n0 1 5 X\n"},
+		{"empty", ""},
+		{"invalid graph", "graph 2 0 0\n"},
+		{"self loop", "graph 3 0 2\n1 1 5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.src)); err == nil {
+				t.Error("malformed input accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+package graphgen
+
+import (
+	"testing"
+
+	"ffmr/internal/graph"
+)
+
+func TestMeasureBasics(t *testing.T) {
+	in, err := BarabasiAlbert(2000, 4, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(in, 8, 1)
+	if m.Vertices != 2000 || m.Edges != len(in.Edges) {
+		t.Errorf("counts: %+v", m)
+	}
+	wantAvg := 2 * float64(len(in.Edges)) / 2000
+	if m.AverageDegree < wantAvg-0.01 || m.AverageDegree > wantAvg+0.01 {
+		t.Errorf("average degree %f, want %f", m.AverageDegree, wantAvg)
+	}
+	if m.LargestComponent < 0.99 {
+		t.Errorf("BA graph fragmented: %f", m.LargestComponent)
+	}
+	if m.EstimatedDiameter < 2 || m.EstimatedDiameter > 12 {
+		t.Errorf("BA diameter estimate %d outside small-world band", m.EstimatedDiameter)
+	}
+}
+
+// TestSmallWorldSignature verifies the Watts-Strogatz signature: the
+// rewired ring has near-lattice clustering but near-random path length,
+// while the Erdős-Rényi control has low clustering.
+func TestSmallWorldSignature(t *testing.T) {
+	lattice, err := WattsStrogatz(1000, 8, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := WattsStrogatz(1000, 8, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := ErdosRenyi(1000, 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLat := Measure(lattice, 12, 1)
+	mSW := Measure(small, 12, 1)
+	mER := Measure(er, 12, 1)
+
+	// Path length: small world far below the lattice.
+	if mSW.AveragePathLength >= mLat.AveragePathLength/3 {
+		t.Errorf("rewiring did not shorten paths: lattice %f, small-world %f",
+			mLat.AveragePathLength, mSW.AveragePathLength)
+	}
+	// Clustering: small world far above the random control.
+	if mSW.Clustering < 3*mER.Clustering {
+		t.Errorf("small-world clustering %f not well above random %f",
+			mSW.Clustering, mER.Clustering)
+	}
+}
+
+// TestCrawlChainIsSmallWorld verifies the generated FB-chain graphs have
+// the properties the algorithm exploits (the paper estimates D in 7..14
+// for FB6; our scaled graphs should be at or below that).
+func TestCrawlChainIsSmallWorld(t *testing.T) {
+	chain, err := CrawlChain(TinyFBChain()[:3], 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range chain {
+		m := Measure(in, 6, 1)
+		if m.EstimatedDiameter > 14 {
+			t.Errorf("chain[%d] diameter %d exceeds the paper's FB band", i, m.EstimatedDiameter)
+		}
+		if m.LargestComponent < 0.95 {
+			t.Errorf("chain[%d] fragmented: %f", i, m.LargestComponent)
+		}
+	}
+}
+
+func TestMeasureDefaultsAndTiny(t *testing.T) {
+	in := &graph.Input{
+		NumVertices: 4,
+		Edges: []graph.InputEdge{
+			{U: 0, V: 1, Cap: 1}, {U: 1, V: 2, Cap: 1}, {U: 1, V: 3, Cap: 1},
+		},
+	}
+	m := Measure(in, 0, 1) // samples default
+	if m.Vertices != 4 {
+		t.Errorf("vertices = %d", m.Vertices)
+	}
+	if m.EstimatedDiameter != 2 {
+		t.Errorf("star-ish graph: diameter %d, want 2", m.EstimatedDiameter)
+	}
+	if m.MaxDegree != 3 {
+		t.Errorf("max degree %d, want 3", m.MaxDegree)
+	}
+}

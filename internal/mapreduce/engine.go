@@ -1,0 +1,785 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ffmr/internal/dfs"
+)
+
+// Cluster is the simulated Hadoop cluster: a DFS plus a set of nodes each
+// running a bounded number of concurrent worker slots. The paper's
+// deployment is 20 slave nodes with up to 30 concurrent workers each.
+type Cluster struct {
+	// Nodes is the number of slave nodes.
+	Nodes int
+	// SlotsPerNode is the number of concurrent map/reduce workers a node
+	// can run (the paper configures 15 map + 15 reduce task slots).
+	SlotsPerNode int
+	// FS is the distributed file system holding inputs and outputs.
+	FS *dfs.FS
+	// Cost models how byte counts and measured CPU translate into
+	// simulated cluster time.
+	Cost CostModel
+	// Fault configures task-attempt retries and failure injection.
+	Fault Faults
+}
+
+// NewCluster creates a cluster with sensible defaults applied.
+func NewCluster(nodes, slotsPerNode int, fs *dfs.FS) *Cluster {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	if slotsPerNode <= 0 {
+		slotsPerNode = 1
+	}
+	return &Cluster{Nodes: nodes, SlotsPerNode: slotsPerNode, FS: fs, Cost: DefaultCostModel()}
+}
+
+// slots returns the cluster-wide worker slot count.
+func (c *Cluster) slots() int { return c.Nodes * c.SlotsPerNode }
+
+// kvRec is one intermediate record retained between the map and reduce
+// phases, with enough metadata for shuffle accounting.
+type kvRec struct {
+	key, value []byte
+	node       int // node of the producing map task
+}
+
+// framedSize is the on-the-wire size of a record using SequenceFile
+// framing, which is what the shuffle would move.
+func framedSize(key, value []byte) int64 {
+	return int64(uvarintLen(uint64(len(key))) + len(key) + uvarintLen(uint64(len(value))) + len(value))
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// split is one map task's input: a record-aligned byte range of a file.
+type split struct {
+	data []byte // record-aligned slice of the file contents
+	node int    // preferred (data-local) node
+}
+
+// makeSplits cuts an input file into record-aligned splits of roughly one
+// DFS block each, the way Hadoop derives one map task per block.
+func (c *Cluster) makeSplits(name string) ([]split, int64, error) {
+	data, err := c.FS.ReadFile(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	blocks, err := c.FS.Blocks(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	blockSize := c.FS.Config().BlockSize
+	nodeOf := func(off int) int {
+		bi := off / blockSize
+		if bi >= len(blocks) {
+			bi = len(blocks) - 1
+		}
+		if bi < 0 || len(blocks[bi].Nodes) == 0 {
+			return 0
+		}
+		return blocks[bi].Nodes[0]
+	}
+
+	var splits []split
+	r := dfs.NewRecordReader(data)
+	start, off := 0, 0
+	for {
+		key, value, ok, err := r.Next()
+		if err != nil {
+			return nil, 0, fmt.Errorf("mapreduce: input %q: %w", name, err)
+		}
+		if !ok {
+			break
+		}
+		off += int(framedSize(key, value))
+		if off-start >= blockSize {
+			splits = append(splits, split{data: data[start:off], node: nodeOf(start)})
+			start = off
+		}
+	}
+	if off > start {
+		splits = append(splits, split{data: data[start:off], node: nodeOf(start)})
+	}
+	return splits, int64(len(data)), nil
+}
+
+// Run executes one MapReduce job to completion and returns its result,
+// corresponding to job.waitForCompletion() in Fig. 2 of the paper.
+func (c *Cluster) Run(job *Job) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if c.FS == nil {
+		return nil, fmt.Errorf("mapreduce: cluster has no file system")
+	}
+	start := time.Now()
+
+	side, err := c.loadSideFiles(job)
+	if err != nil {
+		return nil, err
+	}
+
+	var splits []split
+	res := &Result{}
+	for _, in := range job.Inputs {
+		ss, sz, err := c.makeSplits(in)
+		if err != nil {
+			return nil, err
+		}
+		splits = append(splits, ss...)
+		res.InputBytes += sz
+	}
+	if len(splits) == 0 {
+		// A valid but empty input still runs zero map tasks and produces
+		// empty output partitions so downstream rounds can proceed.
+		splits = nil
+	}
+
+	counters := NewCounters()
+	res.MapTasks = len(splits)
+
+	mapOut, mapDur, err := c.runMapPhase(job, splits, side, counters, res)
+	if err != nil {
+		return nil, err
+	}
+
+	c.FS.DeletePrefix(job.OutputPrefix)
+
+	var reduceDur []time.Duration
+	var reduceFetch []int64
+	if job.NewReducer == nil {
+		reduceDur, reduceFetch, err = c.writeMapOnlyOutput(job, mapOut, res)
+	} else {
+		reduceDur, reduceFetch, err = c.runReducePhase(job, mapOut, side, counters, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res.Counters = counters.Snapshot()
+	res.WallTime = time.Since(start)
+	res.SimTime = c.simTime(job, res, splits, mapDur, reduceDur, reduceFetch)
+	return res, nil
+}
+
+func (c *Cluster) loadSideFiles(job *Job) (map[string][]byte, error) {
+	if len(job.SideFiles) == 0 {
+		return nil, nil
+	}
+	side := make(map[string][]byte, len(job.SideFiles))
+	for _, name := range job.SideFiles {
+		data, err := c.FS.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: side file: %w", err)
+		}
+		side[name] = data
+	}
+	return side, nil
+}
+
+// mapTaskStats aggregates one map task's record counters.
+type mapTaskStats struct {
+	inRecs, outRecs, outBytes, maxRec int64
+}
+
+// runMapPhase executes all map tasks on the worker pool and returns the
+// partitioned intermediate records plus per-task measured durations.
+func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
+	counters *Counters, res *Result) ([][]kvRec, []time.Duration, error) {
+
+	numParts := job.NumReducers
+	if job.NewReducer == nil {
+		numParts = len(splits)
+	}
+	taskParts := make([][][]kvRec, len(splits)) // task -> partition -> records
+	taskDur := make([]time.Duration, len(splits))
+	taskStats := make([]mapTaskStats, len(splits))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.slots())
+	errs := make(chan error, len(splits))
+
+	for ti := range splits {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			t0 := time.Now()
+			node := splits[ti].node
+			err := c.runAttempts(job, "map", ti, counters, func() error {
+				// Per-attempt state: a failed attempt's partial output is
+				// discarded, as Hadoop discards a failed task attempt's
+				// spill files.
+				parts := make([][]kvRec, numParts)
+				var st mapTaskStats
+				ctx := &TaskContext{
+					round:    job.Round,
+					task:     ti,
+					node:     node,
+					counters: counters,
+					side:     side,
+					service:  job.Service,
+					emit: func(key, value []byte) {
+						k := append([]byte(nil), key...)
+						v := append([]byte(nil), value...)
+						var p int
+						if job.NewReducer == nil {
+							p = ti
+						} else {
+							p = partition(k, job.NumReducers)
+						}
+						parts[p] = append(parts[p], kvRec{key: k, value: v, node: node})
+						st.outRecs++
+						sz := framedSize(k, v)
+						st.outBytes += sz
+						if sz > st.maxRec {
+							st.maxRec = sz
+						}
+					},
+				}
+
+				mapper := job.NewMapper()
+				r := dfs.NewRecordReader(splits[ti].data)
+				st.inRecs = 0
+				for {
+					key, value, ok, err := r.Next()
+					if err != nil {
+						return fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, ti, err)
+					}
+					if !ok {
+						break
+					}
+					st.inRecs++
+					if err := mapper.Map(ctx, key, value); err != nil {
+						return fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, ti, err)
+					}
+				}
+				if job.NewCombiner != nil && job.NewReducer != nil {
+					if err := combineParts(job, parts, &st, counters, node); err != nil {
+						return fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, ti, err)
+					}
+				}
+				taskParts[ti] = parts
+				taskStats[ti] = st
+				return nil
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			taskDur[ti] = time.Since(t0)
+		}(ti)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, nil, err
+	}
+
+	for ti := range taskStats {
+		res.MapInputRecords += taskStats[ti].inRecs
+		res.MapOutputRecords += taskStats[ti].outRecs
+		res.MapOutputBytes += taskStats[ti].outBytes
+		if taskStats[ti].maxRec > res.MaxRecordBytes {
+			res.MaxRecordBytes = taskStats[ti].maxRec
+		}
+	}
+
+	// Collect per-partition record lists across tasks.
+	out := make([][]kvRec, numParts)
+	for p := 0; p < numParts; p++ {
+		var n int
+		for ti := range taskParts {
+			if taskParts[ti] != nil {
+				n += len(taskParts[ti][p])
+			}
+		}
+		recs := make([]kvRec, 0, n)
+		for ti := range taskParts {
+			if taskParts[ti] != nil {
+				recs = append(recs, taskParts[ti][p]...)
+			}
+		}
+		out[p] = recs
+	}
+	return out, taskDur, nil
+}
+
+// injectHash returns a deterministic pseudo-random value in [0,1) for a
+// task attempt, used for failure injection and the straggler model.
+func injectHash(seed int64, job, phase string, task, attempt int) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h ^= uint64(b); h *= prime64 }
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+	}
+	for i := 0; i < len(job); i++ {
+		mix(job[i])
+	}
+	for i := 0; i < len(phase); i++ {
+		mix(phase[i])
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(task >> (8 * i)))
+		mix(byte(attempt >> (8 * i)))
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// runAttempts executes a task body with Hadoop-style attempt semantics:
+// on an injected worker failure or a body error, the attempt's partial
+// output is discarded and the task is retried, up to Fault.MaxAttempts
+// times. The "task failures" counter records discarded attempts.
+func (c *Cluster) runAttempts(job *Job, phase string, task int, counters *Counters, body func() error) error {
+	maxAttempts := c.Fault.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if c.Fault.FailureRate > 0 &&
+			injectHash(c.Fault.Seed, job.Name, phase, task, attempt) < c.Fault.FailureRate {
+			counters.Add("task failures", 1)
+			lastErr = fmt.Errorf("mapreduce: %s %s task %d attempt %d: injected worker failure",
+				job.Name, phase, task, attempt)
+			continue
+		}
+		if err := body(); err != nil {
+			counters.Add("task failures", 1)
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("mapreduce: %s %s task %d failed after %d attempts: %w",
+		job.Name, phase, task, maxAttempts, lastErr)
+}
+
+// partition hashes a key to a reduce partition (Hadoop's default
+// HashPartitioner behaviour, with FNV-1a instead of Java hashCode).
+func partition(key []byte, numReducers int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return int(h % uint32(numReducers))
+}
+
+// combineParts runs the job's combiner over one map task's output,
+// replacing each partition's records with the per-key combined values.
+// Hadoop counts pre-combine records as "map output records"; the
+// combine counters record the aggregation ratio.
+func combineParts(job *Job, parts [][]kvRec, st *mapTaskStats, counters *Counters, node int) error {
+	combiner := job.NewCombiner()
+	st.outBytes = 0
+	st.maxRec = 0
+	var inRecs, outRecs int64
+	for p := range parts {
+		recs := parts[p]
+		if len(recs) == 0 {
+			continue
+		}
+		sortRecs(recs)
+		// A fresh slice: the combiner may emit more records than it
+		// consumed, so in-place compaction could overwrite unread input.
+		combined := make([]kvRec, 0, len(recs))
+		for i := 0; i < len(recs); {
+			j := i
+			for j < len(recs) && bytes.Equal(recs[j].key, recs[i].key) {
+				j++
+			}
+			group := make([][]byte, 0, j-i)
+			for k := i; k < j; k++ {
+				group = append(group, recs[k].value)
+			}
+			inRecs += int64(len(group))
+			out, err := combiner.Combine(recs[i].key, group)
+			if err != nil {
+				return err
+			}
+			outRecs += int64(len(out))
+			for _, v := range out {
+				combined = append(combined, kvRec{key: recs[i].key, value: v, node: node})
+				sz := framedSize(recs[i].key, v)
+				st.outBytes += sz
+				if sz > st.maxRec {
+					st.maxRec = sz
+				}
+			}
+			i = j
+		}
+		parts[p] = combined
+	}
+	counters.Add("combine input records", inRecs)
+	counters.Add("combine output records", outRecs)
+	return nil
+}
+
+func partName(prefix string, p int) string { return fmt.Sprintf("%spart-%05d", prefix, p) }
+
+// PartName returns the DFS name of output partition p under prefix,
+// matching Hadoop's part-NNNNN naming.
+func PartName(prefix string, p int) string { return partName(prefix, p) }
+
+// writeMapOnlyOutput persists each map task's emissions directly, one
+// partition per task, for jobs with no reduce phase.
+func (c *Cluster) writeMapOnlyOutput(job *Job, mapOut [][]kvRec, res *Result) ([]time.Duration, []int64, error) {
+	for p, recs := range mapOut {
+		sortRecs(recs)
+		var w dfs.RecordWriter
+		for _, r := range recs {
+			w.Append(r.key, r.value)
+		}
+		if err := c.FS.WriteFile(partName(job.OutputPrefix, p), w.Bytes()); err != nil {
+			return nil, nil, err
+		}
+		res.ReduceOutputRecords += int64(w.Records())
+		res.OutputBytes += int64(w.Len())
+	}
+	return nil, nil, nil
+}
+
+func sortRecs(recs []kvRec) {
+	sort.Slice(recs, func(i, j int) bool {
+		if cmp := bytes.Compare(recs[i].key, recs[j].key); cmp != 0 {
+			return cmp < 0
+		}
+		return bytes.Compare(recs[i].value, recs[j].value) < 0
+	})
+}
+
+// runReducePhase shuffles, sorts, groups and reduces each partition,
+// writing one output file per reduce task.
+func (c *Cluster) runReducePhase(job *Job, mapOut [][]kvRec, side map[string][]byte,
+	counters *Counters, res *Result) ([]time.Duration, []int64, error) {
+
+	res.ReduceTasks = job.NumReducers
+	taskDur := make([]time.Duration, job.NumReducers)
+	fetch := make([]int64, job.NumReducers)
+	outRecs := make([]int64, job.NumReducers)
+	outBytes := make([]int64, job.NumReducers)
+	var shuffleBytes, interNode int64
+	var statMu sync.Mutex
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.slots())
+	errs := make(chan error, job.NumReducers)
+
+	for p := 0; p < job.NumReducers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			t0 := time.Now()
+			node := p % c.Nodes
+			recs := mapOut[p]
+			var myFetch, myInter int64
+			for i := range recs {
+				sz := framedSize(recs[i].key, recs[i].value)
+				myFetch += sz
+				if recs[i].node != node {
+					myInter += sz
+				}
+			}
+			sortRecs(recs)
+
+			err := c.runAttempts(job, "reduce", p, counters, func() error {
+				var base []kvRec
+				if job.Schimmy {
+					b, err := c.readBasePartition(partName(job.SchimmyBase, p))
+					if err != nil {
+						return fmt.Errorf("mapreduce: %s reduce task %d: %w", job.Name, p, err)
+					}
+					base = b
+				}
+
+				var w dfs.RecordWriter
+				ctx := &TaskContext{
+					round:    job.Round,
+					task:     p,
+					node:     node,
+					counters: counters,
+					side:     side,
+					service:  job.Service,
+					emit:     func(key, value []byte) { w.Append(key, value) },
+				}
+				reducer := job.NewReducer()
+
+				maxGroup, err := reduceGroups(ctx, reducer, base, recs)
+				if err != nil {
+					return fmt.Errorf("mapreduce: %s reduce task %d: %w", job.Name, p, err)
+				}
+				statMu.Lock()
+				if maxGroup > res.MaxGroupBytes {
+					res.MaxGroupBytes = maxGroup
+				}
+				statMu.Unlock()
+
+				if err := c.FS.WriteFile(partName(job.OutputPrefix, p), w.Bytes()); err != nil {
+					return err
+				}
+				statMu.Lock()
+				outRecs[p] = int64(w.Records())
+				outBytes[p] = int64(w.Len())
+				statMu.Unlock()
+				return nil
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			statMu.Lock()
+			shuffleBytes += myFetch
+			interNode += myInter
+			fetch[p] = myFetch
+			statMu.Unlock()
+			taskDur[p] = time.Since(t0)
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, nil, err
+	}
+
+	res.ShuffleBytes = shuffleBytes
+	res.InterNodeShuffleBytes = interNode
+	for p := range outRecs {
+		res.ReduceOutputRecords += outRecs[p]
+		res.OutputBytes += outBytes[p]
+	}
+	return taskDur, fetch, nil
+}
+
+// readBasePartition loads a schimmy base partition and returns its
+// records sorted by key for the merge-join.
+func (c *Cluster) readBasePartition(name string) ([]kvRec, error) {
+	if !c.FS.Exists(name) {
+		return nil, fmt.Errorf("schimmy base %q does not exist", name)
+	}
+	data, err := c.FS.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var recs []kvRec
+	r := dfs.NewRecordReader(data)
+	for {
+		key, value, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		recs = append(recs, kvRec{key: key, value: value})
+	}
+	sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i].key, recs[j].key) < 0 })
+	return recs, nil
+}
+
+// reduceGroups walks the sorted shuffle stream and (for schimmy jobs) the
+// sorted base partition in a merge-join, invoking the reducer once per
+// key in the union. Keys present only in the base still reach the
+// reducer so master records survive rounds in which they receive no
+// fragments. It returns the byte size of the largest group processed.
+func reduceGroups(ctx *TaskContext, reducer Reducer, base, recs []kvRec) (int64, error) {
+	var maxGroup int64
+	bi, ri := 0, 0
+	for bi < len(base) || ri < len(recs) {
+		var key []byte
+		switch {
+		case bi >= len(base):
+			key = recs[ri].key
+		case ri >= len(recs):
+			key = base[bi].key
+		default:
+			if bytes.Compare(base[bi].key, recs[ri].key) <= 0 {
+				key = base[bi].key
+			} else {
+				key = recs[ri].key
+			}
+		}
+
+		var master []byte
+		if bi < len(base) && bytes.Equal(base[bi].key, key) {
+			master = base[bi].value
+			bi++
+			// Duplicate keys in a base partition would indicate a broken
+			// previous round; consume defensively.
+			for bi < len(base) && bytes.Equal(base[bi].key, key) {
+				bi++
+			}
+		}
+
+		groupStart := ri
+		for ri < len(recs) && bytes.Equal(recs[ri].key, key) {
+			ri++
+		}
+		vals := make([][]byte, 0, ri-groupStart)
+		groupBytes := int64(len(master))
+		for i := groupStart; i < ri; i++ {
+			vals = append(vals, recs[i].value)
+			groupBytes += framedSize(recs[i].key, recs[i].value)
+		}
+		if groupBytes > maxGroup {
+			maxGroup = groupBytes
+		}
+		if err := reducer.Reduce(ctx, key, master, &Values{vals: vals}); err != nil {
+			return 0, err
+		}
+	}
+	return maxGroup, nil
+}
+
+// simTime applies the cost model: map and reduce task costs are packed
+// onto the cluster's worker slots (greedy longest-queue-avoidance, which
+// is how Hadoop's scheduler behaves with uniform tasks), and phase
+// makespans plus fixed overhead give the simulated round time. The
+// straggler model multiplies each task's cost by a deterministic draw;
+// speculative execution charges the better of two attempts' draws, which
+// is exactly the mechanism by which Hadoop's backup tasks shorten the
+// tail of a phase.
+func (c *Cluster) simTime(job *Job, res *Result, splits []split, mapDur, reduceDur []time.Duration, reduceFetch []int64) time.Duration {
+	cm := c.Cost
+	xfer := func(bytes int64, bytesPerSec float64) time.Duration {
+		if bytesPerSec <= 0 || bytes <= 0 {
+			return 0
+		}
+		return time.Duration(float64(bytes) / bytesPerSec * float64(time.Second))
+	}
+	straggle := func(phase string, task int) float64 {
+		if cm.StragglerProb <= 0 || cm.StragglerFactor <= 1 {
+			return 1
+		}
+		factor := func(attempt int) float64 {
+			if injectHash(c.Fault.Seed+1, job.Name, phase, task, attempt) < cm.StragglerProb {
+				return cm.StragglerFactor
+			}
+			return 1
+		}
+		f := factor(0)
+		if job.Speculative && f > 1 {
+			if f2 := factor(1); f2 < f {
+				f = f2
+			}
+		}
+		return f
+	}
+
+	var mapCosts []time.Duration
+	for i := range splits {
+		cost := cm.TaskOverhead +
+			xfer(int64(len(splits[i].data)), cm.DiskBytesPerSec) +
+			time.Duration(float64(mapDur[i])*cm.CPUFactor)
+		mapCosts = append(mapCosts, time.Duration(float64(cost)*straggle("map", i)))
+	}
+	// Map output spill is charged once against aggregate disk bandwidth.
+	spill := xfer(res.MapOutputBytes/int64(c.Nodes), cm.DiskBytesPerSec)
+
+	var reduceCosts []time.Duration
+	for i := range reduceDur {
+		var f int64
+		if i < len(reduceFetch) {
+			f = reduceFetch[i]
+		}
+		cost := cm.TaskOverhead +
+			xfer(f, cm.NetBytesPerSec) +
+			time.Duration(float64(reduceDur[i])*cm.CPUFactor)
+		reduceCosts = append(reduceCosts, time.Duration(float64(cost)*straggle("reduce", i)))
+	}
+	outWrite := xfer(res.OutputBytes/int64(c.Nodes), cm.DiskBytesPerSec)
+
+	return cm.RoundOverhead + makespan(mapCosts, c.slots()) + spill +
+		makespan(reduceCosts, c.slots()) + outWrite
+}
+
+// makespan packs task costs onto n slots greedily (each task goes to the
+// least-loaded slot) and returns the maximum slot load.
+func makespan(costs []time.Duration, n int) time.Duration {
+	if len(costs) == 0 || n <= 0 {
+		return 0
+	}
+	loads := make([]time.Duration, n)
+	for _, c := range costs {
+		mi := 0
+		for i := 1; i < n; i++ {
+			if loads[i] < loads[mi] {
+				mi = i
+			}
+		}
+		loads[mi] += c
+	}
+	var max time.Duration
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// EncodeCounterFile serializes a counter snapshot for persistence in the
+// DFS (used by the driver to checkpoint per-round statistics).
+func EncodeCounterFile(counters map[string]int64) []byte {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf []byte
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = binary.AppendVarint(buf, counters[name])
+	}
+	return buf
+}
+
+// DecodeCounterFile parses a file produced by EncodeCounterFile.
+func DecodeCounterFile(data []byte) (map[string]int64, error) {
+	out := make(map[string]int64)
+	off := 0
+	for off < len(data) {
+		n, sz := binary.Uvarint(data[off:])
+		if sz <= 0 || uint64(len(data)-off-sz) < n {
+			return nil, fmt.Errorf("mapreduce: corrupt counter file at offset %d", off)
+		}
+		off += sz
+		name := string(data[off : off+int(n)])
+		off += int(n)
+		v, sz := binary.Varint(data[off:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("mapreduce: corrupt counter value at offset %d", off)
+		}
+		off += sz
+		out[name] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,343 @@
+// Package mapreduce implements the multi-round MapReduce runtime the FFMR
+// algorithms run on, emulating the Hadoop deployment used in the paper: a
+// master that schedules map and reduce tasks over a cluster of slave
+// nodes with a bounded number of worker slots, input splits taken from a
+// distributed file system, hash partitioning, a sort-and-group shuffle,
+// Hadoop-style named counters, and per-job I/O statistics (map output
+// records, shuffle bytes, largest record) that the paper's evaluation
+// reports directly (Table I, Fig. 7).
+//
+// Tasks execute concurrently on real goroutines, so computation cost is
+// measured; data movement cost is modelled by a configurable CostModel so
+// that a simulated per-round runtime comparable to the paper's
+// wall-clock-per-round can be reported regardless of host speed.
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TaskContext is handed to Mapper and Reducer implementations. It carries
+// the per-round environment: the round number, the emit function, named
+// counters, broadcast side files (the paper's AugmentedEdges list is one),
+// and an opaque service handle (the FF2+ aug_proc client).
+//
+// A TaskContext is owned by a single task and must not be retained after
+// the Map/Reduce call returns.
+type TaskContext struct {
+	round    int
+	task     int
+	node     int
+	counters *Counters
+	side     map[string][]byte
+	service  any
+	emit     func(key, value []byte)
+}
+
+// Round returns the driver-assigned round number of the running job.
+func (c *TaskContext) Round() int { return c.round }
+
+// Task returns the task index within the current phase.
+func (c *TaskContext) Task() int { return c.task }
+
+// Node returns the simulated cluster node the task runs on.
+func (c *TaskContext) Node() int { return c.node }
+
+// Emit outputs an intermediate record (from a mapper) or a final record
+// (from a reducer). Key and value are copied; callers may reuse buffers.
+func (c *TaskContext) Emit(key, value []byte) { c.emit(key, value) }
+
+// Inc adds delta to the named counter (Hadoop's custom counters).
+func (c *TaskContext) Inc(name string, delta int64) { c.counters.Add(name, delta) }
+
+// SideFile returns the contents of a broadcast side file loaded for this
+// job, or nil if the job has no such file. Side data is shared across all
+// tasks and must be treated as read-only.
+func (c *TaskContext) SideFile(name string) []byte { return c.side[name] }
+
+// Service returns the opaque service handle configured on the job (used
+// by FF2+ reducers to reach the external aug_proc accumulator).
+func (c *TaskContext) Service() any { return c.service }
+
+// Mapper processes one input record at a time. Implementations are
+// created per map task via Job.NewMapper, so per-task state (e.g. FF4's
+// preallocated buffers) is safe without synchronization.
+type Mapper interface {
+	Map(ctx *TaskContext, key, value []byte) error
+}
+
+// Values iterates the shuffled values of one reduce group in
+// deterministic (sorted) order.
+type Values struct {
+	vals [][]byte
+	pos  int
+}
+
+// Next returns the next value in the group, or nil when exhausted. The
+// returned slice is owned by the engine; treat it as read-only.
+func (v *Values) Next() []byte {
+	if v.pos >= len(v.vals) {
+		return nil
+	}
+	val := v.vals[v.pos]
+	v.pos++
+	return val
+}
+
+// Len returns the total number of values in the group.
+func (v *Values) Len() int { return len(v.vals) }
+
+// Reducer processes one key group at a time. master is the
+// partition-aligned base record for the key when the job runs with the
+// schimmy pattern (nil otherwise, and nil for keys with no base record).
+type Reducer interface {
+	Reduce(ctx *TaskContext, key []byte, master []byte, values *Values) error
+}
+
+// Combiner performs map-side pre-aggregation: after a map task finishes,
+// its output records are grouped by key per partition and each group is
+// replaced by the combiner's output, reducing shuffle volume at the cost
+// of extra map-side CPU (Hadoop's combiner). The paper evaluated
+// combiners for FFMR and found them counterproductive ("we do not use
+// any combiners as we found worse performance", Section IV-B footnote);
+// the engine supports them so that finding can be reproduced.
+type Combiner interface {
+	// Combine receives one key's values from a single map task and
+	// returns the replacement values.
+	Combine(key []byte, values [][]byte) ([][]byte, error)
+}
+
+// CombinerFunc adapts a function to the Combiner interface.
+type CombinerFunc func(key []byte, values [][]byte) ([][]byte, error)
+
+// Combine implements Combiner.
+func (f CombinerFunc) Combine(key []byte, values [][]byte) ([][]byte, error) {
+	return f(key, values)
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(ctx *TaskContext, key, value []byte) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(ctx *TaskContext, key, value []byte) error { return f(ctx, key, value) }
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(ctx *TaskContext, key, master []byte, values *Values) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(ctx *TaskContext, key, master []byte, values *Values) error {
+	return f(ctx, key, master, values)
+}
+
+// Job describes one MapReduce round: inputs, output location, the map and
+// reduce functions, and engine options. It corresponds to the job object
+// configured in Fig. 2 of the paper.
+type Job struct {
+	// Name labels the job in errors and traces.
+	Name string
+	// Round is the multi-round driver's round number, exposed to tasks.
+	Round int
+	// Inputs are DFS file names; each is split into map tasks at record
+	// boundaries, one task per (approximately) one DFS block.
+	Inputs []string
+	// OutputPrefix is where reducer output partitions are written, as
+	// OutputPrefix + "part-NNNNN". Existing files under the prefix are
+	// removed first, as Hadoop requires a fresh output directory.
+	OutputPrefix string
+	// NumReducers is the number of reduce tasks (and output partitions).
+	NumReducers int
+	// NewMapper and NewReducer create one instance per task.
+	NewMapper func() Mapper
+	// NewReducer may be nil for map-only jobs; mapper emissions are then
+	// written directly, one output partition per map task.
+	NewReducer func() Reducer
+	// NewCombiner, if non-nil, pre-aggregates each map task's output per
+	// key before the shuffle.
+	NewCombiner func() Combiner
+	// Speculative enables backup attempts for straggling tasks, which
+	// Hadoop runs by default. It is incompatible with Schimmy (a backup
+	// reduce attempt could double-write the partition-aligned output,
+	// which is why the paper's deployment disables it); the engine
+	// rejects the combination.
+	Speculative bool
+	// SideFiles are DFS files loaded once and broadcast read-only to all
+	// tasks (the paper's AugmentedEdges list is distributed this way).
+	SideFiles []string
+	// Schimmy enables the Lin & Schatz schimmy pattern: reducers
+	// merge-join the shuffled stream against the partition-aligned base
+	// files SchimmyBase + "part-NNNNN" instead of receiving master
+	// records through the shuffle.
+	Schimmy bool
+	// SchimmyBase is the output prefix of the previous round, which must
+	// have been produced with the same NumReducers and partitioner.
+	SchimmyBase string
+	// Service is an opaque handle exposed to tasks via TaskContext.
+	Service any
+}
+
+func (j *Job) validate() error {
+	if j.NewMapper == nil {
+		return fmt.Errorf("mapreduce: job %q has no mapper", j.Name)
+	}
+	if len(j.Inputs) == 0 {
+		return fmt.Errorf("mapreduce: job %q has no inputs", j.Name)
+	}
+	if j.OutputPrefix == "" {
+		return fmt.Errorf("mapreduce: job %q has no output prefix", j.Name)
+	}
+	if j.NumReducers <= 0 && j.NewReducer != nil {
+		return fmt.Errorf("mapreduce: job %q has %d reducers", j.Name, j.NumReducers)
+	}
+	if j.Schimmy && j.SchimmyBase == "" {
+		return fmt.Errorf("mapreduce: job %q enables schimmy without a base", j.Name)
+	}
+	if j.Schimmy && j.NewReducer == nil {
+		return fmt.Errorf("mapreduce: job %q enables schimmy without a reducer", j.Name)
+	}
+	if j.Schimmy && j.Speculative {
+		return fmt.Errorf("mapreduce: job %q combines schimmy with speculative execution "+
+			"(backup reduce attempts would double-write partition-aligned output)", j.Name)
+	}
+	return nil
+}
+
+// Result carries the statistics of one executed job. The fields mirror
+// the Hadoop counters the paper reports: Map Out (intermediate records),
+// Shuffle bytes, and the per-round runtime.
+type Result struct {
+	// Counters holds the user counters incremented via TaskContext.Inc.
+	Counters map[string]int64
+
+	MapTasks    int
+	ReduceTasks int
+
+	MapInputRecords  int64
+	MapOutputRecords int64
+	MapOutputBytes   int64
+
+	// ShuffleBytes is every byte fetched by reducers from map outputs
+	// (Hadoop's REDUCE_SHUFFLE_BYTES); InterNodeShuffleBytes is the
+	// subset that crossed simulated node boundaries.
+	ShuffleBytes          int64
+	InterNodeShuffleBytes int64
+
+	// MaxRecordBytes is the largest single intermediate record.
+	// MaxGroupBytes is the largest reduce group (one key's master plus
+	// all shuffled values) — the paper's "size of the biggest record":
+	// in FF1 the group with key = t carries every candidate augmenting
+	// path and dominates reducer memory, which is what FF2's aug_proc
+	// eliminates.
+	MaxRecordBytes int64
+	MaxGroupBytes  int64
+
+	ReduceOutputRecords int64
+	OutputBytes         int64
+	InputBytes          int64
+
+	// WallTime is the measured host execution time of the job;
+	// SimTime is the modelled cluster time (see CostModel).
+	WallTime time.Duration
+	SimTime  time.Duration
+}
+
+// Counter returns a user counter by name (0 when absent), mirroring
+// job.getCounters().getValue() in Fig. 2 of the paper.
+func (r *Result) Counter(name string) int64 { return r.Counters[name] }
+
+// Counters is a set of named atomic counters shared by a job's tasks.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments a named counter.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns a counter's value.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot copies all counters into a plain map.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// CostModel converts measured work and byte counts into a simulated
+// cluster runtime. Defaults approximate the paper's cluster: commodity
+// nodes with SATA disks (~100 MB/s), 1 GbE (~110 MB/s full duplex), and
+// tens of seconds of per-job framework overhead (the paper observes ~15
+// minutes minimum per round at their scale; scaled-down graphs here keep
+// overhead proportionally smaller by default).
+type CostModel struct {
+	// RoundOverhead is fixed per-job scheduling/setup cost.
+	RoundOverhead time.Duration
+	// TaskOverhead is fixed per-task launch cost.
+	TaskOverhead time.Duration
+	// DiskBytesPerSec is per-node disk bandwidth for DFS reads/writes.
+	DiskBytesPerSec float64
+	// NetBytesPerSec is per-node network bandwidth for shuffling.
+	NetBytesPerSec float64
+	// CPUFactor scales measured task CPU time into simulated time
+	// (1.0 = host speed).
+	CPUFactor float64
+	// StragglerProb is the probability that a task attempt runs slow
+	// (a common cluster pathology Hadoop's speculative execution exists
+	// to mask); StragglerFactor is the slowdown multiplier applied to a
+	// straggling attempt's simulated cost. With Job.Speculative the
+	// model charges the better of two attempt draws per task.
+	StragglerProb   float64
+	StragglerFactor float64
+}
+
+// DefaultCostModel returns the Hadoop-like cost model described above.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		RoundOverhead:   10 * time.Second,
+		TaskOverhead:    100 * time.Millisecond,
+		DiskBytesPerSec: 100e6,
+		NetBytesPerSec:  110e6,
+		CPUFactor:       1.0,
+		StragglerProb:   0.05,
+		StragglerFactor: 3.0,
+	}
+}
+
+// Faults configures failure injection and retry behaviour, emulating
+// Hadoop's task-attempt fault tolerance.
+type Faults struct {
+	// MaxAttempts is the number of attempts per task before the job
+	// fails (Hadoop's mapreduce.map.maxattempts, default 4 there;
+	// default 1 here so tests see errors immediately unless they opt in).
+	MaxAttempts int
+	// FailureRate injects a probability that any task attempt dies
+	// before doing work (emulating worker crashes). Injection is
+	// deterministic in Seed, the job name, the task and the attempt.
+	FailureRate float64
+	// Seed drives the injection hash.
+	Seed int64
+}
+
+// ZeroCostModel returns a model with no framework overhead and infinite
+// bandwidth; SimTime then reflects only measured computation. Used by
+// ablation benchmarks to separate algorithmic work from MR overhead.
+func ZeroCostModel() CostModel {
+	return CostModel{CPUFactor: 1.0}
+}

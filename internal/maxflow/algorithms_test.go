@@ -1,0 +1,305 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+)
+
+// buildNet adds directed edges (u, v, cap) to a fresh network.
+func buildNet(n int, edges [][3]int64) *Network {
+	g := NewNetwork(n)
+	for _, e := range edges {
+		g.AddEdge(int(e[0]), int(e[1]), e[2])
+	}
+	return g
+}
+
+// knownCases are hand-checked flow networks.
+func knownCases() []struct {
+	name  string
+	n     int
+	edges [][3]int64
+	s, t  int
+	want  int64
+} {
+	return []struct {
+		name  string
+		n     int
+		edges [][3]int64
+		s, t  int
+		want  int64
+	}{
+		{
+			name: "single edge",
+			n:    2, edges: [][3]int64{{0, 1, 7}}, s: 0, t: 1, want: 7,
+		},
+		{
+			name: "two hop chain",
+			n:    3, edges: [][3]int64{{0, 1, 5}, {1, 2, 3}}, s: 0, t: 2, want: 3,
+		},
+		{
+			name: "parallel paths",
+			n:    4, edges: [][3]int64{{0, 1, 2}, {1, 3, 2}, {0, 2, 3}, {2, 3, 3}},
+			s: 0, t: 3, want: 5,
+		},
+		{
+			name: "CLRS 26.1",
+			n:    6,
+			edges: [][3]int64{
+				{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4},
+				{1, 3, 12}, {3, 2, 9}, {2, 4, 14}, {4, 3, 7},
+				{3, 5, 20}, {4, 5, 4},
+			},
+			s: 0, t: 5, want: 23,
+		},
+		{
+			name: "zig zag needing reverse arcs",
+			n:    4,
+			edges: [][3]int64{
+				{0, 1, 1}, {0, 2, 1}, {1, 2, 1}, {1, 3, 1}, {2, 3, 1},
+			},
+			s: 0, t: 3, want: 2,
+		},
+		{
+			name: "disconnected",
+			n:    4, edges: [][3]int64{{0, 1, 5}, {2, 3, 5}}, s: 0, t: 3, want: 0,
+		},
+		{
+			name: "sink unreachable via direction",
+			n:    3, edges: [][3]int64{{1, 0, 4}, {2, 1, 4}}, s: 0, t: 2, want: 0,
+		},
+	}
+}
+
+func TestKnownFlows(t *testing.T) {
+	for _, tc := range knownCases() {
+		for _, solver := range Solvers() {
+			t.Run(tc.name+"/"+solver.Name, func(t *testing.T) {
+				g := buildNet(tc.n, tc.edges)
+				if got := solver.Run(g, tc.s, tc.t); got != tc.want {
+					t.Errorf("flow = %d, want %d", got, tc.want)
+				}
+			})
+		}
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	for _, solver := range Solvers() {
+		g := buildNet(2, [][3]int64{{0, 1, 5}})
+		if got := solver.Run(g, 0, 0); got != 0 {
+			t.Errorf("%s: s==t flow = %d, want 0", solver.Name, got)
+		}
+	}
+}
+
+// randomNetwork builds a random directed network plus the same network as
+// an Input for FromInput testing.
+func randomNetwork(rng *rand.Rand, n, m int) *Network {
+	g := NewNetwork(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v, 1+rng.Int63n(20))
+	}
+	return g
+}
+
+// TestAlgorithmsAgree is the core cross-validation property: all four
+// algorithms must compute identical flow values on arbitrary networks.
+func TestAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(20)
+		m := n + rng.Intn(4*n)
+		g := randomNetwork(rng, n, m)
+		s, tt := 0, n-1
+		want := Dinic(g.Clone(), s, tt)
+		for _, solver := range Solvers() {
+			if got := solver.Run(g.Clone(), s, tt); got != want {
+				t.Fatalf("trial %d: %s = %d, dinic = %d", trial, solver.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestMaxFlowMinCutDuality checks flow value == min-cut capacity.
+func TestMaxFlowMinCutDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(16)
+		g := randomNetwork(rng, n, n*3)
+		s, tt := 0, n-1
+		flow := Dinic(g, s, tt)
+		side := g.MinCut(s)
+		if side[tt] && flow > 0 {
+			t.Fatalf("trial %d: sink on source side of the cut", trial)
+		}
+		if got := g.CutCapacity(side); got != flow {
+			t.Fatalf("trial %d: cut capacity %d != flow %d", trial, got, flow)
+		}
+	}
+}
+
+func TestConservationAfterFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(12)
+		g := randomNetwork(rng, n, n*3)
+		s, tt := 0, n-1
+		flow := Dinic(g, s, tt)
+		if err := g.CheckConservation(s, tt); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out := g.OutFlow(s); out != flow {
+			t.Fatalf("trial %d: source out-flow %d != flow %d", trial, out, flow)
+		}
+	}
+}
+
+func TestFromInputUndirectedVsDirected(t *testing.T) {
+	// An undirected edge must carry capacity both ways; a directed one
+	// must not admit reverse flow.
+	und := &graph.Input{NumVertices: 2, Source: 1, Sink: 0,
+		Edges: []graph.InputEdge{{U: 0, V: 1, Cap: 4}}}
+	g, err := FromInput(und)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Dinic(g, 1, 0); got != 4 {
+		t.Errorf("undirected reverse flow = %d, want 4", got)
+	}
+
+	dir := &graph.Input{NumVertices: 2, Source: 1, Sink: 0,
+		Edges: []graph.InputEdge{{U: 0, V: 1, Cap: 4, Directed: true}}}
+	g, err = FromInput(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Dinic(g, 1, 0); got != 0 {
+		t.Errorf("directed reverse flow = %d, want 0", got)
+	}
+}
+
+func TestFromInputRejectsInvalid(t *testing.T) {
+	bad := &graph.Input{NumVertices: 1}
+	if _, err := FromInput(bad); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+func TestSuperSourceSinkFlowBounds(t *testing.T) {
+	// With w taps of infinite capacity, max flow is bounded by the total
+	// degree capacity of the tap sets; it must be positive on a connected
+	// small-world graph.
+	base, err := graphgen.WattsStrogatz(200, 6, 0.1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 3, 4, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromInput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := Dinic(g, int(in.Source), int(in.Sink))
+	if flow <= 0 {
+		t.Fatal("zero flow through super source/sink on connected graph")
+	}
+	if flow >= graph.CapInf/2 {
+		t.Fatal("flow absorbed infinite capacity; accounting broken")
+	}
+}
+
+// TestQuickUnitCapacityFlowBounds: on unit-capacity graphs the flow is
+// bounded by min(deg(s), deg(t)).
+func TestQuickUnitCapacityFlowBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		g := NewNetwork(n)
+		degS, degT := 0, 0
+		s, tt := 0, n-1
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.AddUndirectedEdge(u, v, 1)
+			if u == s || v == s {
+				degS++
+			}
+			if u == tt || v == tt {
+				degT++
+			}
+		}
+		flow := Dinic(g, s, tt)
+		bound := degS
+		if degT < bound {
+			bound = degT
+		}
+		return flow >= 0 && flow <= int64(bound)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMonotonicity: adding an edge never decreases the max flow.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		var edges [][3]int64
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, [3]int64{int64(u), int64(v), 1 + rng.Int63n(9)})
+		}
+		before := Dinic(buildNet(n, edges), 0, n-1)
+		u, v := rng.Intn(n-1), n-1
+		edges = append(edges, [3]int64{int64(u), int64(v), 1 + rng.Int63n(9)})
+		after := Dinic(buildNet(n, edges), 0, n-1)
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := buildNet(3, [][3]int64{{0, 1, 5}, {1, 2, 5}})
+	c := g.Clone()
+	if got := Dinic(c, 0, 2); got != 5 {
+		t.Fatalf("clone flow = %d", got)
+	}
+	// The original must be untouched by the run on the clone.
+	if got := Dinic(g, 0, 2); got != 5 {
+		t.Fatalf("original corrupted by clone run: flow = %d", got)
+	}
+}
+
+func TestNetworkAccessors(t *testing.T) {
+	g := buildNet(3, [][3]int64{{0, 1, 5}, {1, 2, 3}})
+	if g.N() != 3 {
+		t.Errorf("N = %d", g.N())
+	}
+	if g.Arcs() != 4 { // each edge adds a residual arc
+		t.Errorf("Arcs = %d, want 4", g.Arcs())
+	}
+	Dinic(g, 0, 2)
+	if got := g.Flow(0); got != 3 {
+		t.Errorf("flow on arc 0 = %d, want 3", got)
+	}
+}

@@ -1,0 +1,283 @@
+package pregel
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ffmr/internal/graph"
+)
+
+// Vertex is one vertex's engine-side state.
+type Vertex struct {
+	ID graph.VertexID
+	// Value is the vertex's opaque state, owned by the user program.
+	Value []byte
+	// halted marks a vertex that voted to halt and has no pending
+	// messages.
+	halted bool
+}
+
+// Context is handed to Program.Compute for one vertex in one superstep.
+type Context struct {
+	superstep int
+	engine    *Engine
+	worker    *worker
+	vertex    *Vertex
+	halt      bool
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context) Superstep() int { return c.superstep }
+
+// SendTo sends a message to another vertex, delivered next superstep.
+// The engine copies msg; callers may reuse the buffer.
+func (c *Context) SendTo(dst graph.VertexID, msg []byte) {
+	c.worker.send(dst, msg)
+}
+
+// VoteToHalt deactivates the vertex until a message arrives for it.
+func (c *Context) VoteToHalt() { c.halt = true }
+
+// Aggregate adds delta to a named int64 sum aggregator; the aggregated
+// value becomes visible through Aggregated in the next superstep.
+func (c *Context) Aggregate(name string, delta int64) {
+	c.worker.aggregates[name] += delta
+}
+
+// Aggregated returns a named aggregator's value from the previous
+// superstep (0 if never aggregated).
+func (c *Context) Aggregated(name string) int64 { return c.engine.prevAggregates[name] }
+
+// Collect submits an opaque item to the master collector, processed by
+// the MasterCompute hook after this superstep.
+func (c *Context) Collect(item []byte) {
+	c.worker.collected = append(c.worker.collected, append([]byte(nil), item...))
+}
+
+// Global returns the side data published by the previous superstep's
+// MasterCompute (nil in superstep 0).
+func (c *Context) Global() []byte { return c.engine.global }
+
+// Stats summarizes one engine run.
+type Stats struct {
+	// Supersteps executed (the BSP analogue of MR rounds).
+	Supersteps int
+	// Messages and MessageBytes count all vertex-to-vertex traffic, the
+	// analogue of the MR shuffle volume.
+	Messages     int64
+	MessageBytes int64
+	// ActiveVertices per superstep (parallelism profile).
+	ActiveVertices []int64
+	WallTime       time.Duration
+}
+
+// Config parameterizes an engine.
+type Config struct {
+	// Workers is the number of partitions executed concurrently
+	// (defaults to 8).
+	Workers int
+	// MaxSupersteps aborts a non-converging computation (default 10000).
+	MaxSupersteps int
+	// Master is the optional between-superstep hook.
+	Master MasterCompute
+}
+
+// worker owns a partition of vertices and its outgoing message buffers.
+type worker struct {
+	vertices   []*Vertex
+	outbox     [][]msg // per destination worker
+	aggregates map[string]int64
+	collected  [][]byte
+	msgCount   int64
+	msgBytes   int64
+}
+
+type msg struct {
+	dst  graph.VertexID
+	data []byte
+}
+
+func (w *worker) send(dst graph.VertexID, data []byte) {
+	p := int(dst) % len(w.outbox)
+	w.outbox[p] = append(w.outbox[p], msg{dst: dst, data: append([]byte(nil), data...)})
+	w.msgCount++
+	w.msgBytes += int64(len(data))
+}
+
+// Engine executes a Program over a vertex set.
+type Engine struct {
+	cfg     Config
+	workers []*worker
+	index   map[graph.VertexID]*Vertex
+
+	prevAggregates map[string]int64
+	global         []byte
+}
+
+// NewEngine creates an engine over the given vertices. Vertex IDs must
+// be unique.
+func NewEngine(cfg Config, vertices []*Vertex) (*Engine, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 10000
+	}
+	e := &Engine{
+		cfg:            cfg,
+		index:          make(map[graph.VertexID]*Vertex, len(vertices)),
+		prevAggregates: map[string]int64{},
+	}
+	e.workers = make([]*worker, cfg.Workers)
+	for i := range e.workers {
+		e.workers[i] = &worker{aggregates: map[string]int64{}}
+	}
+	for _, v := range vertices {
+		if _, dup := e.index[v.ID]; dup {
+			return nil, fmt.Errorf("pregel: duplicate vertex %d", v.ID)
+		}
+		e.index[v.ID] = v
+		w := e.workers[int(v.ID)%cfg.Workers]
+		w.vertices = append(w.vertices, v)
+	}
+	for _, w := range e.workers {
+		sort.Slice(w.vertices, func(i, j int) bool { return w.vertices[i].ID < w.vertices[j].ID })
+	}
+	return e, nil
+}
+
+// Vertex returns a vertex by ID (nil if absent). Intended for reading
+// results after Run.
+func (e *Engine) Vertex(id graph.VertexID) *Vertex { return e.index[id] }
+
+// Run executes the program until quiescence and returns run statistics.
+func (e *Engine) Run(program Program) (*Stats, error) {
+	start := time.Now()
+	stats := &Stats{}
+
+	// inbox[w] holds the messages for worker w's vertices this superstep.
+	inboxes := make([][]msg, len(e.workers))
+
+	for superstep := 0; superstep < e.cfg.MaxSupersteps; superstep++ {
+		// Deliver: group each worker's inbox by destination vertex.
+		delivered := make([]map[graph.VertexID][][]byte, len(e.workers))
+		for wi, inbox := range inboxes {
+			m := make(map[graph.VertexID][][]byte)
+			// Sort for deterministic per-vertex message order regardless
+			// of sender scheduling.
+			sort.Slice(inbox, func(i, j int) bool {
+				if inbox[i].dst != inbox[j].dst {
+					return inbox[i].dst < inbox[j].dst
+				}
+				return bytes.Compare(inbox[i].data, inbox[j].data) < 0
+			})
+			for _, msg := range inbox {
+				m[msg.dst] = append(m[msg.dst], msg.data)
+			}
+			delivered[wi] = m
+		}
+
+		var active int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make(chan error, len(e.workers))
+		for wi, w := range e.workers {
+			wg.Add(1)
+			go func(wi int, w *worker) {
+				defer wg.Done()
+				w.outbox = make([][]msg, len(e.workers))
+				var myActive int64
+				for _, v := range w.vertices {
+					msgs := delivered[wi][v.ID]
+					if len(msgs) > 0 {
+						v.halted = false
+					}
+					if v.halted {
+						continue
+					}
+					myActive++
+					ctx := &Context{superstep: superstep, engine: e, worker: w, vertex: v}
+					if err := program.Compute(ctx, v, msgs); err != nil {
+						errs <- fmt.Errorf("pregel: superstep %d vertex %d: %w", superstep, v.ID, err)
+						return
+					}
+					if ctx.halt {
+						v.halted = true
+					}
+				}
+				mu.Lock()
+				active += myActive
+				mu.Unlock()
+			}(wi, w)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+
+		stats.Supersteps = superstep + 1
+		stats.ActiveVertices = append(stats.ActiveVertices, active)
+
+		// Barrier bookkeeping: aggregates, collector, message routing.
+		aggregates := map[string]int64{}
+		var collected [][]byte
+		var pending int64
+		for _, w := range e.workers {
+			for name, v := range w.aggregates {
+				aggregates[name] += v
+			}
+			w.aggregates = map[string]int64{}
+			collected = append(collected, w.collected...)
+			w.collected = nil
+			stats.Messages += w.msgCount
+			stats.MessageBytes += w.msgBytes
+			w.msgCount, w.msgBytes = 0, 0
+		}
+		// Deterministic master input order.
+		sort.Slice(collected, func(i, j int) bool { return bytes.Compare(collected[i], collected[j]) < 0 })
+		e.prevAggregates = aggregates
+
+		if e.cfg.Master != nil {
+			global, err := e.cfg.Master(superstep, collected, aggregates)
+			if err != nil {
+				return nil, fmt.Errorf("pregel: master compute at superstep %d: %w", superstep, err)
+			}
+			e.global = global
+		}
+
+		next := make([][]msg, len(e.workers))
+		for _, w := range e.workers {
+			for p, out := range w.outbox {
+				next[p] = append(next[p], out...)
+				pending += int64(len(out))
+			}
+			w.outbox = nil
+		}
+		inboxes = next
+
+		if active == 0 && pending == 0 {
+			stats.WallTime = time.Since(start)
+			return stats, nil
+		}
+		if pending == 0 && allHalted(e.workers) {
+			stats.WallTime = time.Since(start)
+			return stats, nil
+		}
+	}
+	return nil, fmt.Errorf("pregel: no convergence within %d supersteps", e.cfg.MaxSupersteps)
+}
+
+func allHalted(workers []*worker) bool {
+	for _, w := range workers {
+		for _, v := range w.vertices {
+			if !v.halted {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package pregel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"ffmr/internal/graph"
+)
+
+// ssspProgram computes single-source shortest paths on an unweighted
+// graph — the canonical Pregel example. Vertex value: 8-byte distance
+// (max = unreached) followed by neighbour IDs.
+type ssspProgram struct{ source graph.VertexID }
+
+func encodeSSSP(dist uint64, nbrs []graph.VertexID) []byte {
+	out := binary.BigEndian.AppendUint64(nil, dist)
+	for _, n := range nbrs {
+		out = binary.BigEndian.AppendUint32(out, uint32(n))
+	}
+	return out
+}
+
+func decodeSSSP(b []byte) (uint64, []graph.VertexID) {
+	dist := binary.BigEndian.Uint64(b)
+	var nbrs []graph.VertexID
+	for off := 8; off+4 <= len(b); off += 4 {
+		nbrs = append(nbrs, graph.VertexID(binary.BigEndian.Uint32(b[off:])))
+	}
+	return dist, nbrs
+}
+
+const unreached = ^uint64(0)
+
+func (p *ssspProgram) Compute(ctx *Context, v *Vertex, messages [][]byte) error {
+	dist, nbrs := decodeSSSP(v.Value)
+	best := dist
+	if ctx.Superstep() == 0 && v.ID == p.source {
+		best = 0
+	}
+	for _, m := range messages {
+		if d := binary.BigEndian.Uint64(m); d < best {
+			best = d
+		}
+	}
+	if best < dist || (ctx.Superstep() == 0 && best == 0 && dist != 0) {
+		v.Value = encodeSSSP(best, nbrs)
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], best+1)
+		for _, n := range nbrs {
+			ctx.SendTo(n, buf[:])
+		}
+		ctx.Aggregate("updated", 1)
+	}
+	ctx.VoteToHalt()
+	return nil
+}
+
+// buildSSSP creates vertices for a path-plus-shortcut graph.
+func buildSSSP(t *testing.T, edges [][2]graph.VertexID, n int) []*Vertex {
+	t.Helper()
+	adj := make([][]graph.VertexID, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	var vertices []*Vertex
+	for i := 0; i < n; i++ {
+		vertices = append(vertices, &Vertex{
+			ID:    graph.VertexID(i),
+			Value: encodeSSSP(unreached, adj[i]),
+		})
+	}
+	return vertices
+}
+
+func TestSSSP(t *testing.T) {
+	// 0-1-2-3-4 path plus shortcut 0-3.
+	edges := [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 3}}
+	vertices := buildSSSP(t, edges, 5)
+	engine, err := NewEngine(Config{Workers: 3}, vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := engine.Run(&ssspProgram{source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[graph.VertexID]uint64{0: 0, 1: 1, 2: 2, 3: 1, 4: 2}
+	for id, wd := range want {
+		d, _ := decodeSSSP(engine.Vertex(id).Value)
+		if d != wd {
+			t.Errorf("dist[%d] = %d, want %d", id, d, wd)
+		}
+	}
+	if stats.Supersteps < 3 {
+		t.Errorf("supersteps = %d, want >= 3", stats.Supersteps)
+	}
+	if stats.Messages == 0 || stats.MessageBytes == 0 {
+		t.Error("no message accounting")
+	}
+}
+
+func TestHaltedVertexReactivatedByMessage(t *testing.T) {
+	// A long path: far vertices halt early and must be woken as the
+	// frontier arrives.
+	const n = 50
+	var edges [][2]graph.VertexID
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]graph.VertexID{graph.VertexID(i), graph.VertexID(i + 1)})
+	}
+	vertices := buildSSSP(t, edges, n)
+	engine, err := NewEngine(Config{Workers: 4}, vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(&ssspProgram{source: 0}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := decodeSSSP(engine.Vertex(n - 1).Value)
+	if d != n-1 {
+		t.Errorf("end of chain dist = %d, want %d", d, n-1)
+	}
+}
+
+func TestAggregatorsVisibleNextSuperstep(t *testing.T) {
+	vertices := []*Vertex{{ID: 0}, {ID: 1}}
+	prog := programFunc(func(ctx *Context, v *Vertex, messages [][]byte) error {
+		switch ctx.Superstep() {
+		case 0:
+			ctx.Aggregate("x", int64(v.ID)+1) // total 3
+			if got := ctx.Aggregated("x"); got != 0 {
+				return fmt.Errorf("superstep 0 sees aggregate %d", got)
+			}
+		case 1:
+			if got := ctx.Aggregated("x"); got != 3 {
+				return fmt.Errorf("superstep 1 sees aggregate %d, want 3", got)
+			}
+			ctx.VoteToHalt()
+		}
+		return nil
+	})
+	engine, err := NewEngine(Config{Workers: 2}, vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// programFunc adapts a function to Program.
+type programFunc func(ctx *Context, v *Vertex, messages [][]byte) error
+
+func (f programFunc) Compute(ctx *Context, v *Vertex, messages [][]byte) error {
+	return f(ctx, v, messages)
+}
+
+func TestMasterComputeAndGlobal(t *testing.T) {
+	vertices := []*Vertex{{ID: 0}, {ID: 1}, {ID: 2}}
+	master := func(superstep int, collected [][]byte, aggregates map[string]int64) ([]byte, error) {
+		var sum int
+		for _, item := range collected {
+			sum += int(item[0])
+		}
+		return []byte{byte(sum)}, nil
+	}
+	prog := programFunc(func(ctx *Context, v *Vertex, messages [][]byte) error {
+		switch ctx.Superstep() {
+		case 0:
+			ctx.Collect([]byte{byte(v.ID) + 1}) // 1+2+3 = 6
+		case 1:
+			g := ctx.Global()
+			if len(g) != 1 || g[0] != 6 {
+				return fmt.Errorf("global = %v, want [6]", g)
+			}
+			ctx.VoteToHalt()
+		}
+		return nil
+	})
+	engine, err := NewEngine(Config{Workers: 2, Master: master}, vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateVertexRejected(t *testing.T) {
+	_, err := NewEngine(Config{}, []*Vertex{{ID: 1}, {ID: 1}})
+	if err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+}
+
+func TestComputeErrorPropagates(t *testing.T) {
+	engine, err := NewEngine(Config{}, []*Vertex{{ID: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := programFunc(func(ctx *Context, v *Vertex, messages [][]byte) error {
+		return fmt.Errorf("vertex exploded")
+	})
+	if _, err := engine.Run(prog); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestMaxSuperstepsGuard(t *testing.T) {
+	engine, err := NewEngine(Config{MaxSupersteps: 5}, []*Vertex{{ID: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never halts.
+	prog := programFunc(func(ctx *Context, v *Vertex, messages [][]byte) error { return nil })
+	if _, err := engine.Run(prog); err == nil {
+		t.Fatal("non-converging program did not error")
+	}
+}
+
+func TestActiveVertexProfile(t *testing.T) {
+	vertices := buildSSSP(t, [][2]graph.VertexID{{0, 1}, {1, 2}}, 3)
+	engine, err := NewEngine(Config{Workers: 2}, vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := engine.Run(&ssspProgram{source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.ActiveVertices) != stats.Supersteps {
+		t.Errorf("profile length %d != supersteps %d", len(stats.ActiveVertices), stats.Supersteps)
+	}
+	if stats.ActiveVertices[0] != 3 {
+		t.Errorf("superstep 0 active = %d, want 3 (all start active)", stats.ActiveVertices[0])
+	}
+}

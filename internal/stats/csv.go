@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV writes the table as RFC 4180 CSV, one header row followed by the
+// data rows, so experiment outputs can be fed into external plotting
+// tools.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV writes the figure as CSV: an x column followed by one column per
+// series, one row per distinct x value in first-seen order. Missing
+// points render as empty cells.
+func (f *Figure) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{sanitizeCSVName(f.XLabel)}
+	for _, s := range f.Series {
+		header = append(header, sanitizeCSVName(s.Name))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = fmt.Sprintf("%g", s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sanitizeCSVName(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "value"
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+// Package stats renders the experiment harness's tables and figure series
+// in plain text, mirroring the shape of the paper's Table I and Figures
+// 5-8 so reproduced results can be compared against the published ones at
+// a glance.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a figure: x/y points in order.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a set of series sharing axes, rendered as aligned columns —
+// one row per x value, one column per series — which is the most useful
+// text form for comparing curve shapes against the paper.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates, attaches and returns a new series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the figure as a table of x values versus series values.
+func (f *Figure) String() string {
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(fmt.Sprintf("%s  (y: %s)", f.Title, f.YLabel), headers...)
+
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []any{trimFloat(x)}
+		for _, s := range f.Series {
+			val := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					val = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// FormatBytes renders a byte count with binary-prefix units.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// FormatCount renders large counts with thousands separators, as the
+// paper's tables do (e.g. "291,134,017").
+func FormatCount(n int64) string {
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// FormatDuration renders a duration like the paper's runtime column
+// (h:mm:ss for long runs, compact units otherwise).
+func FormatDuration(d time.Duration) string {
+	if d >= time.Minute {
+		d = d.Round(time.Second)
+		h := d / time.Hour
+		m := (d % time.Hour) / time.Minute
+		s := (d % time.Minute) / time.Second
+		if h > 0 {
+			return fmt.Sprintf("%d:%02d:%02d", h, m, s)
+		}
+		return fmt.Sprintf("%d:%02d", m, s)
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+// Speedup formats a ratio like the paper's "~5.43x faster" comparisons.
+func Speedup(base, improved time.Duration) string {
+	if improved <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(improved))
+}

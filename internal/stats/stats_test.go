@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Title", "Col1", "LongColumn2")
+	tbl.AddRow("a", 123)
+	tbl.AddRow("longer-cell", "x")
+	out := tbl.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Fatalf("got %d lines:\n%s", len(lines), out)
+		}
+	}
+	// Columns must be aligned: header and rows share the separator offset.
+	var headerLine string
+	for _, l := range lines {
+		if strings.Contains(l, "Col1") {
+			headerLine = l
+		}
+	}
+	if headerLine == "" {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "longer-cell") || !strings.Contains(out, "123") {
+		t.Error("cells missing")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := NewFigure("My Figure", "x", "y")
+	a := fig.AddSeries("alpha")
+	b := fig.AddSeries("beta")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 1.5)
+	out := fig.String()
+	for _, want := range []string{"My Figure", "alpha", "beta", "10", "1.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Missing point for beta at x=2 renders as empty, not a crash.
+	if !strings.Contains(out, "20") {
+		t.Error("second x row missing")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{6 << 20, "6.00 MiB"},
+		{3 << 30, "3.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{291134017, "291,134,017"},
+		{-12345, "-12,345"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.in); got != c.want {
+			t.Errorf("FormatCount(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{90 * time.Second, "1:30"},
+		{time.Hour + 36*time.Minute + 37*time.Second, "1:36:37"},
+		{250 * time.Millisecond, "250ms"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.in); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow("x,with,commas", 1)
+	tbl.AddRow("y", 2)
+	var sb strings.Builder
+	if err := tbl.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\n\"x,with,commas\",1\ny,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := NewFigure("F", "x", "y")
+	a := fig.AddSeries("s1")
+	b := fig.AddSeries("s2")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(2, 0.5)
+	var sb strings.Builder
+	if err := fig.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "x,s1,s2\n1,10,\n2,20,0.5\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != "5.00x" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := Speedup(time.Second, 0); got != "n/a" {
+		t.Errorf("Speedup by zero = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package ffmr
+
+import "fmt"
+
+// Rational capacity support. The paper's experiments use unit
+// capacities "for simplicity ... but our algorithm supports rational
+// numbers for the edge capacities." Rational capacities reduce to
+// integers by clearing denominators; the Graph tracks a common
+// denominator and rescales transparently, so Compute runs on exact
+// integer arithmetic and results can be read back as rationals.
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// maxDenominator bounds the common denominator so repeated rescaling
+// cannot overflow capacities.
+const maxDenominator = int64(1) << 30
+
+// AddEdgeRational adds an undirected edge with capacity num/den in both
+// directions. Existing capacities are rescaled to the new common
+// denominator.
+func (g *Graph) AddEdgeRational(u, v int, num, den int64) error {
+	scaled, err := g.scale(num, den)
+	if err != nil {
+		return err
+	}
+	g.AddEdge(u, v, scaled)
+	return nil
+}
+
+// AddArcRational adds a directed edge u -> v with capacity num/den.
+func (g *Graph) AddArcRational(u, v int, num, den int64) error {
+	scaled, err := g.scale(num, den)
+	if err != nil {
+		return err
+	}
+	g.AddArc(u, v, scaled)
+	return nil
+}
+
+// scale converts num/den into integer capacity units at the graph's
+// common denominator, enlarging the denominator (and rescaling all
+// existing edges) if needed.
+func (g *Graph) scale(num, den int64) (int64, error) {
+	if den <= 0 {
+		return 0, fmt.Errorf("ffmr: capacity denominator must be positive, got %d", den)
+	}
+	if num < 0 {
+		return 0, fmt.Errorf("ffmr: capacity must be non-negative, got %d/%d", num, den)
+	}
+	if g.den == 0 {
+		g.den = 1
+	}
+	// lcm(g.den, den)
+	l := g.den / gcd(g.den, den) * den
+	if l > maxDenominator {
+		return 0, fmt.Errorf("ffmr: common capacity denominator %d exceeds limit %d", l, maxDenominator)
+	}
+	if l != g.den {
+		factor := l / g.den
+		for i := range g.in.Edges {
+			g.in.Edges[i].Cap *= factor
+		}
+		g.den = l
+	}
+	return num * (g.den / den), nil
+}
+
+// CapacityDenominator returns the graph's common capacity denominator:
+// all stored integer capacities and all computed flow values are in
+// units of 1/CapacityDenominator.
+func (g *Graph) CapacityDenominator() int64 {
+	if g.den == 0 {
+		return 1
+	}
+	return g.den
+}
+
+// FlowRational converts an integer flow value computed on this graph
+// into a reduced rational (numerator, denominator).
+func (g *Graph) FlowRational(flow int64) (num, den int64) {
+	den = g.CapacityDenominator()
+	if flow == 0 {
+		return 0, 1
+	}
+	d := gcd(flow, den)
+	return flow / d, den / d
+}

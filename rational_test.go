@@ -1,0 +1,95 @@
+package ffmr_test
+
+import (
+	"testing"
+
+	"ffmr"
+)
+
+func TestRationalCapacities(t *testing.T) {
+	// Two parallel paths with capacities 1/2 and 1/3: max flow 5/6.
+	g := ffmr.NewGraph(4)
+	g.SetSource(0)
+	g.SetSink(3)
+	if err := g.AddEdgeRational(0, 1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeRational(1, 3, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeRational(0, 2, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeRational(2, 3, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.CapacityDenominator() != 6 {
+		t.Fatalf("common denominator = %d, want 6", g.CapacityDenominator())
+	}
+	res, err := ffmr.Compute(g, ffmr.WithVariant(ffmr.FF2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den := g.FlowRational(res.MaxFlow)
+	if num != 5 || den != 6 {
+		t.Fatalf("flow = %d/%d, want 5/6", num, den)
+	}
+	// Sequential oracle agrees at the integer scale.
+	seq, err := ffmr.ComputeSequential(g, ffmr.AlgoDinic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != res.MaxFlow {
+		t.Fatalf("distributed %d, sequential %d", res.MaxFlow, seq)
+	}
+}
+
+func TestRationalRescalingPreservesEarlierEdges(t *testing.T) {
+	// Adding a finer-grained capacity later must rescale earlier edges.
+	g := ffmr.NewGraph(3)
+	g.SetSource(0)
+	g.SetSink(2)
+	if err := g.AddEdgeRational(0, 1, 3, 2); err != nil { // 3/2
+		t.Fatal(err)
+	}
+	if err := g.AddEdgeRational(1, 2, 4, 5); err != nil { // 4/5
+		t.Fatal(err)
+	}
+	// Bottleneck is 4/5.
+	flow, err := ffmr.ComputeSequential(g, ffmr.AlgoDinic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num, den := g.FlowRational(flow)
+	if num != 4 || den != 5 {
+		t.Fatalf("flow = %d/%d, want 4/5", num, den)
+	}
+}
+
+func TestRationalValidation(t *testing.T) {
+	g := ffmr.NewGraph(2)
+	if err := g.AddEdgeRational(0, 1, 1, 0); err == nil {
+		t.Error("zero denominator accepted")
+	}
+	if err := g.AddEdgeRational(0, 1, -1, 2); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if err := g.AddArcRational(0, 1, 1, 1<<31); err == nil {
+		t.Error("huge denominator accepted")
+	}
+}
+
+func TestFlowRationalReduction(t *testing.T) {
+	g := ffmr.NewGraph(2)
+	if err := g.AddEdgeRational(0, 1, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	num, den := g.FlowRational(2) // 2 units of 1/4 = 1/2
+	if num != 1 || den != 2 {
+		t.Errorf("reduced flow = %d/%d, want 1/2", num, den)
+	}
+	num, den = g.FlowRational(0)
+	if num != 0 || den != 1 {
+		t.Errorf("zero flow = %d/%d, want 0/1", num, den)
+	}
+}
