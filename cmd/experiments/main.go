@@ -7,6 +7,7 @@
 //	experiments -exp all -scale tiny
 //	experiments -exp fig6 -scale default
 //	experiments -exp table1 -w 32
+//	experiments -exp table1 -trace table1.json   # Chrome trace of the runs
 package main
 
 import (
@@ -19,21 +20,36 @@ import (
 	"strings"
 
 	"ffmr/internal/experiments"
+	"ffmr/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run is the testable body of the command: it parses args, executes the
+// selected experiments and writes all human-readable output to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp   = flag.String("exp", "all", "experiment: graphs|fig5|fig6|table1|fig7|fig8|ablation|all")
-		scale = flag.String("scale", "tiny", "scale: tiny (10000x down) or default (1000x down)")
-		w     = flag.Int("w", 0, "override super source/sink tap count")
-		seed  = flag.Int64("seed", 0, "override generation seed")
-		nodes = flag.Int("nodes", 0, "override cluster node count")
-		csv   = flag.String("csv", "", "also write each artifact as CSV into this directory")
+		exp      = fs.String("exp", "all", "experiment: graphs|fig5|fig6|table1|fig7|fig8|ablation|mrbsp|all")
+		scale    = fs.String("scale", "tiny", "scale: tiny (10000x down) or default (1000x down)")
+		w        = fs.Int("w", 0, "override super source/sink tap count")
+		seed     = fs.Int64("seed", 0, "override generation seed")
+		nodes    = fs.Int("nodes", 0, "override cluster node count")
+		csv      = fs.String("csv", "", "also write each artifact as CSV into this directory")
+		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON file covering every run")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	saveCSV := func(name string, c interface{ CSV(io.Writer) error }) error {
 		if *csv == "" {
@@ -60,7 +76,7 @@ func main() {
 	case "default":
 		sc = experiments.Default()
 	default:
-		log.Fatalf("unknown scale %q", *scale)
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
 	if *w > 0 {
 		sc.W = *w
@@ -71,101 +87,137 @@ func main() {
 	if *nodes > 0 {
 		sc.Nodes = *nodes
 	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
+		sc.Tracer = tracer
+	}
 
-	run := func(name string, f func() error) {
+	run := func(name string, f func() error) error {
 		if *exp != "all" && *exp != name {
-			return
+			return nil
 		}
-		fmt.Printf("==== %s ====\n\n", strings.ToUpper(name))
+		fmt.Fprintf(stdout, "==== %s ====\n\n", strings.ToUpper(name))
 		if err := f(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+		return nil
 	}
 
-	run("graphs", func() error {
-		_, tbl, err := experiments.GraphsTable(sc)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return saveCSV("graphs", tbl)
-	})
-	run("fig5", func() error {
-		_, fig, err := experiments.Fig5(sc, []int{1, 2, 4, 8, 16, 32})
-		if err != nil {
-			return err
-		}
-		fmt.Println(fig)
-		return saveCSV("fig5", fig)
-	})
-	run("fig6", func() error {
-		_, tbl, err := experiments.Fig6(sc)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return saveCSV("fig6", tbl)
-	})
-	run("table1", func() error {
-		_, tbl, err := experiments.Table1(sc, sc.W)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return saveCSV("table1", tbl)
-	})
-	run("fig7", func() error {
-		_, fig, err := experiments.Fig7(sc)
-		if err != nil {
-			return err
-		}
-		fmt.Println(fig)
-		return saveCSV("fig7", fig)
-	})
-	run("fig8", func() error {
-		_, fig, err := experiments.Fig8(sc, []int{5, 10, 20})
-		if err != nil {
-			return err
-		}
-		fmt.Println(fig)
-		return saveCSV("fig8", fig)
-	})
-	run("ablation", func() error {
-		_, tbl, err := experiments.AblationTechniques(sc)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		_, tbl2, err := experiments.AblationK(sc, []int{1, 2, 4, 8, 16})
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl2)
-		_, tbl3, err := experiments.AblationCombiner(sc)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl3)
-		if err := saveCSV("ablation-techniques", tbl); err != nil {
-			return err
-		}
-		if err := saveCSV("ablation-k", tbl2); err != nil {
-			return err
-		}
-		return saveCSV("ablation-combiner", tbl3)
-	})
-	run("mrbsp", func() error {
-		_, tbl, err := experiments.CompareMRBSP(sc)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return saveCSV("mrbsp", tbl)
-	})
-
-	if flag.NArg() > 0 {
-		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
-		os.Exit(2)
+	steps := []struct {
+		name string
+		f    func() error
+	}{
+		{"graphs", func() error {
+			_, tbl, err := experiments.GraphsTable(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl)
+			return saveCSV("graphs", tbl)
+		}},
+		{"fig5", func() error {
+			_, fig, err := experiments.Fig5(sc, []int{1, 2, 4, 8, 16, 32})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, fig)
+			return saveCSV("fig5", fig)
+		}},
+		{"fig6", func() error {
+			_, tbl, err := experiments.Fig6(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl)
+			return saveCSV("fig6", tbl)
+		}},
+		{"table1", func() error {
+			_, tbl, err := experiments.Table1(sc, sc.W)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl)
+			return saveCSV("table1", tbl)
+		}},
+		{"fig7", func() error {
+			_, fig, err := experiments.Fig7(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, fig)
+			return saveCSV("fig7", fig)
+		}},
+		{"fig8", func() error {
+			_, fig, err := experiments.Fig8(sc, []int{5, 10, 20})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, fig)
+			return saveCSV("fig8", fig)
+		}},
+		{"ablation", func() error {
+			_, tbl, err := experiments.AblationTechniques(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl)
+			_, tbl2, err := experiments.AblationK(sc, []int{1, 2, 4, 8, 16})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl2)
+			_, tbl3, err := experiments.AblationCombiner(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl3)
+			if err := saveCSV("ablation-techniques", tbl); err != nil {
+				return err
+			}
+			if err := saveCSV("ablation-k", tbl2); err != nil {
+				return err
+			}
+			return saveCSV("ablation-combiner", tbl3)
+		}},
+		{"mrbsp", func() error {
+			_, tbl, err := experiments.CompareMRBSP(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl)
+			return saveCSV("mrbsp", tbl)
+		}},
 	}
+	if *exp != "all" {
+		known := false
+		for _, s := range steps {
+			known = known || s.name == *exp
+		}
+		if !known {
+			return fmt.Errorf("unknown experiment %q (want graphs, fig5, fig6, table1, fig7, fig8, ablation, mrbsp or all)", *exp)
+		}
+	}
+	for _, s := range steps {
+		if err := run(s.name, s.f); err != nil {
+			return err
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
+	}
+	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"ffmr/internal/mapreduce"
 	"ffmr/internal/maxflow"
 	"ffmr/internal/stats"
+	"ffmr/internal/trace"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func main() {
 		real    = flag.Bool("realistic", true, "charge Hadoop-like per-round overhead in simulated time")
 		rounds  = flag.Bool("rounds", true, "print the per-round statistics table")
 		live    = flag.Bool("progress", false, "print each round's statistics as it completes")
+		trOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 	)
 	flag.Parse()
 
@@ -72,11 +74,13 @@ func main() {
 	fmt.Printf("graph: %d vertices, %d edges, s=%d, t=%d\n",
 		in.NumVertices, len(in.Edges), in.Source, in.Sink)
 
+	tracer := trace.New()
 	cluster := newCluster(*nodes, *slots, *real)
 	opts := core.Options{
 		Variant:   core.Variant(*variant),
 		K:         *kPaths,
 		MaxRounds: *maxR,
+		Tracer:    tracer,
 	}
 	if *paperT {
 		opts.Termination = core.TerminationPaper
@@ -101,14 +105,8 @@ func main() {
 		stats.FormatBytes(res.InputGraphBytes), stats.FormatBytes(res.MaxGraphBytes))
 
 	if *rounds {
-		t := stats.NewTable("\nPer-round statistics",
-			"R", "A-Paths", "MaxQ", "Map Out", "Shuffle(KB)", "Active", "SimTime")
-		for _, rs := range res.RoundStats {
-			t.AddRow(rs.Round, stats.FormatCount(rs.APaths), stats.FormatCount(rs.MaxQueue),
-				stats.FormatCount(rs.MapOutRecords), stats.FormatCount(rs.ShuffleBytes/1024),
-				stats.FormatCount(rs.ActiveVertices), stats.FormatDuration(rs.SimTime))
-		}
-		fmt.Println(t)
+		fmt.Println(stats.RoundTable("\nPer-round statistics",
+			trace.RoundSummariesUnder(res.RunSpan)))
 	}
 
 	if *check {
@@ -135,7 +133,7 @@ func main() {
 	}
 
 	if *bsp {
-		bres, err := core.RunBSP(in, core.BSPOptions{Workers: *nodes * *slots})
+		bres, err := core.RunBSP(in, core.BSPOptions{Workers: *nodes * *slots, Tracer: tracer})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -146,6 +144,21 @@ func main() {
 			fmt.Println("WARNING: BSP and MR flows disagree")
 			os.Exit(1)
 		}
+	}
+
+	if *trOut != "" {
+		f, err := os.Create(*trOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *trOut)
 	}
 }
 

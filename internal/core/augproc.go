@@ -6,8 +6,22 @@ import (
 	"net/rpc"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ffmr/internal/graph"
+	"ffmr/internal/trace"
+)
+
+// Metric names the aug_proc server registers on a tracer's registry.
+const (
+	// MetricAugQueueDepth is the queue-depth gauge; its high-water mark
+	// is the paper's MaxQ.
+	MetricAugQueueDepth = "augproc queue depth"
+	// MetricAugAcceptNS accumulates nanoseconds the consumer spent
+	// deciding acceptance, and MetricAugBatches the number of submitted
+	// batches — their ratio is the mean accept latency per batch.
+	MetricAugAcceptNS = "augproc accept ns"
+	MetricAugBatches  = "augproc batches"
 )
 
 // This file implements aug_proc, the FF2 "stateful extension for MR"
@@ -61,10 +75,31 @@ type AugProcServer struct {
 	queued atomic.Int64 // paths currently enqueued
 	maxQ   atomic.Int64
 
+	// Trace instrumentation, installed by SetTracer (atomic pointers so
+	// RPC goroutines and the consumer need no extra locking; the nil
+	// defaults are valid no-op handles).
+	qGauge   atomic.Pointer[trace.Gauge]
+	acceptNS atomic.Pointer[trace.Counter]
+	batches  atomic.Pointer[trace.Counter]
+
 	mu      sync.Mutex
 	acc     Accumulator
 	stats   AugProcStats
 	serving bool
+}
+
+// SetTracer installs trace instrumentation: a queue-depth gauge (whose
+// high-water mark is the paper's MaxQ) and accept-latency counters on
+// the tracer's registry. Passing a nil tracer leaves the server
+// uninstrumented.
+func (s *AugProcServer) SetTracer(t *trace.Tracer) {
+	reg := t.Registry()
+	if reg == nil {
+		return
+	}
+	s.qGauge.Store(reg.Gauge(MetricAugQueueDepth))
+	s.acceptNS.Store(reg.Counter(MetricAugAcceptNS))
+	s.batches.Store(reg.Counter(MetricAugBatches))
 }
 
 // RPC service wrapper type so only Submit is exported over the wire.
@@ -83,6 +118,7 @@ func (svc *augProcService) Submit(args *SubmitArgs, _ *SubmitReply) error {
 			break
 		}
 	}
+	s.qGauge.Load().Set(q)
 	s.queue <- augItem{paths: args.Paths}
 	return nil
 }
@@ -131,6 +167,7 @@ func (s *AugProcServer) consume() {
 				close(item.flush)
 				continue
 			}
+			t0 := time.Now()
 			s.mu.Lock()
 			for _, pb := range item.paths {
 				p, err := graph.DecodePath(pb)
@@ -145,7 +182,9 @@ func (s *AugProcServer) consume() {
 				}
 			}
 			s.mu.Unlock()
-			s.queued.Add(-int64(len(item.paths)))
+			s.acceptNS.Load().Add(time.Since(t0).Nanoseconds())
+			s.batches.Load().Add(1)
+			s.qGauge.Load().Set(s.queued.Add(-int64(len(item.paths))))
 		case <-s.done:
 			return
 		}

@@ -7,6 +7,7 @@ import (
 
 	"ffmr/internal/graph"
 	"ffmr/internal/pregel"
+	"ffmr/internal/trace"
 )
 
 // This file is the BSP/Pregel translation of the FFMR algorithm, testing
@@ -250,6 +251,9 @@ type BSPOptions struct {
 	Workers int
 	// MaxSupersteps bounds the run (default 10000).
 	MaxSupersteps int
+	// Tracer, if non-nil, records a run span with one child span per
+	// superstep (annotated with active-vertex and message-volume counts).
+	Tracer *trace.Tracer
 }
 
 // RunBSP computes the maximum flow with the Pregel/BSP translation of
@@ -290,10 +294,18 @@ func RunBSP(in *graph.Input, opts BSPOptions) (*BSPResult, error) {
 	}
 
 	master := &bspMaster{bidirectional: !opts.DisableBidirectional}
+	runSpan := opts.Tracer.Start(trace.CatRun, "ffmr-bsp", nil)
+	runSpan.SetStr("variant", "BSP")
+	defer func() {
+		runSpan.SetInt("max_flow", master.maxFlow)
+		runSpan.End()
+	}()
 	engine, err := pregel.NewEngine(pregel.Config{
 		Workers:       opts.Workers,
 		MaxSupersteps: opts.MaxSupersteps,
 		Master:        master.compute,
+		Tracer:        opts.Tracer,
+		TraceParent:   runSpan,
 	}, vertices)
 	if err != nil {
 		return nil, err

@@ -81,6 +81,78 @@ func TestResumeContinuesInterruptedRun(t *testing.T) {
 	}
 }
 
+// normalizeStat blanks the fields that legitimately differ between two
+// equivalent runs: MaxQueue depends on aug_proc consumer scheduling even
+// with a single reducer, and the time fields on host load.
+func normalizeStat(rs RoundStat) RoundStat {
+	rs.MaxQueue = 0
+	rs.SimTime = 0
+	rs.WallTime = 0
+	return rs
+}
+
+// TestResumeEquivalence is the checkpoint/resume equivalence check: a
+// run interrupted at a mid-round checkpoint and resumed must report the
+// same flow value, the same round count, AND identical per-round
+// counters as a never-interrupted run — resuming may not replay, skip or
+// alter any round. Reducers=1 makes the per-round counters deterministic
+// (candidate submission order is fixed with a single reducer).
+func TestResumeEquivalence(t *testing.T) {
+	base, err := graphgen.BarabasiAlbert(300, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 4, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Variant: FF5, Reducers: 1}
+
+	full, err := Run(testCluster(3), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rounds < 4 {
+		t.Fatalf("reference run took only %d rounds; pick a harder graph", full.Rounds)
+	}
+
+	// Interrupt mid-run at the checkpoint written after round 2, then
+	// resume on the same cluster/DFS.
+	cluster := testCluster(3)
+	interrupted := opts
+	interrupted.MaxRounds = 2
+	if _, err := Run(cluster, in, interrupted); err == nil {
+		t.Fatal("2-round run unexpectedly converged")
+	}
+	resumeOpts := opts
+	resumeOpts.Resume = true
+	res, err := Run(cluster, in, resumeOpts)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	if res.MaxFlow != full.MaxFlow {
+		t.Errorf("resumed flow %d, uninterrupted %d", res.MaxFlow, full.MaxFlow)
+	}
+	if res.MaxFlow != dinicValue(t, in) {
+		t.Errorf("resumed flow %d disagrees with Dinic %d", res.MaxFlow, dinicValue(t, in))
+	}
+	if res.Rounds != full.Rounds {
+		t.Errorf("resumed rounds %d, uninterrupted %d", res.Rounds, full.Rounds)
+	}
+	if len(res.RoundStats) != len(full.RoundStats) {
+		t.Fatalf("resumed has %d round stats, uninterrupted %d",
+			len(res.RoundStats), len(full.RoundStats))
+	}
+	for i := range full.RoundStats {
+		got, want := normalizeStat(res.RoundStats[i]), normalizeStat(full.RoundStats[i])
+		if got != want {
+			t.Errorf("round %d counters diverge after resume:\n resumed: %+v\n    full: %+v",
+				full.RoundStats[i].Round, got, want)
+		}
+	}
+}
+
 func TestResumeAfterConvergenceIsNoOp(t *testing.T) {
 	in := pathGraph(4, 1)
 	cluster := testCluster(2)

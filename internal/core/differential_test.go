@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+	"ffmr/internal/maxflow"
+)
+
+// This file is the cross-variant differential harness: randomized
+// small-world graphs from the generators, every FFMR variant plus the
+// BSP translation, checked against two independent sequential oracles
+// (Dinic and Push-Relabel). Every failure message carries the generator
+// name and seed, so a red run is reproducible without extra logging.
+
+// diffCase describes one randomized differential-test graph.
+type diffCase struct {
+	name  string
+	seed  int64
+	build func(seed int64) (*graph.Input, error)
+}
+
+// randomCaps scales capacities pseudo-randomly in [1, maxCap] so the
+// max-flow value is not just a degree count.
+func randomCaps(in *graph.Input, maxCap int64, seed int64) *graph.Input {
+	graphgen.RandomCapacities(in, maxCap, seed)
+	return in
+}
+
+func diffCases() []diffCase {
+	return []diffCase{
+		{"ws-n60", 11, func(seed int64) (*graph.Input, error) {
+			in, err := graphgen.WattsStrogatz(60, 4, 0.2, seed)
+			if err != nil {
+				return nil, err
+			}
+			in.Source, in.Sink = graphgen.PickEndpoints(in)
+			return in, nil
+		}},
+		{"ws-n80-caps", 12, func(seed int64) (*graph.Input, error) {
+			in, err := graphgen.WattsStrogatz(80, 6, 0.1, seed)
+			if err != nil {
+				return nil, err
+			}
+			in.Source, in.Sink = graphgen.PickEndpoints(in)
+			return randomCaps(in, 5, seed+1), nil
+		}},
+		{"ba-n50", 13, func(seed int64) (*graph.Input, error) {
+			in, err := graphgen.BarabasiAlbert(50, 3, seed)
+			if err != nil {
+				return nil, err
+			}
+			in.Source, in.Sink = graphgen.PickEndpoints(in)
+			return in, nil
+		}},
+		{"ba-n90-caps", 14, func(seed int64) (*graph.Input, error) {
+			in, err := graphgen.BarabasiAlbert(90, 2, seed)
+			if err != nil {
+				return nil, err
+			}
+			in.Source, in.Sink = graphgen.PickEndpoints(in)
+			return randomCaps(in, 7, seed+1), nil
+		}},
+		{"rmat-s6", 15, func(seed int64) (*graph.Input, error) {
+			in, err := graphgen.RMAT(6, 4, seed)
+			if err != nil {
+				return nil, err
+			}
+			in.Source, in.Sink = graphgen.PickEndpoints(in)
+			return in, nil
+		}},
+		{"ba-n120-super-st", 16, func(seed int64) (*graph.Input, error) {
+			in, err := graphgen.BarabasiAlbert(120, 3, seed)
+			if err != nil {
+				return nil, err
+			}
+			return graphgen.AttachSuperSourceSink(in, 4, 4, seed+1)
+		}},
+	}
+}
+
+// oracleValue computes the ground-truth flow with both sequential
+// solvers and fails the test if the oracles themselves disagree.
+func oracleValue(t *testing.T, tc diffCase, in *graph.Input) int64 {
+	t.Helper()
+	net, err := maxflow.FromInput(in)
+	if err != nil {
+		t.Fatalf("[%s seed=%d] FromInput: %v", tc.name, tc.seed, err)
+	}
+	dinic := maxflow.Dinic(net, int(in.Source), int(in.Sink))
+	net2, err := maxflow.FromInput(in)
+	if err != nil {
+		t.Fatalf("[%s seed=%d] FromInput: %v", tc.name, tc.seed, err)
+	}
+	pr := maxflow.PushRelabel(net2, int(in.Source), int(in.Sink))
+	if dinic != pr {
+		t.Fatalf("[%s seed=%d] oracle disagreement: Dinic=%d PushRelabel=%d",
+			tc.name, tc.seed, dinic, pr)
+	}
+	return dinic
+}
+
+// TestDifferentialVariantsAgainstOracles runs FF1..FF5 and the BSP
+// translation on each randomized graph and asserts they all compute the
+// oracle flow value.
+func TestDifferentialVariantsAgainstOracles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness is slow; skipped with -short")
+	}
+	for _, tc := range diffCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := tc.build(tc.seed)
+			if err != nil {
+				t.Fatalf("[%s seed=%d] build: %v", tc.name, tc.seed, err)
+			}
+			want := oracleValue(t, tc, in)
+
+			for _, variant := range allVariants() {
+				variant := variant
+				t.Run(variant.String(), func(t *testing.T) {
+					t.Parallel()
+					cluster := testCluster(3)
+					res, err := Run(cluster, in, Options{Variant: variant})
+					if err != nil {
+						t.Fatalf("[%s seed=%d] %s: %v", tc.name, tc.seed, variant, err)
+					}
+					if res.MaxFlow != want {
+						t.Errorf("[%s seed=%d] %s max flow = %d, oracles say %d",
+							tc.name, tc.seed, variant, res.MaxFlow, want)
+					}
+				})
+			}
+			t.Run("BSP", func(t *testing.T) {
+				t.Parallel()
+				res, err := RunBSP(in, BSPOptions{})
+				if err != nil {
+					t.Fatalf("[%s seed=%d] BSP: %v", tc.name, tc.seed, err)
+				}
+				if res.MaxFlow != want {
+					t.Errorf("[%s seed=%d] BSP max flow = %d, oracles say %d",
+						tc.name, tc.seed, res.MaxFlow, want)
+				}
+			})
+		})
+	}
+}
+
+// TestDifferentialSeedSweep drives one generator through a small seed
+// sweep with the fastest (FF5) variant, widening randomized coverage
+// beyond the fixed case list.
+func TestDifferentialSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness is slow; skipped with -short")
+	}
+	for seed := int64(100); seed < 104; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			in, err := graphgen.WattsStrogatz(40, 4, 0.3, seed)
+			if err != nil {
+				t.Fatalf("[ws seed=%d] build: %v", seed, err)
+			}
+			graphgen.RandomCapacities(in, 4, seed+1)
+			in.Source, in.Sink = graphgen.PickEndpoints(in)
+			tc := diffCase{name: "ws-sweep", seed: seed}
+			want := oracleValue(t, tc, in)
+			cluster := testCluster(2)
+			res, err := Run(cluster, in, Options{Variant: FF5})
+			if err != nil {
+				t.Fatalf("[ws-sweep seed=%d] FF5: %v", seed, err)
+			}
+			if res.MaxFlow != want {
+				t.Errorf("[ws-sweep seed=%d] FF5 max flow = %d, oracles say %d",
+					seed, res.MaxFlow, want)
+			}
+		})
+	}
+}

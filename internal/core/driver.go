@@ -7,6 +7,7 @@ import (
 	"ffmr/internal/dfs"
 	"ffmr/internal/graph"
 	"ffmr/internal/mapreduce"
+	"ffmr/internal/trace"
 )
 
 // RoundStat captures one round of execution. The fields correspond to
@@ -70,6 +71,13 @@ type Result struct {
 	// as vertices accumulate excess paths.
 	InputGraphBytes int64
 	MaxGraphBytes   int64
+
+	// RunSpan is the run's trace span when Options.Tracer was set (nil
+	// otherwise). trace.RoundSummariesUnder(RunSpan) yields the same
+	// per-round metrics as RoundStats — for rounds executed by this
+	// invocation; rounds replayed from a resume checkpoint predate the
+	// tracer and appear only in RoundStats.
+	RunSpan *trace.Span
 }
 
 func roundPrefix(prefix string, round int) string {
@@ -96,7 +104,20 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 	fs := cluster.FS
 	prefix := opts.PathPrefix
 
-	result := &Result{Variant: opts.Variant}
+	tr := opts.Tracer
+	if tr != nil {
+		// Job/phase/task spans of every round nest under this run.
+		cluster.Tracer = tr
+	}
+	runSpan := tr.Start(trace.CatRun, fmt.Sprintf("ffmr-%s", opts.Variant), nil)
+	runSpan.SetStr("variant", opts.Variant.String())
+	result := &Result{Variant: opts.Variant, RunSpan: runSpan}
+	defer func() {
+		runSpan.SetInt("max_flow", result.MaxFlow)
+		runSpan.SetInt("rounds", int64(result.Rounds))
+		runSpan.End()
+	}()
+
 	startRound := 1
 
 	if opts.Resume && fs.Exists(checkpointName(prefix)) {
@@ -140,12 +161,14 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		}
 
 		// Round #0: convert the edge list into vertex records.
+		round0Span := tr.Start(trace.CatRound, "round-00000", runSpan)
 		job0 := &mapreduce.Job{
 			Name:         "ffmr-round-0-convert",
 			Round:        0,
 			Inputs:       inputs,
 			OutputPrefix: roundPrefix(prefix, 0),
 			NumReducers:  opts.Reducers,
+			Parent:       round0Span,
 			NewMapper:    func() mapreduce.Mapper { return convertMapper{} },
 			NewReducer: func() mapreduce.Reducer {
 				return &convertReducer{
@@ -158,9 +181,13 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		}
 		res0, err := cluster.Run(job0)
 		if err != nil {
+			round0Span.End()
 			return nil, err
 		}
-		result.RoundStats = append(result.RoundStats, jobStat(0, res0, AugProcStats{}))
+		stat0 := jobStat(0, res0, AugProcStats{})
+		annotateRoundSpan(round0Span, stat0)
+		round0Span.End()
+		result.RoundStats = append(result.RoundStats, stat0)
 		result.InputGraphBytes = res0.OutputBytes
 		result.MaxGraphBytes = res0.OutputBytes
 
@@ -183,10 +210,12 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		if err != nil {
 			return nil, err
 		}
+		aug.SetTracer(tr)
 		defer aug.Close() //nolint:errcheck // shutdown of a loopback listener
 	}
 
 	for round := startRound; round <= opts.MaxRounds; round++ {
+		roundSpan := tr.Start(trace.CatRound, fmt.Sprintf("round-%05d", round), runSpan)
 		cfg := &runConfig{
 			opts:       opts,
 			feat:       feat,
@@ -202,6 +231,7 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 			aug.BeginRound()
 			c, err := DialAugProc(aug.Addr())
 			if err != nil {
+				roundSpan.End()
 				return nil, err
 			}
 			client = c
@@ -221,6 +251,7 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 			Schimmy:      feat.schimmy,
 			SchimmyBase:  roundPrefix(prefix, round-1),
 			Service:      service,
+			Parent:       roundSpan,
 			NewMapper:    func() mapreduce.Mapper { return newFFMapper(cfg) },
 			NewReducer:   func() mapreduce.Reducer { return newFFReducer(cfg) },
 		}
@@ -232,6 +263,7 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 			client.Close() //nolint:errcheck // loopback connection teardown
 		}
 		if err != nil {
+			roundSpan.End()
 			return nil, err
 		}
 
@@ -246,10 +278,13 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		result.Rounds = round
 
 		if err := fs.WriteFile(deltaName(prefix, round+1), EncodeDeltas(deltas)); err != nil {
+			roundSpan.End()
 			return nil, err
 		}
 
 		stat := jobStat(round, res, st)
+		annotateRoundSpan(roundSpan, stat)
+		roundSpan.End()
 		result.RoundStats = append(result.RoundStats, stat)
 		if opts.RoundCallback != nil {
 			opts.RoundCallback(stat)
@@ -304,6 +339,27 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		return result, fmt.Errorf("core: %s did not converge within %d rounds", opts.Variant, opts.MaxRounds)
 	}
 	return result, nil
+}
+
+// annotateRoundSpan writes a round's Table I metrics onto its trace
+// span. The stats tables and the exported trace file are both derived
+// from these values, so they can never disagree.
+func annotateRoundSpan(sp *trace.Span, rs RoundStat) {
+	sp.SetInt(trace.AttrRound, int64(rs.Round))
+	sp.SetInt(trace.AttrAPaths, rs.APaths)
+	sp.SetInt(trace.AttrSubmitted, rs.Submitted)
+	sp.SetInt(trace.AttrMaxQueue, rs.MaxQueue)
+	sp.SetInt(trace.AttrFlowDelta, rs.FlowDelta)
+	sp.SetInt(trace.AttrSourceMove, rs.SourceMove)
+	sp.SetInt(trace.AttrSinkMove, rs.SinkMove)
+	sp.SetInt(trace.AttrActiveVertices, rs.ActiveVertices)
+	sp.SetInt(trace.AttrMapOutRecords, rs.MapOutRecords)
+	sp.SetInt(trace.AttrMapOutBytes, rs.MapOutBytes)
+	sp.SetInt(trace.AttrShuffleBytes, rs.ShuffleBytes)
+	sp.SetInt(trace.AttrMaxRecordBytes, rs.MaxRecordBytes)
+	sp.SetInt(trace.AttrMaxGroupBytes, rs.MaxGroupBytes)
+	sp.SetInt(trace.AttrOutputBytes, rs.OutputBytes)
+	sp.SetInt(trace.AttrSimTimeUS, rs.SimTime.Microseconds())
 }
 
 func jobStat(round int, res *mapreduce.Result, st AugProcStats) RoundStat {

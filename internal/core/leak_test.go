@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"ffmr/internal/graph"
+	"ffmr/internal/leakcheck"
+	"ffmr/internal/trace"
+)
+
+// TestAugProcShutdownLeavesNoGoroutines verifies that closing the
+// aug_proc server stops its consumer and accept-loop goroutines even
+// after live client traffic.
+func TestAugProcShutdownLeavesNoGoroutines(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv, err := NewAugProcServer()
+	if err != nil {
+		t.Fatalf("NewAugProcServer: %v", err)
+	}
+	srv.SetTracer(trace.New())
+	srv.BeginRound()
+	client, err := DialAugProc(srv.Addr())
+	if err != nil {
+		t.Fatalf("DialAugProc: %v", err)
+	}
+	paths := []graph.ExcessPath{
+		{Edges: []graph.PathEdge{{ID: 1, From: 0, To: 1, Flow: 1, Cap: 2, Fwd: true}}},
+	}
+	for i := 0; i < 10; i++ {
+		if err := client.Submit(paths); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	st, _ := srv.EndRound()
+	if st.Submitted != 10 {
+		t.Fatalf("submitted = %d, want 10", st.Submitted)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+}
+
+// TestDriverRunLeavesNoGoroutines runs a full traced FF2 computation
+// (which starts and stops an aug_proc server, reducer RPC clients and
+// the task worker pool) and asserts everything winds down.
+func TestDriverRunLeavesNoGoroutines(t *testing.T) {
+	defer leakcheck.Check(t)()
+	cluster := testCluster(3)
+	in := pathGraph(4, 2)
+	res, err := Run(cluster, in, Options{Variant: FF2, Tracer: trace.New()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.MaxFlow != 2 {
+		t.Fatalf("max flow = %d, want 2", res.MaxFlow)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"ffmr/internal/trace"
+)
 
 // Variant selects which FFMR algorithm version to run. Each variant
 // includes the optimizations of the previous ones, matching the paper's
@@ -134,6 +138,12 @@ type Options struct {
 	RoundCallback func(RoundStat)
 	// PathPrefix namespaces this run's DFS files (default "ffmr/").
 	PathPrefix string
+	// Tracer, if non-nil, records a run span with one child round span
+	// per executed round, each annotated with the paper's Table I
+	// metrics. The driver also installs the tracer on the cluster (job/
+	// phase/task spans) and the aug_proc server (queue-depth gauge,
+	// accept latency) for the duration of the run.
+	Tracer *trace.Tracer
 }
 
 func (o *Options) applyDefaults(clusterSlots int) {

@@ -21,6 +21,7 @@ import (
 	"ffmr/internal/graphgen"
 	"ffmr/internal/mapreduce"
 	"ffmr/internal/stats"
+	"ffmr/internal/trace"
 )
 
 // Scale bundles the knobs that size an experiment run. The paper's
@@ -46,6 +47,11 @@ type Scale struct {
 	// include per-round overhead and bandwidth charges, as the paper's
 	// wall-clock numbers do.
 	Realistic bool
+	// Tracer, if non-nil, is threaded through the experiment's FFMR runs
+	// so their run/round/job/task spans accumulate in one trace (exported
+	// with the CLI's -trace flag). Trace-derived experiments (Table1,
+	// Fig7) create a private tracer when this is nil.
+	Tracer *trace.Tracer
 }
 
 // Tiny returns a fast configuration for tests and benchmarks: the
@@ -286,7 +292,10 @@ func Fig6(sc Scale) ([]Fig6Row, *stats.Table, error) {
 }
 
 // Table1 reproduces Table I: per-round Hadoop, aug_proc and runtime
-// statistics of FF5 on the largest graph.
+// statistics of FF5 on the largest graph. The rendered rows come from
+// the run's trace (round spans under Result.RunSpan), not from a second
+// bookkeeping path, so a -trace export and the printed table can never
+// disagree. A private tracer is created when sc.Tracer is nil.
 func Table1(sc Scale, w int) (*core.Result, *stats.Table, error) {
 	chain, err := sc.BuildChain()
 	if err != nil {
@@ -296,18 +305,18 @@ func Table1(sc Scale, w int) (*core.Result, *stats.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	tr := sc.Tracer
+	if tr == nil {
+		tr = trace.New()
+	}
 	cluster := sc.newCluster(sc.Nodes)
-	res, err := core.Run(cluster, in, core.Options{Variant: core.FF5})
+	res, err := core.Run(cluster, in, core.Options{Variant: core.FF5, Tracer: tr})
 	if err != nil {
 		return nil, nil, err
 	}
-	t := stats.NewTable(fmt.Sprintf("Table I: FF5 per-round statistics (largest graph, w=%d, |f*|=%d)", w, res.MaxFlow),
-		"R", "A-Paths", "MaxQ", "Map Out", "Shuffle(KB)", "Active", "Runtime")
-	for _, rs := range res.RoundStats {
-		t.AddRow(rs.Round, stats.FormatCount(rs.APaths), stats.FormatCount(rs.MaxQueue),
-			stats.FormatCount(rs.MapOutRecords), stats.FormatCount(rs.ShuffleBytes/1024),
-			stats.FormatCount(rs.ActiveVertices), stats.FormatDuration(rs.SimTime))
-	}
+	t := stats.RoundTable(
+		fmt.Sprintf("Table I: FF5 per-round statistics (largest graph, w=%d, |f*|=%d)", w, res.MaxFlow),
+		trace.RoundSummariesUnder(res.RunSpan))
 	return res, t, nil
 }
 
@@ -319,6 +328,8 @@ type Fig7Variant struct {
 
 // Fig7 reproduces Fig. 7: total shuffle bytes per round for FF1, FF2,
 // FF3 and FF5 (FF4 does not change shuffle volume, as the paper notes).
+// Like Table1, the per-round values are read back from each run's trace
+// spans rather than a parallel stats path.
 func Fig7(sc Scale) ([]Fig7Variant, *stats.Figure, error) {
 	chain, err := sc.BuildChain()
 	if err != nil {
@@ -328,17 +339,21 @@ func Fig7(sc Scale) ([]Fig7Variant, *stats.Figure, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	tr := sc.Tracer
+	if tr == nil {
+		tr = trace.New()
+	}
 	fig := stats.NewFigure("Fig 7: shuffle bytes per round", "round", "shuffle bytes")
 	var out []Fig7Variant
 	for _, variant := range []core.Variant{core.FF1, core.FF2, core.FF3, core.FF5} {
 		cluster := sc.newCluster(sc.Nodes)
-		res, err := core.Run(cluster, in, core.Options{Variant: variant})
+		res, err := core.Run(cluster, in, core.Options{Variant: variant, Tracer: tr})
 		if err != nil {
 			return nil, nil, err
 		}
 		v := Fig7Variant{Algo: variant.String()}
 		s := fig.AddSeries(variant.String())
-		for _, rs := range res.RoundStats {
+		for _, rs := range trace.RoundSummariesUnder(res.RunSpan) {
 			v.Rounds = append(v.Rounds, rs.ShuffleBytes)
 			s.Add(float64(rs.Round), float64(rs.ShuffleBytes))
 		}

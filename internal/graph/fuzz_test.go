@@ -1,0 +1,91 @@
+package graph_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+)
+
+// seedCorpus builds realistic wire records from generator output: the
+// vertex values a round-0 conversion would produce for a small
+// Barabási-Albert graph, plus standalone excess paths, so the fuzzer
+// starts from well-formed encodings rather than random bytes.
+func seedCorpus(tb testing.TB) [][]byte {
+	tb.Helper()
+	in, err := graphgen.BarabasiAlbert(24, 2, 7)
+	if err != nil {
+		tb.Fatalf("BarabasiAlbert: %v", err)
+	}
+	graphgen.RandomCapacities(in, 5, 8)
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+
+	adj := map[graph.VertexID][]graph.Edge{}
+	for i, e := range in.Edges {
+		id := graph.EdgeID(i)
+		adj[e.U] = append(adj[e.U], graph.Edge{To: e.V, ID: id, Cap: e.Cap, RevCap: e.Cap, Fwd: true})
+		adj[e.V] = append(adj[e.V], graph.Edge{To: e.U, ID: id, Cap: e.Cap, RevCap: e.Cap, Fwd: false})
+	}
+	var corpus [][]byte
+	for u, edges := range adj {
+		val := &graph.VertexValue{Eu: edges}
+		if u == in.Source {
+			val.Su = []graph.ExcessPath{{}}
+		}
+		if u == in.Sink {
+			val.Tu = []graph.ExcessPath{{}}
+		}
+		val.SentS = make([]uint64, len(edges))
+		val.SentT = make([]uint64, len(edges))
+		corpus = append(corpus, graph.EncodeValue(val))
+	}
+	p := &graph.ExcessPath{Edges: []graph.PathEdge{
+		{ID: 3, From: in.Source, To: 5, Flow: 1, Cap: 4, Fwd: true},
+		{ID: 9, From: 5, To: in.Sink, Flow: 1, Cap: 2, Fwd: false},
+	}}
+	corpus = append(corpus, graph.EncodePath(p))
+	corpus = append(corpus, graph.EncodePath(&graph.ExcessPath{}))
+	return corpus
+}
+
+// FuzzVertexCodec checks the wire codec against arbitrary input: decoding
+// must never panic, and any input that decodes successfully must
+// round-trip to a stable canonical encoding (decode -> encode -> decode
+// -> encode yields identical bytes, for both the vertex-value and the
+// standalone-path record formats).
+func FuzzVertexCodec(f *testing.F) {
+	for _, data := range seedCorpus(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, err := graph.DecodeValue(data); err == nil {
+			enc := graph.EncodeValue(v)
+			v2, err := graph.DecodeValue(enc)
+			if err != nil {
+				t.Fatalf("re-decode of canonical value encoding failed: %v\ninput: %x", err, data)
+			}
+			if enc2 := graph.EncodeValue(v2); !bytes.Equal(enc, enc2) {
+				t.Fatalf("value encoding not stable:\n first: %x\nsecond: %x\ninput: %x", enc, enc2, data)
+			}
+			// The reuse-path decode (FF4) must agree with the fresh one.
+			var reuse graph.VertexValue
+			if err := graph.DecodeValueInto(data, &reuse); err != nil {
+				t.Fatalf("DecodeValueInto failed where DecodeValue succeeded: %v\ninput: %x", err, data)
+			}
+			if enc3 := graph.EncodeValue(&reuse); !bytes.Equal(enc, enc3) {
+				t.Fatalf("DecodeValueInto disagrees with DecodeValue:\n fresh: %x\n reuse: %x\ninput: %x", enc, enc3, data)
+			}
+		}
+		if p, err := graph.DecodePath(data); err == nil {
+			enc := graph.EncodePath(&p)
+			p2, err := graph.DecodePath(enc)
+			if err != nil {
+				t.Fatalf("re-decode of canonical path encoding failed: %v\ninput: %x", err, data)
+			}
+			if enc2 := graph.EncodePath(&p2); !bytes.Equal(enc, enc2) {
+				t.Fatalf("path encoding not stable:\n first: %x\nsecond: %x\ninput: %x", enc, enc2, data)
+			}
+		}
+	})
+}

@@ -1,0 +1,37 @@
+// Package leakcheck provides a tiny goroutine-leak assertion for tests:
+// snapshot the goroutine count at the start, and verify at the end that
+// it returned to (at most) the starting level, with a grace period for
+// goroutines that are mid-shutdown when the test body finishes.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and returns a function to
+// defer: it fails the test if, after a ~2s retry window, more goroutines
+// are alive than at the snapshot. Usage:
+//
+//	defer leakcheck.Check(t)()
+func Check(tb testing.TB) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		var after int
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			tb.Errorf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ffmr/internal/dfs"
+	"ffmr/internal/trace"
 )
 
 // Cluster is the simulated Hadoop cluster: a DFS plus a set of nodes each
@@ -27,6 +28,9 @@ type Cluster struct {
 	Cost CostModel
 	// Fault configures task-attempt retries and failure injection.
 	Fault Faults
+	// Tracer, if non-nil, records job/phase/task-attempt spans for every
+	// job the cluster runs. A nil tracer disables tracing at no cost.
+	Tracer *trace.Tracer
 }
 
 // NewCluster creates a cluster with sensible defaults applied.
@@ -127,6 +131,8 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 		return nil, fmt.Errorf("mapreduce: cluster has no file system")
 	}
 	start := time.Now()
+	jobSpan := c.Tracer.Start(trace.CatJob, job.Name, job.Parent)
+	defer jobSpan.End()
 
 	side, err := c.loadSideFiles(job)
 	if err != nil {
@@ -152,20 +158,30 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	counters := NewCounters()
 	res.MapTasks = len(splits)
 
-	mapOut, mapDur, err := c.runMapPhase(job, splits, side, counters, res)
+	mapSpan := c.Tracer.Start(trace.CatPhase, "map", jobSpan)
+	mapOut, mapDur, err := c.runMapPhase(job, splits, side, counters, res, mapSpan)
+	mapSpan.SetInt("tasks", int64(len(splits)))
+	mapSpan.SetInt("records_out", res.MapOutputRecords)
+	mapSpan.SetInt("bytes_out", res.MapOutputBytes)
+	mapSpan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	c.FS.DeletePrefix(job.OutputPrefix)
 
+	reduceSpan := c.Tracer.Start(trace.CatPhase, "reduce", jobSpan)
 	var reduceDur []time.Duration
 	var reduceFetch []int64
 	if job.NewReducer == nil {
 		reduceDur, reduceFetch, err = c.writeMapOnlyOutput(job, mapOut, res)
 	} else {
-		reduceDur, reduceFetch, err = c.runReducePhase(job, mapOut, side, counters, res)
+		reduceDur, reduceFetch, err = c.runReducePhase(job, mapOut, side, counters, res, reduceSpan)
 	}
+	reduceSpan.SetInt("tasks", int64(res.ReduceTasks))
+	reduceSpan.SetInt(trace.AttrShuffleBytes, res.ShuffleBytes)
+	reduceSpan.SetInt(trace.AttrOutputBytes, res.OutputBytes)
+	reduceSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +189,13 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	res.Counters = counters.Snapshot()
 	res.WallTime = time.Since(start)
 	res.SimTime = c.simTime(job, res, splits, mapDur, reduceDur, reduceFetch)
+	jobSpan.SetInt("map_tasks", int64(res.MapTasks))
+	jobSpan.SetInt("reduce_tasks", int64(res.ReduceTasks))
+	jobSpan.SetInt(trace.AttrMapOutRecords, res.MapOutputRecords)
+	jobSpan.SetInt(trace.AttrShuffleBytes, res.ShuffleBytes)
+	jobSpan.SetInt(trace.AttrOutputBytes, res.OutputBytes)
+	jobSpan.SetInt("task_failures", counters.Get("task failures"))
+	jobSpan.SetInt(trace.AttrSimTimeUS, res.SimTime.Microseconds())
 	return res, nil
 }
 
@@ -199,7 +222,7 @@ type mapTaskStats struct {
 // runMapPhase executes all map tasks on the worker pool and returns the
 // partitioned intermediate records plus per-task measured durations.
 func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
-	counters *Counters, res *Result) ([][]kvRec, []time.Duration, error) {
+	counters *Counters, res *Result, phase *trace.Span) ([][]kvRec, []time.Duration, error) {
 
 	numParts := job.NumReducers
 	if job.NewReducer == nil {
@@ -222,7 +245,7 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 
 			t0 := time.Now()
 			node := splits[ti].node
-			err := c.runAttempts(job, "map", ti, counters, func() error {
+			err := c.runAttempts(job, "map", ti, node, counters, phase, func() error {
 				// Per-attempt state: a failed attempt's partial output is
 				// discarded, as Hadoop discards a failed task attempt's
 				// spill files.
@@ -349,26 +372,40 @@ func injectHash(seed int64, job, phase string, task, attempt int) float64 {
 // runAttempts executes a task body with Hadoop-style attempt semantics:
 // on an injected worker failure or a body error, the attempt's partial
 // output is discarded and the task is retried, up to Fault.MaxAttempts
-// times. The "task failures" counter records discarded attempts.
-func (c *Cluster) runAttempts(job *Job, phase string, task int, counters *Counters, body func() error) error {
+// times. The "task failures" counter records discarded attempts. Each
+// attempt is recorded as its own task span (lane = simulated node), so
+// retries are visible in the exported trace.
+func (c *Cluster) runAttempts(job *Job, phase string, task, node int, counters *Counters,
+	parent *trace.Span, body func() error) error {
+
 	maxAttempts := c.Fault.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		sp := c.Tracer.Start(trace.CatTask, fmt.Sprintf("%s-%05d", phase, task), parent)
+		sp.SetInt("task", int64(task))
+		sp.SetInt("attempt", int64(attempt))
+		sp.SetInt("node", int64(node))
+		sp.SetTID(int64(node) + 2)
 		if c.Fault.FailureRate > 0 &&
 			injectHash(c.Fault.Seed, job.Name, phase, task, attempt) < c.Fault.FailureRate {
 			counters.Add("task failures", 1)
 			lastErr = fmt.Errorf("mapreduce: %s %s task %d attempt %d: injected worker failure",
 				job.Name, phase, task, attempt)
+			sp.SetStr("error", "injected worker failure")
+			sp.End()
 			continue
 		}
 		if err := body(); err != nil {
 			counters.Add("task failures", 1)
 			lastErr = err
+			sp.SetStr("error", err.Error())
+			sp.End()
 			continue
 		}
+		sp.End()
 		return nil
 	}
 	return fmt.Errorf("mapreduce: %s %s task %d failed after %d attempts: %w",
@@ -476,7 +513,7 @@ func sortRecs(recs []kvRec) {
 // runReducePhase shuffles, sorts, groups and reduces each partition,
 // writing one output file per reduce task.
 func (c *Cluster) runReducePhase(job *Job, mapOut [][]kvRec, side map[string][]byte,
-	counters *Counters, res *Result) ([]time.Duration, []int64, error) {
+	counters *Counters, res *Result, phase *trace.Span) ([]time.Duration, []int64, error) {
 
 	res.ReduceTasks = job.NumReducers
 	taskDur := make([]time.Duration, job.NumReducers)
@@ -510,7 +547,7 @@ func (c *Cluster) runReducePhase(job *Job, mapOut [][]kvRec, side map[string][]b
 			}
 			sortRecs(recs)
 
-			err := c.runAttempts(job, "reduce", p, counters, func() error {
+			err := c.runAttempts(job, "reduce", p, node, counters, phase, func() error {
 				var base []kvRec
 				if job.Schimmy {
 					b, err := c.readBasePartition(partName(job.SchimmyBase, p))

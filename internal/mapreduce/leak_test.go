@@ -1,0 +1,43 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"ffmr/internal/leakcheck"
+	"ffmr/internal/trace"
+)
+
+// TestNoGoroutineLeakWithInjectedFailures verifies the worker pool winds
+// down completely after a job whose tasks fail and retry — the failure
+// path must not strand attempt goroutines.
+func TestNoGoroutineLeakWithInjectedFailures(t *testing.T) {
+	defer leakcheck.Check(t)()
+	c := newTestCluster(3, 2, 32)
+	c.Tracer = trace.New()
+	c.Fault = Faults{MaxAttempts: 10, FailureRate: 0.4, Seed: 5}
+	var kvs [][2]string
+	for i := 0; i < 60; i++ {
+		kvs = append(kvs, [2]string{fmt.Sprintf("k%02d", i), "v"})
+	}
+	writeRecords(t, c, "in/0", kvs)
+	res, err := c.Run(identityJob([]string{"in/0"}, "out/"))
+	if err != nil {
+		t.Fatalf("job with retries failed: %v", err)
+	}
+	if res.Counter("task failures") == 0 {
+		t.Error("no failures injected at 40% rate")
+	}
+}
+
+// TestNoGoroutineLeakAfterFailedJob covers the abort path: a job that
+// exhausts its attempts must also leave no stray goroutines behind.
+func TestNoGoroutineLeakAfterFailedJob(t *testing.T) {
+	defer leakcheck.Check(t)()
+	c := newTestCluster(2, 2, 64)
+	c.Fault = Faults{MaxAttempts: 3, FailureRate: 1.0, Seed: 1}
+	writeRecords(t, c, "in/0", [][2]string{{"a", "x"}})
+	if _, err := c.Run(identityJob([]string{"in/0"}, "out/")); err == nil {
+		t.Fatal("job unexpectedly succeeded at 100% failure rate")
+	}
+}

@@ -15,8 +15,9 @@ package mapreduce
 
 import (
 	"fmt"
-	"sync"
 	"time"
+
+	"ffmr/internal/trace"
 )
 
 // TaskContext is handed to Mapper and Reducer implementations. It carries
@@ -175,6 +176,9 @@ type Job struct {
 	SchimmyBase string
 	// Service is an opaque handle exposed to tasks via TaskContext.
 	Service any
+	// Parent, if non-nil, is the trace span under which the engine
+	// records this job's span (the driver passes its round span).
+	Parent *trace.Span
 }
 
 func (j *Job) validate() error {
@@ -246,39 +250,37 @@ type Result struct {
 // job.getCounters().getValue() in Fig. 2 of the paper.
 func (r *Result) Counter(name string) int64 { return r.Counters[name] }
 
-// Counters is a set of named atomic counters shared by a job's tasks.
+// Counters is the job-scoped set of named counters shared by a job's
+// tasks (Hadoop's custom counters). It is a thin veneer over a
+// trace.Registry, so the same typed counter objects back both the
+// Hadoop-style API the tasks use and the trace/metrics exporters.
 type Counters struct {
-	mu sync.Mutex
-	m  map[string]int64
+	reg *trace.Registry
 }
 
-// NewCounters creates an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+// NewCounters creates an empty counter set backed by a fresh registry.
+func NewCounters() *Counters { return NewCountersIn(trace.NewRegistry()) }
+
+// NewCountersIn creates a counter set backed by an existing registry,
+// letting a caller aggregate several jobs' counters in one place.
+func NewCountersIn(reg *trace.Registry) *Counters {
+	if reg == nil {
+		reg = trace.NewRegistry()
+	}
+	return &Counters{reg: reg}
+}
 
 // Add increments a named counter.
-func (c *Counters) Add(name string, delta int64) {
-	c.mu.Lock()
-	c.m[name] += delta
-	c.mu.Unlock()
-}
+func (c *Counters) Add(name string, delta int64) { c.reg.Counter(name).Add(delta) }
 
 // Get returns a counter's value.
-func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
-}
+func (c *Counters) Get(name string) int64 { return c.reg.Counter(name).Value() }
+
+// Registry exposes the backing typed registry.
+func (c *Counters) Registry() *trace.Registry { return c.reg }
 
 // Snapshot copies all counters into a plain map.
-func (c *Counters) Snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
-	}
-	return out
-}
+func (c *Counters) Snapshot() map[string]int64 { return c.reg.CounterSnapshot() }
 
 // CostModel converts measured work and byte counts into a simulated
 // cluster runtime. Defaults approximate the paper's cluster: commodity

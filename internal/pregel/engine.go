@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ffmr/internal/graph"
+	"ffmr/internal/trace"
 )
 
 // Vertex is one vertex's engine-side state.
@@ -83,6 +84,11 @@ type Config struct {
 	MaxSupersteps int
 	// Master is the optional between-superstep hook.
 	Master MasterCompute
+	// Tracer, if non-nil, records one span per superstep annotated with
+	// active-vertex and message-volume counts. TraceParent optionally
+	// nests the superstep spans under a caller-owned span.
+	Tracer      *trace.Tracer
+	TraceParent *trace.Span
 }
 
 // worker owns a partition of vertices and its outgoing message buffers.
@@ -162,6 +168,9 @@ func (e *Engine) Run(program Program) (*Stats, error) {
 	inboxes := make([][]msg, len(e.workers))
 
 	for superstep := 0; superstep < e.cfg.MaxSupersteps; superstep++ {
+		stepSpan := e.cfg.Tracer.Start(trace.CatRound, fmt.Sprintf("superstep-%05d", superstep), e.cfg.TraceParent)
+		stepSpan.SetInt(trace.AttrRound, int64(superstep))
+
 		// Deliver: group each worker's inbox by destination vertex.
 		delivered := make([]map[graph.VertexID][][]byte, len(e.workers))
 		for wi, inbox := range inboxes {
@@ -216,6 +225,8 @@ func (e *Engine) Run(program Program) (*Stats, error) {
 		wg.Wait()
 		close(errs)
 		if err := <-errs; err != nil {
+			stepSpan.SetStr("error", err.Error())
+			stepSpan.End()
 			return nil, err
 		}
 
@@ -226,6 +237,7 @@ func (e *Engine) Run(program Program) (*Stats, error) {
 		aggregates := map[string]int64{}
 		var collected [][]byte
 		var pending int64
+		var stepMsgs, stepMsgBytes int64
 		for _, w := range e.workers {
 			for name, v := range w.aggregates {
 				aggregates[name] += v
@@ -233,10 +245,12 @@ func (e *Engine) Run(program Program) (*Stats, error) {
 			w.aggregates = map[string]int64{}
 			collected = append(collected, w.collected...)
 			w.collected = nil
-			stats.Messages += w.msgCount
-			stats.MessageBytes += w.msgBytes
+			stepMsgs += w.msgCount
+			stepMsgBytes += w.msgBytes
 			w.msgCount, w.msgBytes = 0, 0
 		}
+		stats.Messages += stepMsgs
+		stats.MessageBytes += stepMsgBytes
 		// Deterministic master input order.
 		sort.Slice(collected, func(i, j int) bool { return bytes.Compare(collected[i], collected[j]) < 0 })
 		e.prevAggregates = aggregates
@@ -244,7 +258,10 @@ func (e *Engine) Run(program Program) (*Stats, error) {
 		if e.cfg.Master != nil {
 			global, err := e.cfg.Master(superstep, collected, aggregates)
 			if err != nil {
-				return nil, fmt.Errorf("pregel: master compute at superstep %d: %w", superstep, err)
+				err = fmt.Errorf("pregel: master compute at superstep %d: %w", superstep, err)
+				stepSpan.SetStr("error", err.Error())
+				stepSpan.End()
+				return nil, err
 			}
 			e.global = global
 		}
@@ -258,6 +275,12 @@ func (e *Engine) Run(program Program) (*Stats, error) {
 			w.outbox = nil
 		}
 		inboxes = next
+
+		stepSpan.SetInt(trace.AttrActiveVertices, active)
+		stepSpan.SetInt("messages", stepMsgs)
+		stepSpan.SetInt("message_bytes", stepMsgBytes)
+		stepSpan.SetInt("pending", pending)
+		stepSpan.End()
 
 		if active == 0 && pending == 0 {
 			stats.WallTime = time.Since(start)

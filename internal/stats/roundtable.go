@@ -1,0 +1,29 @@
+package stats
+
+import (
+	"ffmr/internal/trace"
+)
+
+// RoundTable renders per-round trace summaries in the shape of the
+// paper's Table I: one row per MapReduce round with the accepted
+// augmenting paths, aug_proc queue high-water mark, map output volume,
+// shuffle volume and active-vertex count. The rows come straight from
+// the tracer's round spans (trace.RoundSummariesUnder), so the table is
+// a pure view over the same instrumentation that the trace exporters
+// serialize — there is no second bookkeeping path to drift.
+func RoundTable(title string, rounds []trace.RoundSummary) *Table {
+	t := NewTable(title,
+		"R", "A-Paths", "MaxQ", "Map Out", "Shuffle(KB)", "Active", "Runtime")
+	for _, r := range rounds {
+		t.AddRow(
+			r.Round,
+			FormatCount(r.APaths),
+			FormatCount(r.MaxQueue),
+			FormatCount(r.MapOutRecords),
+			FormatCount(r.ShuffleBytes/1024),
+			FormatCount(r.ActiveVertices),
+			FormatDuration(r.SimTime),
+		)
+	}
+	return t
+}

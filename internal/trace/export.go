@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing / Perfetto "JSON Array" flavour). Spans export as
+// complete events (ph "X"); registry metrics export as counter events
+// (ph "C") stamped at the end of the trace.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorded spans and registry metrics as a
+// Chrome trace_event JSON document, loadable in chrome://tracing or
+// Perfetto. Unended spans are exported with their duration so far.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	var endTS int64
+	for _, sn := range t.snapshots() {
+		args := make(map[string]any, len(sn.attrs)+1)
+		for i := range sn.attrs {
+			args[sn.attrs[i].Key] = sn.attrs[i].Value()
+		}
+		if sn.parent != 0 {
+			args["parent_span"] = sn.parent
+		}
+		dur := sn.durUS
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: sn.name, Cat: sn.cat, Ph: "X",
+			Ts: sn.startUS, Dur: &dur, Pid: 1, Tid: sn.tid, Args: args,
+		})
+		if e := sn.startUS + sn.durUS; e > endTS {
+			endTS = e
+		}
+	}
+	reg := t.Registry()
+	counters := reg.CounterSnapshot()
+	for _, name := range sortedKeys(counters) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Cat: "counter", Ph: "C", Ts: endTS, Pid: 1, Tid: 1,
+			Args: map[string]any{"value": counters[name]},
+		})
+	}
+	gauges := reg.GaugeSnapshot()
+	for _, name := range sortedKeys(gauges) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Cat: "gauge", Ph: "C", Ts: endTS, Pid: 1, Tid: 1,
+			Args: map[string]any{"value": gauges[name].Last, "max": gauges[name].Max},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteCSV exports every span as one CSV row: id, parent, category,
+// name, lane, start/duration in microseconds, and the annotations as a
+// "key=value|key=value" list. Counters and gauges follow as pseudo-rows
+// with empty timing columns.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "parent", "cat", "name", "tid", "start_us", "dur_us", "attrs"}); err != nil {
+		return err
+	}
+	for _, sn := range t.snapshots() {
+		parts := make([]string, 0, len(sn.attrs))
+		for i := range sn.attrs {
+			parts = append(parts, fmt.Sprintf("%s=%v", sn.attrs[i].Key, sn.attrs[i].Value()))
+		}
+		err := cw.Write([]string{
+			fmt.Sprint(sn.id), fmt.Sprint(sn.parent), sn.cat, sn.name,
+			fmt.Sprint(sn.tid), fmt.Sprint(sn.startUS), fmt.Sprint(sn.durUS),
+			strings.Join(parts, "|"),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	reg := t.Registry()
+	counters := reg.CounterSnapshot()
+	for _, name := range sortedKeys(counters) {
+		if err := cw.Write([]string{"", "", "counter", name, "", "", "", fmt.Sprintf("value=%d", counters[name])}); err != nil {
+			return err
+		}
+	}
+	gauges := reg.GaugeSnapshot()
+	for _, name := range sortedKeys(gauges) {
+		gv := gauges[name]
+		if err := cw.Write([]string{"", "", "gauge", name, "", "", "", fmt.Sprintf("value=%d|max=%d", gv.Last, gv.Max)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParsedEvent is one trace_event read back from an exported JSON file,
+// exposed so tests and tools can assert on emitted traces without
+// depending on the wire field names.
+type ParsedEvent struct {
+	Name string
+	Cat  string
+	Ts   int64
+	Dur  int64
+	Tid  int64
+	Args map[string]any
+}
+
+// Int returns an integer arg (trace_event JSON numbers decode as
+// float64; values are converted back).
+func (e *ParsedEvent) Int(key string) (int64, bool) {
+	v, ok := e.Args[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int64(f), true
+}
+
+// ParseChromeTrace decodes a document written by WriteChromeTrace,
+// returning its events in timestamp order (ties broken by span id via
+// original order, which snapshots preserve).
+func ParseChromeTrace(data []byte) ([]ParsedEvent, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome trace: %w", err)
+	}
+	out := make([]ParsedEvent, 0, len(doc.TraceEvents))
+	for _, e := range doc.TraceEvents {
+		out = append(out, ParsedEvent{Name: e.Name, Cat: e.Cat, Ts: e.Ts, Dur: e.Dur, Tid: e.Tid, Args: e.Args})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out, nil
+}

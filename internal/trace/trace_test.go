@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(CatRun, "nothing", nil)
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	sp.SetInt("x", 1)
+	sp.SetStr("y", "z")
+	sp.SetTID(3)
+	sp.End()
+	if _, ok := sp.Int("x"); ok {
+		t.Fatal("nil span returned an attr")
+	}
+	if sp.Duration() != 0 || sp.Name() != "" || sp.Cat() != "" {
+		t.Fatal("nil span has state")
+	}
+	reg := tr.Registry()
+	reg.Counter("c").Add(5)
+	reg.Gauge("g").Set(5)
+	if reg.Counter("c").Value() != 0 || reg.Gauge("g").Max() != 0 {
+		t.Fatal("nil registry recorded values")
+	}
+	if tr.RoundSummaries() != nil || RoundSummariesUnder(nil) != nil {
+		t.Fatal("nil tracer produced summaries")
+	}
+}
+
+func TestSpanHierarchyAndAttrs(t *testing.T) {
+	tr := New()
+	run := tr.Start(CatRun, "run", nil)
+	round := tr.Start(CatRound, "round-1", run)
+	round.SetInt(AttrRound, 1)
+	round.SetInt(AttrAPaths, 7)
+	round.SetInt(AttrAPaths, 9) // overwrite
+	round.SetStr("variant", "FF5")
+	round.End()
+	run.End()
+
+	if v, ok := round.Int(AttrAPaths); !ok || v != 9 {
+		t.Fatalf("a_paths = %d, %v", v, ok)
+	}
+	sums := RoundSummariesUnder(run)
+	if len(sums) != 1 || sums[0].Round != 1 || sums[0].APaths != 9 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	// A round under a different run must not leak into this run's view.
+	other := tr.Start(CatRun, "run2", nil)
+	r2 := tr.Start(CatRound, "round-1", other)
+	r2.SetInt(AttrRound, 1)
+	r2.End()
+	other.End()
+	if got := len(RoundSummariesUnder(run)); got != 1 {
+		t.Fatalf("run 1 sees %d rounds", got)
+	}
+	if got := len(tr.RoundSummaries()); got != 2 {
+		t.Fatalf("tracer-wide summaries = %d, want 2", got)
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				reg.Counter("hits").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("hits").Value(); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+	g := reg.Gauge("depth")
+	g.Set(3)
+	g.Set(10)
+	g.Set(2)
+	if g.Value() != 2 || g.Max() != 10 {
+		t.Fatalf("gauge = %d max %d", g.Value(), g.Max())
+	}
+	g.Reset()
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatal("reset did not clear gauge")
+	}
+	if reg.Counter("hits") != reg.Counter("hits") {
+		t.Fatal("counter handles not interned")
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := New()
+	run := tr.Start(CatRun, "run", nil)
+	round := tr.Start(CatRound, "round-1", run)
+	round.SetInt(AttrRound, 1)
+	round.SetInt(AttrShuffleBytes, 4096)
+	round.SetStr("variant", "FF3")
+	time.Sleep(time.Millisecond)
+	round.End()
+	run.End()
+	tr.Registry().Counter("source move").Add(12)
+	tr.Registry().Gauge("augproc queue depth").Set(5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundRound, foundCounter, foundGauge bool
+	for _, e := range events {
+		switch {
+		case e.Cat == CatRound && e.Name == "round-1":
+			foundRound = true
+			if v, ok := e.Int(AttrShuffleBytes); !ok || v != 4096 {
+				t.Fatalf("shuffle arg = %d, %v", v, ok)
+			}
+			if e.Args["variant"] != "FF3" {
+				t.Fatalf("variant arg = %v", e.Args["variant"])
+			}
+			if e.Dur <= 0 {
+				t.Fatal("round span has no duration")
+			}
+		case e.Cat == "counter" && e.Name == "source move":
+			foundCounter = true
+			if v, _ := e.Int("value"); v != 12 {
+				t.Fatalf("counter value = %d", v)
+			}
+		case e.Cat == "gauge" && e.Name == "augproc queue depth":
+			foundGauge = true
+			if v, _ := e.Int("max"); v != 5 {
+				t.Fatalf("gauge max = %d", v)
+			}
+		}
+	}
+	if !foundRound || !foundCounter || !foundGauge {
+		t.Fatalf("missing events: round=%v counter=%v gauge=%v", foundRound, foundCounter, foundGauge)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New()
+	sp := tr.Start(CatJob, "job-x", nil)
+	sp.SetInt("map_tasks", 3)
+	sp.End()
+	tr.Registry().Counter("task failures").Add(2)
+
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"id,parent,cat,name", "job,job-x", "map_tasks=3", "counter,task failures", "value=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentSpanUse(t *testing.T) {
+	tr := New()
+	run := tr.Start(CatRun, "run", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.Start(CatTask, "task", run)
+			sp.SetInt("task", int64(i))
+			sp.SetTID(int64(i%4) + 2)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	run.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := 0
+	for _, e := range events {
+		if e.Cat == CatTask {
+			tasks++
+		}
+	}
+	if tasks != 16 {
+		t.Fatalf("exported %d task spans, want 16", tasks)
+	}
+}
