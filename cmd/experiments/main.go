@@ -43,6 +43,9 @@ func run(args []string, stdout io.Writer) error {
 		nodes    = fs.Int("nodes", 0, "override cluster node count")
 		csv      = fs.String("csv", "", "also write each artifact as CSV into this directory")
 		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON file covering every run")
+		budget   = fs.Int64("memory-budget", 0, "per-map-task shuffle buffer bytes; >0 spills sorted runs to disk (0 = unbounded)")
+		spillTo  = fs.String("spill-dir", "", "directory for spill segments (default: system temp dir)")
+		comp     = fs.Bool("compress", false, "DEFLATE-compress spill segments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +90,9 @@ func run(args []string, stdout io.Writer) error {
 	if *nodes > 0 {
 		sc.Nodes = *nodes
 	}
+	sc.MemoryBudget = *budget
+	sc.SpillDir = *spillTo
+	sc.SpillCompress = *comp
 	var tracer *trace.Tracer
 	if *traceOut != "" {
 		tracer = trace.New()

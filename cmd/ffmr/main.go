@@ -58,6 +58,9 @@ func main() {
 		rounds  = flag.Bool("rounds", true, "print the per-round statistics table")
 		live    = flag.Bool("progress", false, "print each round's statistics as it completes")
 		trOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+		budget  = flag.Int64("memory-budget", 0, "per-map-task shuffle buffer bytes; >0 spills sorted runs to disk (0 = unbounded in-memory shuffle)")
+		spillTo = flag.String("spill-dir", "", "directory for spill segments (default: system temp dir)")
+		comp    = flag.Bool("compress", false, "DEFLATE-compress spill segments")
 	)
 	flag.Parse()
 
@@ -75,7 +78,7 @@ func main() {
 		in.NumVertices, len(in.Edges), in.Source, in.Sink)
 
 	tracer := trace.New()
-	cluster := newCluster(*nodes, *slots, *real)
+	cluster := newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp)
 	opts := core.Options{
 		Variant:   core.Variant(*variant),
 		K:         *kPaths,
@@ -103,6 +106,14 @@ func main() {
 		stats.FormatDuration(res.TotalSimTime), stats.FormatDuration(res.TotalWallTime))
 	fmt.Printf("graph size: %s, max size during run: %s\n",
 		stats.FormatBytes(res.InputGraphBytes), stats.FormatBytes(res.MaxGraphBytes))
+	if *budget > 0 {
+		reg := tracer.Registry()
+		fmt.Printf("out-of-core shuffle: %s spills (%s), %s merge passes, max fan-in %d\n",
+			stats.FormatCount(reg.Counter(trace.CounterSpills).Value()),
+			stats.FormatBytes(reg.Counter(trace.CounterSpilledBytes).Value()),
+			stats.FormatCount(reg.Counter(trace.CounterMergePasses).Value()),
+			reg.Gauge(trace.GaugeMergeFanIn).Max())
+	}
 
 	if *rounds {
 		fmt.Println(stats.RoundTable("\nPer-round statistics",
@@ -124,7 +135,7 @@ func main() {
 	}
 
 	if *bfs {
-		bres, err := core.RunBFS(newCluster(*nodes, *slots, *real), in, 0, "")
+		bres, err := core.RunBFS(newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp), in, 0, "")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -162,7 +173,7 @@ func main() {
 	}
 }
 
-func newCluster(nodes, slots int, realistic bool) *mapreduce.Cluster {
+func newCluster(nodes, slots int, realistic bool, budget int64, spillDir string, compress bool) *mapreduce.Cluster {
 	fs := dfs.New(dfs.Config{Nodes: nodes, BlockSize: 4 << 20, Replication: 2})
 	c := mapreduce.NewCluster(nodes, slots, fs)
 	if realistic {
@@ -170,6 +181,9 @@ func newCluster(nodes, slots int, realistic bool) *mapreduce.Cluster {
 	} else {
 		c.Cost = mapreduce.ZeroCostModel()
 	}
+	c.MemoryBudget = budget
+	c.SpillDir = spillDir
+	c.SpillCompress = compress
 	return c
 }
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"net/rpc"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +88,28 @@ type AugProcServer struct {
 	acc     Accumulator
 	stats   AugProcStats
 	serving bool
+
+	// Deterministic mode (SetDeterministic): candidates are collected
+	// here during the round and accepted in canonical byte order at
+	// EndRound, instead of first-come-first-served as they arrive.
+	deterministic bool
+	pending       [][]byte
+}
+
+// SetDeterministic toggles deterministic acceptance. The default (off)
+// is the paper's policy: the consumer accepts candidates in arrival
+// order, overlapping acceptance with the reduce phase — but arrival
+// order across concurrently running reducers depends on scheduling, so
+// when candidates conflict, which one wins varies run to run (the max
+// flow is unaffected; per-round A-Paths are). With deterministic mode
+// on, candidates are buffered during the round and accepted in sorted
+// encoded-path order at EndRound, making every per-round counter except
+// the timing-dependent MaxQueue reproducible. Queue accounting is
+// unchanged, so MaxQ measurements remain meaningful in both modes.
+func (s *AugProcServer) SetDeterministic(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deterministic = on
 }
 
 // SetTracer installs trace instrumentation: a queue-depth gauge (whose
@@ -169,17 +193,10 @@ func (s *AugProcServer) consume() {
 			}
 			t0 := time.Now()
 			s.mu.Lock()
-			for _, pb := range item.paths {
-				p, err := graph.DecodePath(pb)
-				if err != nil {
-					s.stats.DecodeErrors++
-					continue
-				}
-				s.stats.Submitted++
-				if d := s.acc.Accept(&p, graph.CapInf); d > 0 {
-					s.stats.Accepted++
-					s.stats.TotalDelta += d
-				}
+			if s.deterministic {
+				s.pending = append(s.pending, item.paths...)
+			} else {
+				s.acceptLocked(item.paths)
 			}
 			s.mu.Unlock()
 			s.acceptNS.Load().Add(time.Since(t0).Nanoseconds())
@@ -191,6 +208,23 @@ func (s *AugProcServer) consume() {
 	}
 }
 
+// acceptLocked decodes a batch of wire-encoded candidates and runs them
+// through the accumulator, updating round stats. Callers hold s.mu.
+func (s *AugProcServer) acceptLocked(paths [][]byte) {
+	for _, pb := range paths {
+		p, err := graph.DecodePath(pb)
+		if err != nil {
+			s.stats.DecodeErrors++
+			continue
+		}
+		s.stats.Submitted++
+		if d := s.acc.Accept(&p, graph.CapInf); d > 0 {
+			s.stats.Accepted++
+			s.stats.TotalDelta += d
+		}
+	}
+}
+
 // BeginRound resets per-round state before a MapReduce round starts.
 func (s *AugProcServer) BeginRound() {
 	s.drain()
@@ -198,6 +232,7 @@ func (s *AugProcServer) BeginRound() {
 	defer s.mu.Unlock()
 	s.acc.Reset()
 	s.stats = AugProcStats{}
+	s.pending = nil
 	s.maxQ.Store(0)
 }
 
@@ -215,6 +250,13 @@ func (s *AugProcServer) EndRound() (AugProcStats, map[graph.EdgeID]int64) {
 	s.drain()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.deterministic {
+		sort.Slice(s.pending, func(i, j int) bool {
+			return bytes.Compare(s.pending[i], s.pending[j]) < 0
+		})
+		s.acceptLocked(s.pending)
+		s.pending = nil
+	}
 	st := s.stats
 	st.MaxQueue = s.maxQ.Load()
 	return st, s.acc.Deltas()

@@ -211,6 +211,7 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 			return nil, err
 		}
 		aug.SetTracer(tr)
+		aug.SetDeterministic(opts.DeterministicAccept)
 		defer aug.Close() //nolint:errcheck // shutdown of a loopback listener
 	}
 

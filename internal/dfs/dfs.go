@@ -6,8 +6,11 @@
 // experiment harness can report graph sizes ("Size" / "Max Size" columns
 // of the paper's graph table) and model I/O cost per MapReduce round.
 //
-// Data lives in memory: the goal is faithful accounting and placement
-// behaviour, not durability.
+// Block payloads live in a pluggable BlockStore: MemStore (the default)
+// keeps them in process memory for faithful accounting at test speed;
+// DiskStore writes each block under a private temp dir so graph state
+// larger than RAM can flow through the same placement and accounting
+// machinery.
 package dfs
 
 import (
@@ -47,16 +50,25 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Block is one block of a file together with its replica placement.
+// Block is one block of a file together with its replica placement, as
+// returned by Blocks (payload materialized from the block store).
 type Block struct {
 	Data []byte
 	// Nodes lists the node IDs that hold a replica, primary first.
 	Nodes []int
 }
 
+// blockRef is the stored representation of one block: metadata plus the
+// store key of its payload.
+type blockRef struct {
+	key   string
+	size  int
+	nodes []int
+}
+
 // fileData is the stored representation of a file.
 type fileData struct {
-	blocks []Block
+	blocks []blockRef
 	size   int64
 }
 
@@ -69,23 +81,34 @@ type Stats struct {
 	FilesDeleted int64
 }
 
-// FS is an in-memory distributed file system emulation. The zero value is
-// not usable; create instances with New.
+// FS is a distributed file system emulation over a pluggable block
+// store. The zero value is not usable; create instances with New or
+// NewWithStore.
 type FS struct {
-	cfg Config
+	cfg   Config
+	store BlockStore
 
 	mu        sync.RWMutex
 	files     map[string]*fileData
 	nextNode  int
+	nextBlock int64
 	stats     Stats
 	nodeBytes []int64 // replica bytes per node
 }
 
-// New creates a file system with the given configuration.
+// New creates a file system with the given configuration, backed by an
+// in-memory block store.
 func New(cfg Config) *FS {
+	return NewWithStore(cfg, NewMemStore())
+}
+
+// NewWithStore creates a file system over the given block store. The FS
+// owns the store: Close releases it.
+func NewWithStore(cfg Config, store BlockStore) *FS {
 	cfg.applyDefaults()
 	return &FS{
 		cfg:       cfg,
+		store:     store,
 		files:     make(map[string]*fileData),
 		nodeBytes: make([]int64, cfg.Nodes),
 	}
@@ -94,6 +117,12 @@ func New(cfg Config) *FS {
 // Config returns the configuration the file system was created with
 // (after defaulting).
 func (fs *FS) Config() Config { return fs.cfg }
+
+// Close releases the backing block store (removing its directory for a
+// DiskStore). The FS is unusable afterwards.
+func (fs *FS) Close() error {
+	return fs.store.Close()
+}
 
 // placement chooses replica nodes for the next block, round-robin over
 // nodes the way HDFS spreads blocks across a quiet cluster.
@@ -122,10 +151,23 @@ func (fs *FS) WriteFile(name string, data []byte) error {
 		if end > len(data) {
 			end = len(data)
 		}
-		blk := Block{Data: append([]byte(nil), data[off:end]...), Nodes: fs.placement()}
-		fd.blocks = append(fd.blocks, blk)
-		for _, n := range blk.Nodes {
-			fs.nodeBytes[n] += int64(len(blk.Data))
+		fs.nextBlock++
+		ref := blockRef{
+			key:   fmt.Sprintf("b%010d", fs.nextBlock),
+			size:  end - off,
+			nodes: fs.placement(),
+		}
+		if err := fs.store.Put(ref.key, append([]byte(nil), data[off:end]...)); err != nil {
+			// Roll back blocks already stored so a failed write leaves
+			// no orphans.
+			for _, b := range fd.blocks {
+				fs.store.Delete(b.key)
+			}
+			return err
+		}
+		fd.blocks = append(fd.blocks, ref)
+		for _, n := range ref.nodes {
+			fs.nodeBytes[n] += int64(ref.size)
 		}
 		if len(data) == 0 {
 			break
@@ -147,15 +189,20 @@ func (fs *FS) ReadFile(name string) ([]byte, error) {
 		return nil, fmt.Errorf("dfs: file %q does not exist", name)
 	}
 	out := make([]byte, 0, fd.size)
-	for _, blk := range fd.blocks {
-		out = append(out, blk.Data...)
+	for _, ref := range fd.blocks {
+		data, err := fs.store.Get(ref.key)
+		if err != nil {
+			return nil, fmt.Errorf("dfs: file %q: %w", name, err)
+		}
+		out = append(out, data...)
 	}
 	fs.stats.BytesRead += fd.size
 	return out, nil
 }
 
-// Blocks returns the block layout of a file (shared, read-only slices).
-// The MapReduce engine uses block placement for locality-aware scheduling.
+// Blocks returns the block layout of a file with payloads materialized
+// from the block store. The MapReduce engine uses block placement for
+// locality-aware scheduling.
 func (fs *FS) Blocks(name string) ([]Block, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
@@ -163,7 +210,15 @@ func (fs *FS) Blocks(name string) ([]Block, error) {
 	if !ok {
 		return nil, fmt.Errorf("dfs: file %q does not exist", name)
 	}
-	return fd.blocks, nil
+	out := make([]Block, 0, len(fd.blocks))
+	for _, ref := range fd.blocks {
+		data, err := fs.store.Get(ref.key)
+		if err != nil {
+			return nil, fmt.Errorf("dfs: file %q: %w", name, err)
+		}
+		out = append(out, Block{Data: data, Nodes: ref.nodes})
+	}
+	return out, nil
 }
 
 // Size returns the payload size of a file in bytes.
@@ -197,10 +252,11 @@ func (fs *FS) deleteLocked(name string) {
 	if !ok {
 		return
 	}
-	for _, blk := range fd.blocks {
-		for _, n := range blk.Nodes {
-			fs.nodeBytes[n] -= int64(len(blk.Data))
+	for _, ref := range fd.blocks {
+		for _, n := range ref.nodes {
+			fs.nodeBytes[n] -= int64(ref.size)
 		}
+		fs.store.Delete(ref.key)
 	}
 	fs.stats.BytesStored -= fd.size
 	fs.stats.FilesDeleted++

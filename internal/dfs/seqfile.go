@@ -1,8 +1,9 @@
 package dfs
 
 import (
-	"encoding/binary"
 	"fmt"
+
+	"ffmr/internal/spill"
 )
 
 // SequenceFile-style record framing: the paper stores the graph in HDFS
@@ -12,7 +13,9 @@ import (
 //	uvarint keyLen | key bytes | uvarint valueLen | value bytes
 //
 // The framing is self-contained per record so a reader can stream records
-// without knowing the payload schema.
+// without knowing the payload schema. The encoding itself lives in the
+// spill package (the out-of-core shuffle shares it); this file is the
+// DFS-facing veneer.
 
 // RecordWriter accumulates framed records into a buffer destined for one
 // DFS file. The zero value is ready to use.
@@ -23,10 +26,7 @@ type RecordWriter struct {
 
 // Append adds one record.
 func (w *RecordWriter) Append(key, value []byte) {
-	w.buf = binary.AppendUvarint(w.buf, uint64(len(key)))
-	w.buf = append(w.buf, key...)
-	w.buf = binary.AppendUvarint(w.buf, uint64(len(value)))
-	w.buf = append(w.buf, value...)
+	w.buf = spill.AppendFrame(w.buf, key, value)
 	w.records++
 }
 
@@ -63,30 +63,12 @@ func (r *RecordReader) Next() (key, value []byte, ok bool, err error) {
 	if r.off >= len(r.data) {
 		return nil, nil, false, nil
 	}
-	key, err = r.readChunk()
+	key, value, next, err := spill.ReadFrame(r.data, r.off)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, fmt.Errorf("dfs: %w", err)
 	}
-	value, err = r.readChunk()
-	if err != nil {
-		return nil, nil, false, err
-	}
+	r.off = next
 	return key, value, true, nil
-}
-
-func (r *RecordReader) readChunk() ([]byte, error) {
-	n, sz := binary.Uvarint(r.data[r.off:])
-	if sz <= 0 {
-		return nil, fmt.Errorf("dfs: corrupt record length at offset %d", r.off)
-	}
-	r.off += sz
-	if uint64(len(r.data)-r.off) < n {
-		return nil, fmt.Errorf("dfs: truncated record at offset %d (want %d bytes, have %d)",
-			r.off, n, len(r.data)-r.off)
-	}
-	chunk := r.data[r.off : r.off+int(n)]
-	r.off += int(n)
-	return chunk, nil
 }
 
 // CountRecords returns the number of records in encoded file contents.

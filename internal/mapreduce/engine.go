@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ffmr/internal/dfs"
+	"ffmr/internal/spill"
 	"ffmr/internal/trace"
 )
 
@@ -31,6 +32,21 @@ type Cluster struct {
 	// Tracer, if non-nil, records job/phase/task-attempt spans for every
 	// job the cluster runs. A nil tracer disables tracing at no cost.
 	Tracer *trace.Tracer
+
+	// MemoryBudget, when > 0, bounds each map task's shuffle buffer in
+	// framed bytes: a full buffer is sorted and spilled to disk, and
+	// reducers stream their partition through a k-way merge over the
+	// spill runs instead of materializing it (Hadoop's external
+	// sort/merge). 0 keeps the classic unbounded in-memory shuffle.
+	MemoryBudget int64
+	// SpillDir is where spill runs live when MemoryBudget > 0 (a fresh
+	// private dir is created per job; the OS temp dir when empty).
+	SpillDir string
+	// SpillCompress DEFLATE-compresses spill segments on disk.
+	SpillCompress bool
+	// MergeFanIn bounds how many segments one reduce-side merge pass
+	// reads (Hadoop's io.sort.factor; default spill.DefaultMergeFanIn).
+	MergeFanIn int
 }
 
 // NewCluster creates a cluster with sensible defaults applied.
@@ -55,18 +71,35 @@ type kvRec struct {
 }
 
 // framedSize is the on-the-wire size of a record using SequenceFile
-// framing, which is what the shuffle would move.
+// framing, which is what the shuffle would move. It delegates to the
+// canonical codec in the spill package so shuffle accounting, spill
+// files and DFS SequenceFiles agree byte-for-byte.
 func framedSize(key, value []byte) int64 {
-	return int64(uvarintLen(uint64(len(key))) + len(key) + uvarintLen(uint64(len(value))) + len(value))
+	return spill.FramedSize(key, value)
 }
 
-func uvarintLen(x uint64) int {
-	n := 1
-	for x >= 0x80 {
-		x >>= 7
-		n++
+// shuffleData carries the map phase's output to the reduce phase in one
+// of two forms: materialized per-partition record lists (the classic
+// in-memory path) or per-task spill outputs in a run store (the
+// out-of-core path, MemoryBudget > 0).
+type shuffleData struct {
+	mem   [][]kvRec       // partition -> records (in-memory path)
+	outs  []*spill.Output // per map task (spill path)
+	store spill.RunStore  // backing store for outs
+}
+
+// spilled reports whether the out-of-core path is in use.
+func (sh *shuffleData) spilled() bool { return sh.store != nil }
+
+// partSegments gathers every map task's segments for one partition.
+func (sh *shuffleData) partSegments(p int) []spill.Segment {
+	var segs []spill.Segment
+	for _, out := range sh.outs {
+		if out != nil {
+			segs = append(segs, out.Parts[p]...)
+		}
 	}
-	return n
+	return segs
 }
 
 // split is one map task's input: a record-aligned byte range of a file.
@@ -158,8 +191,20 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	counters := NewCounters()
 	res.MapTasks = len(splits)
 
+	// The out-of-core shuffle only applies to jobs with a reduce phase:
+	// map-only jobs have no shuffle to spill.
+	var store spill.RunStore
+	if c.MemoryBudget > 0 && job.NewReducer != nil {
+		ds, err := spill.NewDiskRunStore(c.SpillDir)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %s: %w", job.Name, err)
+		}
+		store = ds
+		defer store.Close()
+	}
+
 	mapSpan := c.Tracer.Start(trace.CatPhase, "map", jobSpan)
-	mapOut, mapDur, err := c.runMapPhase(job, splits, side, counters, res, mapSpan)
+	mapOut, mapDur, err := c.runMapPhase(job, splits, side, counters, res, mapSpan, store)
 	mapSpan.SetInt("tasks", int64(len(splits)))
 	mapSpan.SetInt("records_out", res.MapOutputRecords)
 	mapSpan.SetInt("bytes_out", res.MapOutputBytes)
@@ -186,6 +231,10 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 		return nil, err
 	}
 
+	if mapOut.spilled() {
+		c.publishSpillMetrics(res, jobSpan)
+	}
+
 	res.Counters = counters.Snapshot()
 	res.WallTime = time.Since(start)
 	res.SimTime = c.simTime(job, res, splits, mapDur, reduceDur, reduceFetch)
@@ -197,6 +246,20 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	jobSpan.SetInt("task_failures", counters.Get("task failures"))
 	jobSpan.SetInt(trace.AttrSimTimeUS, res.SimTime.Microseconds())
 	return res, nil
+}
+
+// publishSpillMetrics annotates the job span and the tracer's registry
+// with the out-of-core shuffle statistics, so exported traces show the
+// spill activity alongside the Table I counters.
+func (c *Cluster) publishSpillMetrics(res *Result, jobSpan *trace.Span) {
+	jobSpan.SetInt(trace.AttrSpills, res.Spills)
+	jobSpan.SetInt(trace.AttrSpilledBytes, res.SpilledBytes)
+	jobSpan.SetInt(trace.AttrMergePasses, res.MergePasses)
+	reg := c.Tracer.Registry()
+	reg.Counter(trace.CounterSpills).Add(res.Spills)
+	reg.Counter(trace.CounterSpilledBytes).Add(res.SpilledBytes)
+	reg.Counter(trace.CounterMergePasses).Add(res.MergePasses)
+	reg.Gauge(trace.GaugeMergeFanIn).Set(res.MaxMergeFanIn)
 }
 
 func (c *Cluster) loadSideFiles(job *Job) (map[string][]byte, error) {
@@ -220,15 +283,20 @@ type mapTaskStats struct {
 }
 
 // runMapPhase executes all map tasks on the worker pool and returns the
-// partitioned intermediate records plus per-task measured durations.
+// intermediate shuffle data plus per-task measured durations. With a
+// run store (MemoryBudget > 0) each task spills sorted runs to the
+// store under its budget; otherwise partitions are materialized in
+// memory.
 func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
-	counters *Counters, res *Result, phase *trace.Span) ([][]kvRec, []time.Duration, error) {
+	counters *Counters, res *Result, phase *trace.Span, store spill.RunStore) (*shuffleData, []time.Duration, error) {
 
 	numParts := job.NumReducers
 	if job.NewReducer == nil {
 		numParts = len(splits)
 	}
+	sh := &shuffleData{store: store}
 	taskParts := make([][][]kvRec, len(splits)) // task -> partition -> records
+	taskOuts := make([]*spill.Output, len(splits))
 	taskDur := make([]time.Duration, len(splits))
 	taskStats := make([]mapTaskStats, len(splits))
 
@@ -245,12 +313,81 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 
 			t0 := time.Now()
 			node := splits[ti].node
-			err := c.runAttempts(job, "map", ti, node, counters, phase, func() error {
+			err := c.runAttempts(job, "map", ti, node, counters, phase, func(att *trace.Span, attempt int) error {
 				// Per-attempt state: a failed attempt's partial output is
 				// discarded, as Hadoop discards a failed task attempt's
 				// spill files.
-				parts := make([][]kvRec, numParts)
 				var st mapTaskStats
+				var parts [][]kvRec
+				var w *spill.Writer
+				var emitErr error
+				emit := func(key, value []byte) {
+					k := append([]byte(nil), key...)
+					v := append([]byte(nil), value...)
+					var p int
+					if job.NewReducer == nil {
+						p = ti
+					} else {
+						p = partition(k, job.NumReducers)
+					}
+					parts[p] = append(parts[p], kvRec{key: k, value: v, node: node})
+					st.outRecs++
+					sz := framedSize(k, v)
+					st.outBytes += sz
+					if sz > st.maxRec {
+						st.maxRec = sz
+					}
+				}
+				if sh.spilled() {
+					cfg := spill.Config{
+						Partitions:   numParts,
+						MemoryBudget: c.MemoryBudget,
+						Store:        store,
+						NamePrefix:   fmt.Sprintf("map-%05d/a%d/", ti, attempt),
+						Node:         node,
+						Compress:     c.SpillCompress,
+						Tracer:       c.Tracer,
+						Parent:       att,
+					}
+					if job.NewCombiner != nil {
+						combiner := job.NewCombiner()
+						cfg.Combine = combiner.Combine
+						cfg.OnCombine = func(in, out int64) {
+							counters.Add("combine input records", in)
+							counters.Add("combine output records", out)
+						}
+					}
+					if c.Fault.DiskFailureRate > 0 {
+						cfg.FailSpill = func(idx int) error {
+							// Hash on a per-(attempt, spill) coordinate so a
+							// retry re-draws every spill independently.
+							if injectHash(c.Fault.Seed, job.Name, "spill", ti, attempt<<16|idx) < c.Fault.DiskFailureRate {
+								return fmt.Errorf("injected disk write failure")
+							}
+							return nil
+						}
+					}
+					sw, err := spill.NewWriter(cfg)
+					if err != nil {
+						return fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, ti, err)
+					}
+					w = sw
+					// The TaskContext emit API has no error return, so spill
+					// errors latch into emitErr and surface after the map loop.
+					emit = func(key, value []byte) {
+						if emitErr != nil {
+							return
+						}
+						p := partition(key, job.NumReducers)
+						if err := w.Add(p, key, value); err != nil {
+							emitErr = err
+							return
+						}
+						st.outRecs++
+					}
+				} else {
+					parts = make([][]kvRec, numParts)
+				}
 				ctx := &TaskContext{
 					round:    job.Round,
 					task:     ti,
@@ -258,23 +395,16 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 					counters: counters,
 					side:     side,
 					service:  job.Service,
-					emit: func(key, value []byte) {
-						k := append([]byte(nil), key...)
-						v := append([]byte(nil), value...)
-						var p int
-						if job.NewReducer == nil {
-							p = ti
-						} else {
-							p = partition(k, job.NumReducers)
-						}
-						parts[p] = append(parts[p], kvRec{key: k, value: v, node: node})
-						st.outRecs++
-						sz := framedSize(k, v)
-						st.outBytes += sz
-						if sz > st.maxRec {
-							st.maxRec = sz
-						}
-					},
+					emit:     emit,
+				}
+
+				// fail discards the attempt's partial spill state (as Hadoop
+				// deletes a failed attempt's spill files) before reporting.
+				fail := func(err error) error {
+					if w != nil {
+						w.Abort()
+					}
+					return fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, ti, err)
 				}
 
 				mapper := job.NewMapper()
@@ -283,15 +413,32 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 				for {
 					key, value, ok, err := r.Next()
 					if err != nil {
-						return fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, ti, err)
+						return fail(err)
 					}
 					if !ok {
 						break
 					}
 					st.inRecs++
 					if err := mapper.Map(ctx, key, value); err != nil {
-						return fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, ti, err)
+						return fail(err)
 					}
+				}
+				if sh.spilled() {
+					if emitErr == nil {
+						out, err := w.Close()
+						if err == nil {
+							st.outBytes = out.RawBytes
+							st.maxRec = out.MaxFrame
+							att.SetInt("spills", out.Spills)
+							att.SetInt("records_out", st.outRecs)
+							att.SetInt("raw_bytes", out.RawBytes)
+							taskOuts[ti] = out
+							taskStats[ti] = st
+							return nil
+						}
+						emitErr = err
+					}
+					return fail(emitErr)
 				}
 				if job.NewCombiner != nil && job.NewReducer != nil {
 					if err := combineParts(job, parts, &st, counters, node); err != nil {
@@ -324,6 +471,17 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 		}
 	}
 
+	if sh.spilled() {
+		sh.outs = taskOuts
+		for _, out := range taskOuts {
+			if out != nil {
+				res.Spills += out.Spills
+				res.SpilledBytes += out.RawBytes
+			}
+		}
+		return sh, taskDur, nil
+	}
+
 	// Collect per-partition record lists across tasks.
 	out := make([][]kvRec, numParts)
 	for p := 0; p < numParts; p++ {
@@ -341,7 +499,8 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 		}
 		out[p] = recs
 	}
-	return out, taskDur, nil
+	sh.mem = out
+	return sh, taskDur, nil
 }
 
 // injectHash returns a deterministic pseudo-random value in [0,1) for a
@@ -376,7 +535,7 @@ func injectHash(seed int64, job, phase string, task, attempt int) float64 {
 // attempt is recorded as its own task span (lane = simulated node), so
 // retries are visible in the exported trace.
 func (c *Cluster) runAttempts(job *Job, phase string, task, node int, counters *Counters,
-	parent *trace.Span, body func() error) error {
+	parent *trace.Span, body func(att *trace.Span, attempt int) error) error {
 
 	maxAttempts := c.Fault.MaxAttempts
 	if maxAttempts < 1 {
@@ -398,7 +557,7 @@ func (c *Cluster) runAttempts(job *Job, phase string, task, node int, counters *
 			sp.End()
 			continue
 		}
-		if err := body(); err != nil {
+		if err := body(sp, attempt); err != nil {
 			counters.Add("task failures", 1)
 			lastErr = err
 			sp.SetStr("error", err.Error())
@@ -484,9 +643,14 @@ func partName(prefix string, p int) string { return fmt.Sprintf("%spart-%05d", p
 func PartName(prefix string, p int) string { return partName(prefix, p) }
 
 // writeMapOnlyOutput persists each map task's emissions directly, one
-// partition per task, for jobs with no reduce phase.
-func (c *Cluster) writeMapOnlyOutput(job *Job, mapOut [][]kvRec, res *Result) ([]time.Duration, []int64, error) {
-	for p, recs := range mapOut {
+// partition per task, for jobs with no reduce phase. The measured write
+// durations feed simTime so map-only jobs model real per-task output
+// cost rather than a free reduce phase; fetch is all zeros (nothing is
+// shuffled).
+func (c *Cluster) writeMapOnlyOutput(job *Job, mapOut *shuffleData, res *Result) ([]time.Duration, []int64, error) {
+	durs := make([]time.Duration, len(mapOut.mem))
+	for p, recs := range mapOut.mem {
+		t0 := time.Now()
 		sortRecs(recs)
 		var w dfs.RecordWriter
 		for _, r := range recs {
@@ -497,8 +661,9 @@ func (c *Cluster) writeMapOnlyOutput(job *Job, mapOut [][]kvRec, res *Result) ([
 		}
 		res.ReduceOutputRecords += int64(w.Records())
 		res.OutputBytes += int64(w.Len())
+		durs[p] = time.Since(t0)
 	}
-	return nil, nil, nil
+	return durs, make([]int64, len(mapOut.mem)), nil
 }
 
 func sortRecs(recs []kvRec) {
@@ -511,8 +676,11 @@ func sortRecs(recs []kvRec) {
 }
 
 // runReducePhase shuffles, sorts, groups and reduces each partition,
-// writing one output file per reduce task.
-func (c *Cluster) runReducePhase(job *Job, mapOut [][]kvRec, side map[string][]byte,
+// writing one output file per reduce task. On the in-memory path the
+// partition is sorted in place; on the spill path the reducer streams
+// through a k-way merge over the map tasks' spill segments (with
+// intermediate merge passes when the segment count exceeds MergeFanIn).
+func (c *Cluster) runReducePhase(job *Job, mapOut *shuffleData, side map[string][]byte,
 	counters *Counters, res *Result, phase *trace.Span) ([]time.Duration, []int64, error) {
 
 	res.ReduceTasks = job.NumReducers
@@ -536,18 +704,34 @@ func (c *Cluster) runReducePhase(job *Job, mapOut [][]kvRec, side map[string][]b
 
 			t0 := time.Now()
 			node := p % c.Nodes
-			recs := mapOut[p]
-			var myFetch, myInter int64
-			for i := range recs {
-				sz := framedSize(recs[i].key, recs[i].value)
-				myFetch += sz
-				if recs[i].node != node {
-					myInter += sz
-				}
-			}
-			sortRecs(recs)
 
-			err := c.runAttempts(job, "reduce", p, node, counters, phase, func() error {
+			// Fetch accounting. Every segment of a map task lives on that
+			// task's node, so summing per segment on the spill path equals
+			// the in-memory per-record sum exactly.
+			var recs []kvRec
+			var segs []spill.Segment
+			var myFetch, myInter int64
+			if mapOut.spilled() {
+				segs = mapOut.partSegments(p)
+				for _, seg := range segs {
+					myFetch += seg.RawBytes
+					if seg.Node != node {
+						myInter += seg.RawBytes
+					}
+				}
+			} else {
+				recs = mapOut.mem[p]
+				for i := range recs {
+					sz := framedSize(recs[i].key, recs[i].value)
+					myFetch += sz
+					if recs[i].node != node {
+						myInter += sz
+					}
+				}
+				sortRecs(recs)
+			}
+
+			err := c.runAttempts(job, "reduce", p, node, counters, phase, func(att *trace.Span, attempt int) error {
 				var base []kvRec
 				if job.Schimmy {
 					b, err := c.readBasePartition(partName(job.SchimmyBase, p))
@@ -555,6 +739,34 @@ func (c *Cluster) runReducePhase(job *Job, mapOut [][]kvRec, side map[string][]b
 						return fmt.Errorf("mapreduce: %s reduce task %d: %w", job.Name, p, err)
 					}
 					base = b
+				}
+
+				// Each attempt gets a fresh record stream: a slice cursor in
+				// memory, or a fresh merge over the spill segments.
+				var stream recIter
+				if mapOut.spilled() {
+					it, mstats, err := spill.Merge(mapOut.store, segs, spill.MergeOptions{
+						FanIn:     c.MergeFanIn,
+						Compress:  c.SpillCompress,
+						TmpPrefix: fmt.Sprintf("reduce-%05d/a%d/", p, attempt),
+						Tracer:    c.Tracer,
+						Parent:    att,
+					})
+					if err != nil {
+						return fmt.Errorf("mapreduce: %s reduce task %d: %w", job.Name, p, err)
+					}
+					defer it.Close()
+					att.SetInt("merge_passes", mstats.Passes)
+					att.SetInt("merge_segments", mstats.Segments)
+					statMu.Lock()
+					res.MergePasses += mstats.Passes
+					if mstats.MaxFanIn > res.MaxMergeFanIn {
+						res.MaxMergeFanIn = mstats.MaxFanIn
+					}
+					statMu.Unlock()
+					stream = it.Next
+				} else {
+					stream = sliceIter(recs)
 				}
 
 				var w dfs.RecordWriter
@@ -569,7 +781,7 @@ func (c *Cluster) runReducePhase(job *Job, mapOut [][]kvRec, side map[string][]b
 				}
 				reducer := job.NewReducer()
 
-				maxGroup, err := reduceGroups(ctx, reducer, base, recs)
+				maxGroup, err := reduceGroups(ctx, reducer, base, stream)
 				if err != nil {
 					return fmt.Errorf("mapreduce: %s reduce task %d: %w", job.Name, p, err)
 				}
@@ -641,26 +853,48 @@ func (c *Cluster) readBasePartition(name string) ([]kvRec, error) {
 	return recs, nil
 }
 
+// recIter streams sorted shuffle records to a reduce task: a cursor
+// over an in-memory slice, or a spill.Iterator's Next method on the
+// out-of-core path. Returned slices must stay valid across calls.
+type recIter func() (key, value []byte, ok bool, err error)
+
+// sliceIter adapts a sorted record slice to recIter.
+func sliceIter(recs []kvRec) recIter {
+	i := 0
+	return func() ([]byte, []byte, bool, error) {
+		if i >= len(recs) {
+			return nil, nil, false, nil
+		}
+		r := recs[i]
+		i++
+		return r.key, r.value, true, nil
+	}
+}
+
 // reduceGroups walks the sorted shuffle stream and (for schimmy jobs) the
 // sorted base partition in a merge-join, invoking the reducer once per
 // key in the union. Keys present only in the base still reach the
 // reducer so master records survive rounds in which they receive no
 // fragments. It returns the byte size of the largest group processed.
-func reduceGroups(ctx *TaskContext, reducer Reducer, base, recs []kvRec) (int64, error) {
+func reduceGroups(ctx *TaskContext, reducer Reducer, base []kvRec, next recIter) (int64, error) {
 	var maxGroup int64
-	bi, ri := 0, 0
-	for bi < len(base) || ri < len(recs) {
+	bi := 0
+	rkey, rval, rok, err := next()
+	if err != nil {
+		return 0, err
+	}
+	for bi < len(base) || rok {
 		var key []byte
 		switch {
 		case bi >= len(base):
-			key = recs[ri].key
-		case ri >= len(recs):
+			key = rkey
+		case !rok:
 			key = base[bi].key
 		default:
-			if bytes.Compare(base[bi].key, recs[ri].key) <= 0 {
+			if bytes.Compare(base[bi].key, rkey) <= 0 {
 				key = base[bi].key
 			} else {
-				key = recs[ri].key
+				key = rkey
 			}
 		}
 
@@ -675,15 +909,15 @@ func reduceGroups(ctx *TaskContext, reducer Reducer, base, recs []kvRec) (int64,
 			}
 		}
 
-		groupStart := ri
-		for ri < len(recs) && bytes.Equal(recs[ri].key, key) {
-			ri++
-		}
-		vals := make([][]byte, 0, ri-groupStart)
+		var vals [][]byte
 		groupBytes := int64(len(master))
-		for i := groupStart; i < ri; i++ {
-			vals = append(vals, recs[i].value)
-			groupBytes += framedSize(recs[i].key, recs[i].value)
+		for rok && bytes.Equal(rkey, key) {
+			vals = append(vals, rval)
+			groupBytes += framedSize(rkey, rval)
+			rkey, rval, rok, err = next()
+			if err != nil {
+				return 0, err
+			}
 		}
 		if groupBytes > maxGroup {
 			maxGroup = groupBytes
@@ -738,22 +972,34 @@ func (c *Cluster) simTime(job *Job, res *Result, splits []split, mapDur, reduceD
 		mapCosts = append(mapCosts, time.Duration(float64(cost)*straggle("map", i)))
 	}
 	// Map output spill is charged once against aggregate disk bandwidth.
-	spill := xfer(res.MapOutputBytes/int64(c.Nodes), cm.DiskBytesPerSec)
+	// On the out-of-core path the spilled bytes (which include re-written
+	// combiner output) are what actually hit disk.
+	spillBytes := res.MapOutputBytes
+	if res.SpilledBytes > 0 {
+		spillBytes = res.SpilledBytes
+	}
+	spillCost := xfer(spillBytes/int64(c.Nodes), cm.DiskBytesPerSec)
 
+	// A map-only job has no reduce tasks to launch: its "reduce" costs are
+	// the map tasks' own output writes, so no per-task overhead applies.
+	reduceOverhead := cm.TaskOverhead
+	if job.NewReducer == nil {
+		reduceOverhead = 0
+	}
 	var reduceCosts []time.Duration
 	for i := range reduceDur {
 		var f int64
 		if i < len(reduceFetch) {
 			f = reduceFetch[i]
 		}
-		cost := cm.TaskOverhead +
+		cost := reduceOverhead +
 			xfer(f, cm.NetBytesPerSec) +
 			time.Duration(float64(reduceDur[i])*cm.CPUFactor)
 		reduceCosts = append(reduceCosts, time.Duration(float64(cost)*straggle("reduce", i)))
 	}
 	outWrite := xfer(res.OutputBytes/int64(c.Nodes), cm.DiskBytesPerSec)
 
-	return cm.RoundOverhead + makespan(mapCosts, c.slots()) + spill +
+	return cm.RoundOverhead + makespan(mapCosts, c.slots()) + spillCost +
 		makespan(reduceCosts, c.slots()) + outWrite
 }
 

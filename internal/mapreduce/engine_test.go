@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ffmr/internal/dfs"
+	"ffmr/internal/spill"
 )
 
 func newTestCluster(nodes, slots, blockSize int) *Cluster {
@@ -679,7 +680,7 @@ func TestFramedSizeMatchesWriter(t *testing.T) {
 	}
 	var buf [8]byte
 	n := binary.PutUvarint(buf[:], 300)
-	if uvarintLen(300) != n {
-		t.Errorf("uvarintLen(300) = %d, want %d", uvarintLen(300), n)
+	if spill.UvarintLen(300) != n {
+		t.Errorf("UvarintLen(300) = %d, want %d", spill.UvarintLen(300), n)
 	}
 }

@@ -240,6 +240,17 @@ type Result struct {
 	OutputBytes         int64
 	InputBytes          int64
 
+	// Out-of-core shuffle statistics, all zero on the in-memory path
+	// (Cluster.MemoryBudget == 0). Spills counts map-side sort+write
+	// cycles; SpilledBytes is the framed (uncompressed) bytes they wrote;
+	// MergePasses counts reduce-side merge passes (including each reduce
+	// task's final streaming pass); MaxMergeFanIn is the largest number
+	// of segments any single merge pass read.
+	Spills        int64
+	SpilledBytes  int64
+	MergePasses   int64
+	MaxMergeFanIn int64
+
 	// WallTime is the measured host execution time of the job;
 	// SimTime is the modelled cluster time (see CostModel).
 	WallTime time.Duration
@@ -333,6 +344,12 @@ type Faults struct {
 	// before doing work (emulating worker crashes). Injection is
 	// deterministic in Seed, the job name, the task and the attempt.
 	FailureRate float64
+	// DiskFailureRate injects a probability that any single spill write
+	// fails mid-task (emulating a local-disk error on the tasktracker).
+	// Only meaningful on the out-of-core shuffle path
+	// (Cluster.MemoryBudget > 0); the failed attempt's partial spill
+	// state is discarded and the task retried.
+	DiskFailureRate float64
 	// Seed drives the injection hash.
 	Seed int64
 }

@@ -1,0 +1,105 @@
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the single canonical implementation of the repo's record
+// framing. The DFS SequenceFile emulation (dfs.RecordWriter/RecordReader)
+// and the MapReduce engine's shuffle accounting both delegate here, so
+// the bytes written to disk, the bytes counted by the shuffle, and the
+// bytes spilled by this package cannot diverge.
+//
+// A frame is a length-prefixed <key, value> byte-string pair:
+//
+//	uvarint keyLen | key bytes | uvarint valueLen | value bytes
+//
+// Frames are self-contained: a reader streams records without knowing
+// the payload schema.
+
+// AppendFrame appends one framed record to buf and returns the extended
+// slice (append-style API, like binary.AppendUvarint).
+func AppendFrame(buf, key, value []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(value)))
+	buf = append(buf, value...)
+	return buf
+}
+
+// FramedSize is the exact encoded size of one record's frame — the
+// number of bytes AppendFrame would add.
+func FramedSize(key, value []byte) int64 {
+	return int64(UvarintLen(uint64(len(key))) + len(key) + UvarintLen(uint64(len(value))) + len(value))
+}
+
+// UvarintLen is the encoded size of x as a uvarint.
+func UvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// ReadFrame decodes the frame starting at data[off:], returning the key
+// and value (aliasing data) plus the offset of the next frame.
+func ReadFrame(data []byte, off int) (key, value []byte, next int, err error) {
+	key, next, err = readChunk(data, off)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	value, next, err = readChunk(data, next)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return key, value, next, nil
+}
+
+func readChunk(data []byte, off int) ([]byte, int, error) {
+	n, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("corrupt record length at offset %d", off)
+	}
+	off += sz
+	if uint64(len(data)-off) < n {
+		return nil, 0, fmt.Errorf("truncated record at offset %d (want %d bytes, have %d)",
+			off, n, len(data)-off)
+	}
+	return data[off : off+int(n)], off + int(n), nil
+}
+
+// ReadStreamFrame decodes one frame from a buffered stream. It returns
+// io.EOF (untouched) at a clean end of stream; a frame cut off mid-way
+// reports io.ErrUnexpectedEOF. The returned slices are freshly
+// allocated and remain valid after subsequent reads.
+func ReadStreamFrame(br *bufio.Reader) (key, value []byte, err error) {
+	key, err = readStreamChunk(br, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	value, err = readStreamChunk(br, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return key, value, nil
+}
+
+func readStreamChunk(br *bufio.Reader, first bool) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF && first {
+			return nil, io.EOF
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return buf, nil
+}

@@ -1,0 +1,305 @@
+// Package spill is the out-of-core shuffle subsystem: Hadoop's external
+// sort/merge, scaled down to this repo's emulated MapReduce runtime.
+//
+// A map task emits into a Writer with a bounded memory budget. When the
+// buffered framed bytes reach the budget, the buffer is sorted per
+// partition, the job's combiner (if any) is applied, and each
+// partition's records are written as one framed, optionally
+// DEFLATE-compressed spill segment to a RunStore — the tasktracker's
+// local disk in Hadoop, a temp dir (DiskRunStore) or memory
+// (MemRunStore) here. Reducers stream their partition through a k-way
+// merge Iterator over all tasks' segments instead of materializing the
+// partition in memory; when the segment count exceeds the merge fan-in,
+// intermediate merge passes combine segments first, exactly as Hadoop's
+// reduce-side merger bounds its open-file count.
+//
+// Record framing (format.go) is the canonical implementation shared
+// with the DFS SequenceFile emulation, so on-disk bytes and shuffle
+// counter accounting cannot diverge.
+package spill
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"ffmr/internal/trace"
+)
+
+// DefaultMergeFanIn bounds how many segments one merge pass reads
+// (Hadoop's io.sort.factor, default 10 there).
+const DefaultMergeFanIn = 16
+
+// Segment is one sorted run of framed records for a single partition,
+// stored in a RunStore.
+type Segment struct {
+	// Name is the store object holding the segment.
+	Name string
+	// Partition is the reduce partition the records hash to.
+	Partition int
+	// Records is the number of framed records in the segment.
+	Records int64
+	// RawBytes is the framed (uncompressed) payload size — the bytes the
+	// shuffle accounts for, matching the in-memory path's framedSize sums.
+	RawBytes int64
+	// StoredBytes is the size in the store (smaller when compressed).
+	StoredBytes int64
+	// Compressed reports whether the stored bytes are DEFLATE-compressed.
+	Compressed bool
+	// Node is the simulated cluster node of the producing map task, used
+	// for inter-node shuffle accounting (-1 for merged segments, which
+	// mix producers; accounting happens before merging).
+	Node int
+}
+
+// Output is the result of one map task attempt's spilled output.
+type Output struct {
+	// Node is the producing task's simulated node.
+	Node int
+	// Parts holds each partition's segments in spill order.
+	Parts [][]Segment
+	// Spills is the number of spill events (sort+write cycles).
+	Spills int64
+	// RawBytes and StoredBytes total the segments' sizes.
+	RawBytes    int64
+	StoredBytes int64
+	// Records is the number of records written (post-combine).
+	Records int64
+	// MaxFrame is the largest single framed record written.
+	MaxFrame int64
+}
+
+// Config parameterizes a Writer.
+type Config struct {
+	// Partitions is the number of reduce partitions (required).
+	Partitions int
+	// MemoryBudget is the framed-byte threshold that triggers a spill
+	// (required, > 0).
+	MemoryBudget int64
+	// Store receives the spill segments (required).
+	Store RunStore
+	// NamePrefix namespaces this task attempt's segments in the store,
+	// e.g. "job/map-00003/a0/". Abort removes everything under it.
+	NamePrefix string
+	// Node is the producing task's simulated node.
+	Node int
+	// Compress DEFLATE-compresses stored segments.
+	Compress bool
+	// Combine, if non-nil, is applied per spill to each key's values
+	// (Hadoop runs the combiner on every spill, so a multi-spill task
+	// combines each buffer independently).
+	Combine func(key []byte, values [][]byte) ([][]byte, error)
+	// OnCombine, if non-nil, observes each combine application's input
+	// and output record counts (for the engine's combine counters).
+	OnCombine func(in, out int64)
+	// FailSpill, if non-nil, is consulted before writing spill #i; a
+	// non-nil error aborts the task attempt (fault injection).
+	FailSpill func(spill int) error
+	// Tracer and Parent, if set, record one span per spill under the
+	// producing task attempt's span.
+	Tracer *trace.Tracer
+	Parent *trace.Span
+}
+
+// rec is one buffered record.
+type rec struct{ key, value []byte }
+
+// sortRecs orders records by (key, value), the engine's shuffle order.
+func sortRecs(recs []rec) {
+	sort.Slice(recs, func(i, j int) bool {
+		if cmp := bytes.Compare(recs[i].key, recs[j].key); cmp != 0 {
+			return cmp < 0
+		}
+		return bytes.Compare(recs[i].value, recs[j].value) < 0
+	})
+}
+
+// Writer is the map side of the out-of-core shuffle: a bounded
+// in-memory buffer that spills sorted runs to the store. Not safe for
+// concurrent use; each map task attempt owns one Writer.
+type Writer struct {
+	cfg      Config
+	parts    [][]rec
+	buffered int64
+	spillIdx int
+	out      Output
+	err      error
+	closed   bool
+	scratch  []byte
+}
+
+// NewWriter creates a Writer for one map task attempt.
+func NewWriter(cfg Config) (*Writer, error) {
+	if cfg.Partitions <= 0 {
+		return nil, fmt.Errorf("spill: writer needs at least one partition")
+	}
+	if cfg.MemoryBudget <= 0 {
+		return nil, fmt.Errorf("spill: writer needs a positive memory budget")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("spill: writer needs a run store")
+	}
+	return &Writer{
+		cfg:   cfg,
+		parts: make([][]rec, cfg.Partitions),
+		out:   Output{Node: cfg.Node, Parts: make([][]Segment, cfg.Partitions)},
+	}, nil
+}
+
+// Add buffers one record for a partition, spilling when the buffered
+// framed bytes reach the memory budget. Key and value are copied.
+func (w *Writer) Add(partition int, key, value []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("spill: Add after Close")
+	}
+	if partition < 0 || partition >= len(w.parts) {
+		return w.fail(fmt.Errorf("spill: partition %d out of range [0,%d)", partition, len(w.parts)))
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	w.parts[partition] = append(w.parts[partition], rec{key: k, value: v})
+	w.buffered += FramedSize(k, v)
+	if w.buffered >= w.cfg.MemoryBudget {
+		return w.spill()
+	}
+	return nil
+}
+
+// fail poisons the writer with its first error.
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// spill sorts, combines and writes the current buffer as one segment
+// per non-empty partition.
+func (w *Writer) spill() error {
+	idx := w.spillIdx
+	w.spillIdx++
+	if w.cfg.FailSpill != nil {
+		if err := w.cfg.FailSpill(idx); err != nil {
+			return w.fail(fmt.Errorf("spill %d: %w", idx, err))
+		}
+	}
+	sp := w.cfg.Tracer.Start(trace.CatSpill, fmt.Sprintf("spill-%03d", idx), w.cfg.Parent)
+	var spillRecs, spillRaw int64
+	for p := range w.parts {
+		recs := w.parts[p]
+		if len(recs) == 0 {
+			continue
+		}
+		sortRecs(recs)
+		if w.cfg.Combine != nil {
+			combined, err := w.combine(recs)
+			if err != nil {
+				sp.End()
+				return w.fail(err)
+			}
+			recs = combined
+		}
+		name := fmt.Sprintf("%sspill-%05d/p-%05d", w.cfg.NamePrefix, idx, p)
+		seg, err := writeSegment(w.cfg.Store, name, p, w.cfg.Node, w.cfg.Compress, recs, &w.scratch)
+		if err != nil {
+			sp.End()
+			return w.fail(err)
+		}
+		w.out.Parts[p] = append(w.out.Parts[p], seg)
+		w.out.RawBytes += seg.RawBytes
+		w.out.StoredBytes += seg.StoredBytes
+		w.out.Records += seg.Records
+		spillRecs += seg.Records
+		spillRaw += seg.RawBytes
+		for i := range recs {
+			if sz := FramedSize(recs[i].key, recs[i].value); sz > w.out.MaxFrame {
+				w.out.MaxFrame = sz
+			}
+		}
+		w.parts[p] = w.parts[p][:0]
+	}
+	w.buffered = 0
+	w.out.Spills++
+	sp.SetInt("records", spillRecs)
+	sp.SetInt("raw_bytes", spillRaw)
+	sp.End()
+	return nil
+}
+
+// combine applies the configured combiner to each key group of a sorted
+// buffer, returning the replacement records.
+func (w *Writer) combine(recs []rec) ([]rec, error) {
+	combined := make([]rec, 0, len(recs))
+	var inRecs, outRecs int64
+	for i := 0; i < len(recs); {
+		j := i
+		for j < len(recs) && bytes.Equal(recs[j].key, recs[i].key) {
+			j++
+		}
+		group := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			group = append(group, recs[k].value)
+		}
+		inRecs += int64(len(group))
+		out, err := w.cfg.Combine(recs[i].key, group)
+		if err != nil {
+			return nil, err
+		}
+		outRecs += int64(len(out))
+		for _, v := range out {
+			combined = append(combined, rec{key: recs[i].key, value: v})
+		}
+		i = j
+	}
+	// Combiner output order within a key is implementation-defined;
+	// restore shuffle order so segments stay internally sorted.
+	sortRecs(combined)
+	if w.cfg.OnCombine != nil {
+		w.cfg.OnCombine(inRecs, outRecs)
+	}
+	return combined, nil
+}
+
+// Close flushes any buffered records as a final spill and returns the
+// task attempt's spilled output. The Writer is unusable afterwards.
+func (w *Writer) Close() (*Output, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.closed {
+		return nil, fmt.Errorf("spill: double Close")
+	}
+	w.closed = true
+	if w.buffered > 0 {
+		if err := w.spill(); err != nil {
+			return nil, err
+		}
+	}
+	return &w.out, nil
+}
+
+// Abort discards everything this writer put in the store (a failed task
+// attempt's partial spill state, which Hadoop likewise deletes before
+// retrying the task).
+func (w *Writer) Abort() {
+	w.cfg.Store.RemovePrefix(w.cfg.NamePrefix)
+}
+
+// writeSegment encodes sorted records as one framed (optionally
+// compressed) store object and returns its metadata.
+func writeSegment(store RunStore, name string, partition, node int, compress bool, recs []rec, scratch *[]byte) (Segment, error) {
+	sw, err := newSegmentWriter(store, name, partition, node, compress)
+	if err != nil {
+		return Segment{}, err
+	}
+	for i := range recs {
+		if err := sw.append(recs[i].key, recs[i].value, scratch); err != nil {
+			sw.abort()
+			return Segment{}, err
+		}
+	}
+	return sw.close()
+}

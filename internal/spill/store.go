@@ -1,0 +1,282 @@
+package spill
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RunStore is where spill runs and intermediate merge segments live. In
+// a real Hadoop deployment this is the tasktracker's local disk (not
+// HDFS); here it is pluggable so tests can run the full spill/merge
+// machinery against memory while production runs write real files under
+// a temp dir.
+//
+// Names are slash-separated paths, unique per task attempt, so a failed
+// attempt's partial state can be discarded with RemovePrefix. All
+// methods are safe for concurrent use; Create/Open of distinct names
+// may proceed in parallel (map tasks spill concurrently).
+type RunStore interface {
+	// Create opens a named object for writing. The object becomes
+	// readable once the returned writer is closed.
+	Create(name string) (io.WriteCloser, error)
+	// Open streams a previously created object.
+	Open(name string) (io.ReadCloser, error)
+	// Remove deletes one object (missing names are not an error).
+	Remove(name string) error
+	// RemovePrefix deletes every object whose name starts with prefix
+	// and returns the number removed (failed-attempt cleanup).
+	RemovePrefix(prefix string) int
+	// Bytes returns the total stored (on-disk, post-compression) bytes.
+	Bytes() int64
+	// Objects returns the number of live objects.
+	Objects() int
+	// Close releases the store, deleting everything it holds.
+	Close() error
+}
+
+// MemRunStore is an in-memory RunStore for tests and for exercising the
+// spill path without touching the host file system.
+type MemRunStore struct {
+	mu   sync.Mutex
+	objs map[string][]byte
+}
+
+// NewMemRunStore creates an empty in-memory run store.
+func NewMemRunStore() *MemRunStore {
+	return &MemRunStore{objs: make(map[string][]byte)}
+}
+
+// memWriter buffers writes and commits the object on Close.
+type memWriter struct {
+	buf   bytes.Buffer
+	store *MemRunStore
+	name  string
+}
+
+func (w *memWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *memWriter) Close() error {
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	w.store.objs[w.name] = append([]byte(nil), w.buf.Bytes()...)
+	return nil
+}
+
+// Create implements RunStore.
+func (s *MemRunStore) Create(name string) (io.WriteCloser, error) {
+	if name == "" {
+		return nil, fmt.Errorf("spill: empty run name")
+	}
+	return &memWriter{store: s, name: name}, nil
+}
+
+// Open implements RunStore.
+func (s *MemRunStore) Open(name string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	data, ok := s.objs[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("spill: run %q does not exist", name)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// Remove implements RunStore.
+func (s *MemRunStore) Remove(name string) error {
+	s.mu.Lock()
+	delete(s.objs, name)
+	s.mu.Unlock()
+	return nil
+}
+
+// RemovePrefix implements RunStore.
+func (s *MemRunStore) RemovePrefix(prefix string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for name := range s.objs {
+		if strings.HasPrefix(name, prefix) {
+			delete(s.objs, name)
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes implements RunStore.
+func (s *MemRunStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, data := range s.objs {
+		total += int64(len(data))
+	}
+	return total
+}
+
+// Objects implements RunStore.
+func (s *MemRunStore) Objects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objs)
+}
+
+// Names returns the live object names, sorted (test helper).
+func (s *MemRunStore) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.objs))
+	for name := range s.objs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close implements RunStore.
+func (s *MemRunStore) Close() error {
+	s.mu.Lock()
+	s.objs = make(map[string][]byte)
+	s.mu.Unlock()
+	return nil
+}
+
+// DiskRunStore writes runs as real files under a private directory,
+// which Close removes. It is the production store: spilled bytes leave
+// process memory.
+type DiskRunStore struct {
+	root string
+
+	mu    sync.Mutex
+	sizes map[string]int64
+}
+
+// NewDiskRunStore creates a store rooted at a fresh private directory
+// under dir (the OS temp dir when dir is empty). dir is created if it
+// does not exist yet.
+func NewDiskRunStore(dir string) (*DiskRunStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("spill: create store dir: %w", err)
+		}
+	}
+	root, err := os.MkdirTemp(dir, "ffmr-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("spill: create store dir: %w", err)
+	}
+	return &DiskRunStore{root: root, sizes: make(map[string]int64)}, nil
+}
+
+// Root returns the store's private directory.
+func (s *DiskRunStore) Root() string { return s.root }
+
+func (s *DiskRunStore) path(name string) string {
+	return filepath.Join(s.root, filepath.FromSlash(name))
+}
+
+// diskWriter counts bytes and registers the object's size on Close.
+type diskWriter struct {
+	f     *os.File
+	store *DiskRunStore
+	name  string
+	n     int64
+}
+
+func (w *diskWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+func (w *diskWriter) Close() error {
+	err := w.f.Close()
+	w.store.mu.Lock()
+	w.store.sizes[w.name] = w.n
+	w.store.mu.Unlock()
+	return err
+}
+
+// Create implements RunStore.
+func (s *DiskRunStore) Create(name string) (io.WriteCloser, error) {
+	if name == "" {
+		return nil, fmt.Errorf("spill: empty run name")
+	}
+	p := s.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	return &diskWriter{f: f, store: s, name: name}, nil
+}
+
+// Open implements RunStore.
+func (s *DiskRunStore) Open(name string) (io.ReadCloser, error) {
+	f, err := os.Open(s.path(name))
+	if err != nil {
+		return nil, fmt.Errorf("spill: run %q: %w", name, err)
+	}
+	return f, nil
+}
+
+// Remove implements RunStore.
+func (s *DiskRunStore) Remove(name string) error {
+	s.mu.Lock()
+	delete(s.sizes, name)
+	s.mu.Unlock()
+	if err := os.Remove(s.path(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("spill: %w", err)
+	}
+	return nil
+}
+
+// RemovePrefix implements RunStore.
+func (s *DiskRunStore) RemovePrefix(prefix string) int {
+	s.mu.Lock()
+	var victims []string
+	for name := range s.sizes {
+		if strings.HasPrefix(name, prefix) {
+			victims = append(victims, name)
+			delete(s.sizes, name)
+		}
+	}
+	s.mu.Unlock()
+	for _, name := range victims {
+		os.Remove(s.path(name))
+	}
+	return len(victims)
+}
+
+// Bytes implements RunStore.
+func (s *DiskRunStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, sz := range s.sizes {
+		total += sz
+	}
+	return total
+}
+
+// Objects implements RunStore.
+func (s *DiskRunStore) Objects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sizes)
+}
+
+// Close implements RunStore, removing the store directory and all runs.
+func (s *DiskRunStore) Close() error {
+	s.mu.Lock()
+	s.sizes = make(map[string]int64)
+	s.mu.Unlock()
+	return os.RemoveAll(s.root)
+}

@@ -31,6 +31,8 @@ const (
 	CatJob   = "job"   // one MapReduce job
 	CatPhase = "phase" // map / shuffle+reduce phase of a job
 	CatTask  = "task"  // one task attempt
+	CatSpill = "spill" // one map-side spill (sort + write of a buffer)
+	CatMerge = "merge" // one reduce-side intermediate merge pass
 )
 
 // Round-span attribute keys. The driver annotates each round span with
@@ -52,6 +54,22 @@ const (
 	AttrMaxGroupBytes  = "max_group_bytes"
 	AttrOutputBytes    = "output_bytes"
 	AttrSimTimeUS      = "sim_time_us"
+)
+
+// Spill-subsystem attribute and counter names. The engine annotates job
+// spans with these and accumulates same-named registry counters, so a
+// trace export shows the out-of-core shuffle's work alongside the
+// paper's Table I metrics.
+const (
+	AttrSpills       = "spills"
+	AttrSpilledBytes = "spilled_bytes"
+	AttrMergePasses  = "merge_passes"
+
+	CounterSpills       = "spills"
+	CounterSpilledBytes = "spilled bytes"
+	CounterMergePasses  = "merge passes"
+	CounterMergeSegs    = "merge segments"
+	GaugeMergeFanIn     = "merge fan-in"
 )
 
 // Attr is one span annotation: an int64 metric or a string label.
