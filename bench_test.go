@@ -18,6 +18,7 @@ import (
 	"ffmr"
 	"ffmr/internal/core"
 	"ffmr/internal/dfs"
+	"ffmr/internal/distmr"
 	"ffmr/internal/experiments"
 	"ffmr/internal/graph"
 	"ffmr/internal/graphgen"
@@ -401,7 +402,7 @@ func BenchmarkAugProcRPC(b *testing.B) {
 	srv.BeginRound()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := client.Submit(batch); err != nil {
+		if err := client.Submit(0, 0, batch); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -430,4 +431,51 @@ func BenchmarkFacadeCompute(b *testing.B) {
 			b.Fatal("zero flow")
 		}
 	}
+}
+
+// BenchmarkDistributed compares the simulated engine with the distmr
+// backend — three in-process workers on real TCP sockets — on the same
+// FF5 computation (baseline: BENCH_dist.json). The delta is the true
+// cost of the distributed runtime: RPC task dispatch, the network
+// shuffle serving spill segments between workers, heartbeats, and
+// winner-only result merging, none of which the simulated engine pays.
+func BenchmarkDistributed(b *testing.B) {
+	in, err := graphgen.WattsStrogatz(400, 6, 0.1, 61)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	graphgen.RandomCapacities(in, 5, 62)
+
+	newCluster := func() *mapreduce.Cluster {
+		fs := dfs.New(dfs.Config{Nodes: 4, BlockSize: 64 << 10, Replication: 2})
+		c := mapreduce.NewCluster(4, 4, fs)
+		c.Cost = mapreduce.ZeroCostModel()
+		return c
+	}
+
+	run := func(b *testing.B, backend mapreduce.Backend) {
+		var flow, rounds int64
+		for i := 0; i < b.N; i++ {
+			cluster := newCluster()
+			cluster.Distributed = backend
+			res, err := core.Run(cluster, in, core.Options{Variant: core.FF5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			flow, rounds = res.MaxFlow, int64(res.Rounds)
+		}
+		b.ReportMetric(float64(flow), "flow")
+		b.ReportMetric(float64(rounds), "rounds")
+	}
+
+	b.Run("simulated", func(b *testing.B) { run(b, nil) })
+	b.Run("distributed-3workers", func(b *testing.B) {
+		h, err := distmr.StartHarness(distmr.HarnessConfig{Workers: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		run(b, h.Master)
+	})
 }

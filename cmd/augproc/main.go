@@ -68,14 +68,14 @@ func main() {
 				}
 				batch = append(batch, p)
 				if len(batch) == cap(batch) {
-					if err := client.Submit(batch); err != nil {
+					if err := client.Submit(ci, 0, batch); err != nil {
 						log.Print(err)
 						return
 					}
 					batch = batch[:0]
 				}
 			}
-			if err := client.Submit(batch); err != nil {
+			if err := client.Submit(ci, 0, batch); err != nil {
 				log.Print(err)
 			}
 		}(ci)

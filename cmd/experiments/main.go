@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ffmr/internal/distmr"
 	"ffmr/internal/experiments"
 	"ffmr/internal/trace"
 )
@@ -46,6 +47,8 @@ func run(args []string, stdout io.Writer) error {
 		budget   = fs.Int64("memory-budget", 0, "per-map-task shuffle buffer bytes; >0 spills sorted runs to disk (0 = unbounded)")
 		spillTo  = fs.String("spill-dir", "", "directory for spill segments (default: system temp dir)")
 		comp     = fs.Bool("compress", false, "DEFLATE-compress spill segments")
+		dist     = fs.Bool("distributed", false, "run every job on an in-process distributed master/worker cluster")
+		distWork = fs.Int("dist-workers", 3, "workers in the distributed cluster (with -distributed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +100,16 @@ func run(args []string, stdout io.Writer) error {
 	if *traceOut != "" {
 		tracer = trace.New()
 		sc.Tracer = tracer
+	}
+	if *dist {
+		h, err := distmr.StartHarness(distmr.HarnessConfig{Workers: *distWork, Tracer: tracer})
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		sc.Distributed = h.Master
+		fmt.Fprintf(stdout, "distributed: %d workers registered with master %s\n\n",
+			h.Master.LiveWorkers(), h.Master.Addr())
 	}
 
 	run := func(name string, f func() error) error {

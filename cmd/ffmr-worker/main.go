@@ -1,0 +1,72 @@
+// Command ffmr-worker runs one distributed MapReduce worker: it
+// registers with an ffmr master (started with -distributed
+// -dist-listen), heartbeats, executes leased map and reduce tasks, and
+// serves its map outputs to reducers on other workers. Linking
+// internal/core registers every job kind the driver schedules, so this
+// binary can run any FFMR or MR-BFS job.
+//
+// Example (three workers against a waiting master):
+//
+//	ffmr -distributed -dist-workers 0 -dist-listen 127.0.0.1:7350 -dist-wait 3 ... &
+//	for i in 1 2 3; do ffmr-worker -master 127.0.0.1:7350 & done
+//
+// The worker exits when the master shuts down (signalled on a
+// heartbeat), when its lease on life ends via injected WorkerCrashRate
+// (exit status 3), or on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	_ "ffmr/internal/core" // registers the FFMR and MR-BFS job kinds
+	"ffmr/internal/distmr"
+	"ffmr/internal/spill"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ffmr-worker: ")
+
+	var (
+		master = flag.String("master", "", "master address to register with (required)")
+		listen = flag.String("listen", "", "address to serve tasks and segment fetches on (default: ephemeral loopback port)")
+		dir    = flag.String("dir", "", "directory for map-output segments (default: hold segments in memory)")
+	)
+	flag.Parse()
+	if *master == "" {
+		log.Fatal("-master is required")
+	}
+
+	cfg := distmr.WorkerConfig{MasterAddr: *master, ListenAddr: *listen}
+	if *dir != "" {
+		store, err := spill.NewDiskRunStore(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = store
+	}
+
+	w, err := distmr.StartWorker(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("worker %d serving on %s (master %s)", w.ID(), w.Addr(), *master)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		w.Close()
+	}()
+
+	w.Wait()
+	if w.Crashed() {
+		log.Print("terminated by injected crash")
+		os.Exit(3)
+	}
+	log.Print("shut down")
+}

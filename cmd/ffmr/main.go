@@ -12,6 +12,14 @@
 //
 //	# Compare against the MR-BFS baseline.
 //	ffmr -gen ws -n 5000 -k 6 -beta 0.1 -bfs
+//
+//	# Run on the distributed backend with 3 in-process TCP workers and
+//	# verify per-round counters against the simulated engine.
+//	ffmr -gen ws -n 2000 -variant 5 -distributed -dist-verify
+//
+//	# Serve external worker processes (see cmd/ffmr-worker).
+//	ffmr -gen ws -n 2000 -distributed -dist-workers 0 \
+//	     -dist-listen 127.0.0.1:7350 -dist-wait 3
 package main
 
 import (
@@ -19,9 +27,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"ffmr/internal/core"
 	"ffmr/internal/dfs"
+	"ffmr/internal/distmr"
 	"ffmr/internal/graph"
 	"ffmr/internal/graphgen"
 	"ffmr/internal/mapreduce"
@@ -61,6 +71,13 @@ func main() {
 		budget  = flag.Int64("memory-budget", 0, "per-map-task shuffle buffer bytes; >0 spills sorted runs to disk (0 = unbounded in-memory shuffle)")
 		spillTo = flag.String("spill-dir", "", "directory for spill segments (default: system temp dir)")
 		comp    = flag.Bool("compress", false, "DEFLATE-compress spill segments")
+
+		dist       = flag.Bool("distributed", false, "run jobs on the distributed master/worker backend instead of the simulated engine")
+		distWork   = flag.Int("dist-workers", 3, "in-process workers to start (0 = external ffmr-worker processes only)")
+		distListen = flag.String("dist-listen", "", "master listen address for external workers (default: ephemeral loopback port)")
+		distWait   = flag.Int("dist-wait", 0, "wait for this many registered workers before starting (counts in-process and external)")
+		distVerify = flag.Bool("dist-verify", false, "also run the simulated engine and require identical per-round counters")
+		crash      = flag.Float64("worker-crash", 0, "injected probability a worker dies at task start (distributed only)")
 	)
 	flag.Parse()
 
@@ -79,6 +96,42 @@ func main() {
 
 	tracer := trace.New()
 	cluster := newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp)
+
+	// Distributed mode: boot a master (plus optional in-process workers),
+	// wait for registrations, and point the cluster's job execution at it.
+	var master *distmr.Master
+	if *dist {
+		if *distWork > 0 {
+			h, err := distmr.StartHarness(distmr.HarnessConfig{
+				Workers: *distWork,
+				Replace: *crash > 0,
+				Master:  distmr.Config{Addr: *distListen},
+				Tracer:  tracer,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer h.Close()
+			master = h.Master
+		} else {
+			m, err := distmr.NewMaster(distmr.Config{Addr: *distListen, Tracer: tracer})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer m.Shutdown()
+			master = m
+		}
+		if *distWait > 0 {
+			fmt.Printf("distributed: master on %s, waiting for %d workers\n", master.Addr(), *distWait)
+			if err := master.WaitForWorkers(*distWait, 5*time.Minute); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("distributed: %d workers registered with master %s\n",
+			master.LiveWorkers(), master.Addr())
+		distribute(cluster, master, *crash, *seed)
+	}
+
 	opts := core.Options{
 		Variant:   core.Variant(*variant),
 		K:         *kPaths,
@@ -87,6 +140,11 @@ func main() {
 	}
 	if *paperT {
 		opts.Termination = core.TerminationPaper
+	}
+	if *distVerify {
+		// Counter parity across backends needs deterministic acceptance;
+		// without it FF2+ per-round A-Paths depend on arrival order.
+		opts.DeterministicAccept = true
 	}
 	if *live {
 		opts.RoundCallback = func(rs core.RoundStat) {
@@ -120,6 +178,33 @@ func main() {
 			trace.RoundSummariesUnder(res.RunSpan)))
 	}
 
+	if *distVerify {
+		simOpts := opts
+		simOpts.Tracer = trace.New()
+		simOpts.RoundCallback = nil
+		simRes, err := core.Run(newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp), in, simOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if msg := diffRuns(simRes, res); msg != "" {
+			fmt.Printf("dist-verify: MISMATCH — %s\n", msg)
+			os.Exit(1)
+		}
+		if *budget > 0 {
+			// Spill accounting must also agree: both backends publish
+			// their out-of-core stats into their tracer's registry.
+			sreg, dreg := simOpts.Tracer.Registry(), tracer.Registry()
+			for _, name := range []string{trace.CounterSpills, trace.CounterSpilledBytes, trace.CounterMergePasses} {
+				if s, d := sreg.Counter(name).Value(), dreg.Counter(name).Value(); s != d {
+					fmt.Printf("dist-verify: MISMATCH — %s: simulated %d, distributed %d\n", name, s, d)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("dist-verify: simulated engine agrees (flow %d, %d rounds, identical per-round counters)\n",
+			simRes.MaxFlow, simRes.Rounds)
+	}
+
 	if *check {
 		net, err := maxflow.FromInput(in)
 		if err != nil {
@@ -135,7 +220,11 @@ func main() {
 	}
 
 	if *bfs {
-		bres, err := core.RunBFS(newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp), in, 0, "")
+		bc := newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp)
+		if master != nil {
+			distribute(bc, master, *crash, *seed)
+		}
+		bres, err := core.RunBFS(bc, in, 0, "")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -171,6 +260,43 @@ func main() {
 		}
 		fmt.Printf("trace written to %s\n", *trOut)
 	}
+}
+
+// distribute points a cluster's job execution at the distributed
+// backend and arms worker-crash injection.
+func distribute(c *mapreduce.Cluster, m *distmr.Master, crash float64, seed int64) {
+	c.Distributed = m
+	if crash > 0 {
+		c.Fault.WorkerCrashRate = crash
+		c.Fault.Seed = seed
+	}
+}
+
+// diffRuns compares two runs' results and per-round counters, ignoring
+// the fields that legitimately differ across backends: SimTime and
+// WallTime (measured durations differ between one-process simulation
+// and real workers) and MaxQueue (aug_proc queue depth is
+// timing-dependent even with deterministic acceptance).
+func diffRuns(sim, dist *core.Result) string {
+	if sim.MaxFlow != dist.MaxFlow {
+		return fmt.Sprintf("max flow: simulated %d, distributed %d", sim.MaxFlow, dist.MaxFlow)
+	}
+	if sim.Rounds != dist.Rounds || len(sim.RoundStats) != len(dist.RoundStats) {
+		return fmt.Sprintf("rounds: simulated %d (%d stats), distributed %d (%d stats)",
+			sim.Rounds, len(sim.RoundStats), dist.Rounds, len(dist.RoundStats))
+	}
+	for i := range sim.RoundStats {
+		a, b := comparableStat(sim.RoundStats[i]), comparableStat(dist.RoundStats[i])
+		if a != b {
+			return fmt.Sprintf("round %d counters differ:\n  simulated:   %+v\n  distributed: %+v", i, a, b)
+		}
+	}
+	return ""
+}
+
+func comparableStat(rs core.RoundStat) core.RoundStat {
+	rs.SimTime, rs.WallTime, rs.MaxQueue = 0, 0, 0
+	return rs
 }
 
 func newCluster(nodes, slots int, realistic bool, budget int64, spillDir string, compress bool) *mapreduce.Cluster {

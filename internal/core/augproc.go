@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ffmr/internal/graph"
+	"ffmr/internal/rpcutil"
 	"ffmr/internal/trace"
 )
 
@@ -37,8 +38,12 @@ const (
 // request/response semantics.
 
 // SubmitArgs is the RPC request: a batch of wire-encoded candidate
-// augmenting paths (graph.EncodePath format).
+// augmenting paths (graph.EncodePath format), tagged with the reduce
+// task and execution id that produced it so deterministic mode can
+// discard batches duplicated by task re-execution.
 type SubmitArgs struct {
+	Task  int
+	Exec  int
 	Paths [][]byte
 }
 
@@ -62,8 +67,22 @@ type AugProcStats struct {
 }
 
 type augItem struct {
+	task  int
+	exec  int
 	paths [][]byte
 	flush chan struct{} // non-nil for drain barriers
+}
+
+// pendingSub is one buffered deterministic-mode submission. Batches are
+// kept apart per (task, exec) so EndRound can keep exactly one complete
+// execution per reduce task: a task re-executed after a worker death or
+// as a speculative backup submits its candidates again, and counting
+// both copies would skew Submitted/Accepted relative to the simulated
+// engine's single-execution accounting.
+type pendingSub struct {
+	task  int
+	exec  int
+	paths [][]byte
 }
 
 // AugProcServer is the aug_proc service. Create with NewAugProcServer,
@@ -93,7 +112,7 @@ type AugProcServer struct {
 	// here during the round and accepted in canonical byte order at
 	// EndRound, instead of first-come-first-served as they arrive.
 	deterministic bool
-	pending       [][]byte
+	pending       []pendingSub
 }
 
 // SetDeterministic toggles deterministic acceptance. The default (off)
@@ -143,7 +162,7 @@ func (svc *augProcService) Submit(args *SubmitArgs, _ *SubmitReply) error {
 		}
 	}
 	s.qGauge.Load().Set(q)
-	s.queue <- augItem{paths: args.Paths}
+	s.queue <- augItem{task: args.Task, exec: args.Exec, paths: args.Paths}
 	return nil
 }
 
@@ -194,7 +213,7 @@ func (s *AugProcServer) consume() {
 			t0 := time.Now()
 			s.mu.Lock()
 			if s.deterministic {
-				s.pending = append(s.pending, item.paths...)
+				s.pending = append(s.pending, pendingSub{task: item.task, exec: item.exec, paths: item.paths})
 			} else {
 				s.acceptLocked(item.paths)
 			}
@@ -251,15 +270,43 @@ func (s *AugProcServer) EndRound() (AugProcStats, map[graph.EdgeID]int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.deterministic {
-		sort.Slice(s.pending, func(i, j int) bool {
-			return bytes.Compare(s.pending[i], s.pending[j]) < 0
-		})
-		s.acceptLocked(s.pending)
+		s.acceptLocked(dedupePending(s.pending))
 		s.pending = nil
 	}
 	st := s.stats
 	st.MaxQueue = s.maxQ.Load()
 	return st, s.acc.Deltas()
+}
+
+// dedupePending reduces the round's buffered submissions to one
+// execution per reduce task and returns the surviving candidate paths
+// in canonical byte order. Every complete execution of a task submits
+// the identical candidate sequence (the reduce is deterministic in its
+// sorted input), while an execution interrupted mid-task submits a
+// prefix of it — so the execution with the most paths is complete
+// whenever any is, and ties are broken toward the lowest exec id for
+// reproducibility.
+func dedupePending(pending []pendingSub) [][]byte {
+	total := make(map[[2]int]int) // (task, exec) -> paths submitted
+	for _, sub := range pending {
+		total[[2]int{sub.task, sub.exec}] += len(sub.paths)
+	}
+	chosen := make(map[int]int) // task -> winning exec
+	for key, n := range total {
+		task, exec := key[0], key[1]
+		cur, ok := chosen[task]
+		if !ok || n > total[[2]int{task, cur}] || (n == total[[2]int{task, cur}] && exec < cur) {
+			chosen[task] = exec
+		}
+	}
+	var out [][]byte
+	for _, sub := range pending {
+		if chosen[sub.task] == sub.exec {
+			out = append(out, sub.paths...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
+	return out
 }
 
 // Close shuts the server down.
@@ -279,21 +326,23 @@ type AugProcClient struct {
 	c *rpc.Client
 }
 
-// DialAugProc connects to an aug_proc server.
+// DialAugProc connects to an aug_proc server, retrying transient dial
+// failures with backoff (workers racing a just-started server).
 func DialAugProc(addr string) (*AugProcClient, error) {
-	c, err := rpc.Dial("tcp", addr)
+	c, err := rpcutil.DialRPC(addr, rpcutil.Policy{})
 	if err != nil {
 		return nil, fmt.Errorf("core: aug_proc dial: %w", err)
 	}
 	return &AugProcClient{c: c}, nil
 }
 
-// Submit sends candidate augmenting paths to aug_proc.
-func (c *AugProcClient) Submit(paths []graph.ExcessPath) error {
+// Submit sends candidate augmenting paths to aug_proc, tagged with the
+// submitting reduce task and its execution id (TaskContext.Exec).
+func (c *AugProcClient) Submit(task, exec int, paths []graph.ExcessPath) error {
 	if len(paths) == 0 {
 		return nil
 	}
-	args := &SubmitArgs{Paths: make([][]byte, len(paths))}
+	args := &SubmitArgs{Task: task, Exec: exec, Paths: make([][]byte, len(paths))}
 	for i := range paths {
 		args.Paths[i] = graph.EncodePath(&paths[i])
 	}

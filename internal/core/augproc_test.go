@@ -32,7 +32,7 @@ func TestAugProcAcceptsOverRPC(t *testing.T) {
 	}
 	defer c.Close()
 
-	if err := c.Submit([]graph.ExcessPath{simplePath(1, 1), simplePath(2, 1)}); err != nil {
+	if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(1, 1), simplePath(2, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	st, deltas := s.EndRound()
@@ -57,7 +57,7 @@ func TestAugProcRejectsConflicts(t *testing.T) {
 	defer c.Close()
 
 	// Two candidates over the same unit-capacity edge: only one wins.
-	if err := c.Submit([]graph.ExcessPath{simplePath(7, 1), simplePath(7, 1)}); err != nil {
+	if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(7, 1), simplePath(7, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	st, _ := s.EndRound()
@@ -75,7 +75,7 @@ func TestAugProcRoundIsolation(t *testing.T) {
 	defer c.Close()
 
 	s.BeginRound()
-	if err := c.Submit([]graph.ExcessPath{simplePath(1, 1)}); err != nil {
+	if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(1, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	st1, _ := s.EndRound()
@@ -85,7 +85,7 @@ func TestAugProcRoundIsolation(t *testing.T) {
 
 	// A new round must reset grants: the same edge is available again.
 	s.BeginRound()
-	if err := c.Submit([]graph.ExcessPath{simplePath(1, 1)}); err != nil {
+	if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(1, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	st2, _ := s.EndRound()
@@ -114,7 +114,7 @@ func TestAugProcConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < perClient; i++ {
 				id := graph.EdgeID(ci*perClient + i)
-				if err := c.Submit([]graph.ExcessPath{simplePath(id, 1)}); err != nil {
+				if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(id, 1)}); err != nil {
 					errs <- err
 					return
 				}
@@ -150,7 +150,7 @@ func TestAugProcEmptySubmit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Submit(nil); err != nil {
+	if err := c.Submit(0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	st, _ := s.EndRound()

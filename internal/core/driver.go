@@ -178,6 +178,12 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 					sentTracking:  feat.sentTracking,
 				}
 			},
+			Spec: &mapreduce.JobSpec{Kind: KindFFConvert, Params: mustEncodeParams(&ffConvertParams{
+				Source:        in.Source,
+				Sink:          in.Sink,
+				Bidirectional: !opts.DisableBidirectional,
+				SentTracking:  feat.sentTracking,
+			})},
 		}
 		res0, err := cluster.Run(job0)
 		if err != nil {
@@ -215,6 +221,19 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		defer aug.Close() //nolint:errcheck // shutdown of a loopback listener
 	}
 
+	// On a distributed backend the FF1 sink reducer runs on a worker, so
+	// its acceptance outcome travels back over a collector server, the
+	// FF1 counterpart of aug_proc.
+	var ff1srv *ff1CollectorServer
+	if cluster.Distributed != nil && !feat.augProc {
+		var err error
+		ff1srv, err = newFF1CollectorServer()
+		if err != nil {
+			return nil, err
+		}
+		defer ff1srv.Close() //nolint:errcheck // shutdown of a loopback listener
+	}
+
 	for round := startRound; round <= opts.MaxRounds; round++ {
 		roundSpan := tr.Start(trace.CatRound, fmt.Sprintf("round-%05d", round), runSpan)
 		cfg := &runConfig{
@@ -240,6 +259,9 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		} else {
 			collector = newFF1Collector()
 			service = collector
+			if ff1srv != nil {
+				ff1srv.setCollector(collector)
+			}
 		}
 
 		job := &mapreduce.Job{
@@ -259,6 +281,21 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		if opts.UseCombiner {
 			job.NewCombiner = newFFCombiner
 		}
+		svcAddr := ""
+		if feat.augProc {
+			svcAddr = aug.Addr()
+		} else if ff1srv != nil {
+			svcAddr = ff1srv.Addr()
+		}
+		job.Spec = &mapreduce.JobSpec{Kind: KindFFRound, Params: mustEncodeParams(&ffRoundParams{
+			Variant:     opts.Variant,
+			K:           opts.K,
+			Source:      in.Source,
+			Sink:        in.Sink,
+			DeltasFile:  cfg.deltasFile,
+			UseCombiner: opts.UseCombiner,
+			ServiceAddr: svcAddr,
+		})}
 		res, err := cluster.Run(job)
 		if client != nil {
 			client.Close() //nolint:errcheck // loopback connection teardown

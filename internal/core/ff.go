@@ -30,6 +30,15 @@ func (c *runConfig) pathLimit(v *graph.VertexValue) int {
 	return c.opts.K
 }
 
+// ff1Sink receives the FF1 sink reducer's acceptance outcome. The
+// simulated engine hands the reducer the driver's collector directly; on
+// the distributed backend the worker holds an RPC connection to the
+// driver's collector server instead. Both satisfy this interface, so the
+// reducer code is backend agnostic.
+type ff1Sink interface {
+	add(deltas map[graph.EdgeID]int64, st AugProcStats) error
+}
+
 // ff1Collector stands in for aug_proc in FF1: the sink vertex's reducer
 // performs the final acceptance itself and deposits the resulting
 // AugmentedEdges table here for the driver to broadcast next round.
@@ -47,11 +56,12 @@ func newFF1Collector() *ff1Collector {
 // reduce group (the sink vertex's) ever calls it, so the semantics are
 // replace-not-accumulate: a retried reduce attempt (task fault
 // tolerance) must not double-count its deltas.
-func (c *ff1Collector) add(deltas map[graph.EdgeID]int64, st AugProcStats) {
+func (c *ff1Collector) add(deltas map[graph.EdgeID]int64, st AugProcStats) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.deltas = deltas
 	c.stats = st
+	return nil
 }
 
 func (c *ff1Collector) round() (AugProcStats, map[graph.EdgeID]int64) {
@@ -345,7 +355,7 @@ func (r *ffReducer) Reduce(ctx *mapreduce.TaskContext, key, master []byte, value
 			if !ok {
 				return fmt.Errorf("core: job service is not an aug_proc client")
 			}
-			if err := client.Submit(candidates); err != nil {
+			if err := client.Submit(ctx.Task(), ctx.Exec(), candidates); err != nil {
 				return err
 			}
 			ctx.Inc("candidates sent", int64(len(candidates)))
@@ -353,11 +363,13 @@ func (r *ffReducer) Reduce(ctx *mapreduce.TaskContext, key, master []byte, value
 	} else if isSink {
 		// FF1: the sink reducer finalizes acceptance and publishes the
 		// round's AugmentedEdges table (Fig. 4 lines 12-14).
-		col, ok := ctx.Service().(*ff1Collector)
+		col, ok := ctx.Service().(ff1Sink)
 		if !ok {
 			return fmt.Errorf("core: job service is not an FF1 collector")
 		}
-		col.add(ap.Deltas(), ff1Stats)
+		if err := col.add(ap.Deltas(), ff1Stats); err != nil {
+			return err
+		}
 	}
 
 	var enc []byte

@@ -1,0 +1,247 @@
+package distmr
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/leakcheck"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/trace"
+)
+
+// The tests in this file run a self-contained word-count job through the
+// in-process harness, so the distributed runtime is exercised without
+// depending on internal/core (which registers the FFMR kinds and has its
+// own backend differential tests).
+
+type sumMapper struct{}
+
+func (sumMapper) Map(ctx *mapreduce.TaskContext, key, value []byte) error {
+	ctx.Inc("mapped", 1)
+	ctx.Emit(key, value)
+	return nil
+}
+
+type sumReducer struct{}
+
+func (sumReducer) Reduce(ctx *mapreduce.TaskContext, key, master []byte, values *mapreduce.Values) error {
+	var total int64
+	for {
+		v := values.Next()
+		if v == nil {
+			break
+		}
+		n, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	ctx.Inc("groups", 1)
+	ctx.Emit(key, []byte(strconv.FormatInt(total, 10)))
+	return nil
+}
+
+func init() {
+	RegisterKind("distmr-test/sum", func([]byte) (*JobCode, error) {
+		return &JobCode{
+			NewMapper:  func() mapreduce.Mapper { return sumMapper{} },
+			NewReducer: func() mapreduce.Reducer { return sumReducer{} },
+		}, nil
+	})
+}
+
+// sumCluster builds a cluster whose FS holds `files` input files of
+// `perFile` records each: keys cycle word-0..word-9, every value is "1".
+func sumCluster(t *testing.T, files, perFile int) *mapreduce.Cluster {
+	t.Helper()
+	fs := dfs.New(dfs.Config{Nodes: 3, BlockSize: 4 << 10, Replication: 2})
+	c := mapreduce.NewCluster(3, 4, fs)
+	c.Cost = mapreduce.ZeroCostModel()
+	for f := 0; f < files; f++ {
+		var w dfs.RecordWriter
+		for i := 0; i < perFile; i++ {
+			w.Append([]byte(fmt.Sprintf("word-%d", i%10)), []byte("1"))
+		}
+		if err := fs.WriteFile(fmt.Sprintf("in/part-%05d", f), w.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func sumJob(fs *dfs.FS) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:         "sum",
+		Inputs:       fs.List("in/"),
+		OutputPrefix: "out/",
+		NumReducers:  4,
+		NewMapper:    func() mapreduce.Mapper { return sumMapper{} },
+		NewReducer:   func() mapreduce.Reducer { return sumReducer{} },
+		Spec:         &mapreduce.JobSpec{Kind: "distmr-test/sum"},
+	}
+}
+
+// readTotals parses the job's output partitions into a word->count map.
+func readTotals(t *testing.T, fs *dfs.FS) map[string]int64 {
+	t.Helper()
+	totals := make(map[string]int64)
+	for _, name := range fs.List("out/") {
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := dfs.NewRecordReader(data)
+		for {
+			key, value, ok, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n, err := strconv.ParseInt(string(value), 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totals[string(key)] += n
+		}
+	}
+	return totals
+}
+
+// TestHarnessRunsJob runs the job on the simulated engine and on a
+// three-worker harness and requires identical output, counters and
+// record statistics.
+func TestHarnessRunsJob(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	const files, perFile = 3, 200
+	simC := sumCluster(t, files, perFile)
+	simRes, err := simC.Run(sumJob(simC.FS))
+	if err != nil {
+		t.Fatalf("simulated run: %v", err)
+	}
+
+	h, err := StartHarness(HarnessConfig{Workers: 3, Tracer: trace.New()})
+	if err != nil {
+		t.Fatalf("StartHarness: %v", err)
+	}
+	defer h.Close()
+	if n := h.Master.LiveWorkers(); n != 3 {
+		t.Fatalf("live workers = %d, want 3", n)
+	}
+
+	distC := sumCluster(t, files, perFile)
+	distC.Distributed = h.Master
+	distRes, err := distC.Run(sumJob(distC.FS))
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+
+	want := readTotals(t, simC.FS)
+	got := readTotals(t, distC.FS)
+	for w, n := range want {
+		if n != int64(files*perFile/10) {
+			t.Fatalf("simulated total for %q = %d, want %d", w, n, files*perFile/10)
+		}
+		if got[w] != n {
+			t.Errorf("distributed total for %q = %d, want %d", w, got[w], n)
+		}
+	}
+
+	if simRes.Counters["mapped"] != distRes.Counters["mapped"] ||
+		simRes.Counters["groups"] != distRes.Counters["groups"] {
+		t.Errorf("counters diverge: simulated %v, distributed %v", simRes.Counters, distRes.Counters)
+	}
+	if simRes.MapTasks != distRes.MapTasks || simRes.ReduceTasks != distRes.ReduceTasks {
+		t.Errorf("task counts diverge: simulated %d/%d, distributed %d/%d",
+			simRes.MapTasks, simRes.ReduceTasks, distRes.MapTasks, distRes.ReduceTasks)
+	}
+	if simRes.MapInputRecords != distRes.MapInputRecords ||
+		simRes.MapOutputRecords != distRes.MapOutputRecords ||
+		simRes.ReduceOutputRecords != distRes.ReduceOutputRecords {
+		t.Errorf("record counts diverge:\n simulated   %+v\n distributed %+v", simRes, distRes)
+	}
+}
+
+// TestWorkerCrashReassignment injects worker crashes at a rate that is
+// certain to kill workers mid-job and requires the job to still finish
+// with the simulated engine's exact output and counters, with crashed
+// workers replaced by the harness.
+func TestWorkerCrashReassignment(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	const files, perFile = 3, 120
+	simC := sumCluster(t, files, perFile)
+	simRes, err := simC.Run(sumJob(simC.FS))
+	if err != nil {
+		t.Fatalf("simulated run: %v", err)
+	}
+
+	h, err := StartHarness(HarnessConfig{Workers: 3, Replace: true})
+	if err != nil {
+		t.Fatalf("StartHarness: %v", err)
+	}
+	defer h.Close()
+
+	distC := sumCluster(t, files, perFile)
+	distC.Distributed = h.Master
+	distC.Fault.WorkerCrashRate = 0.12
+	distC.Fault.Seed = 7
+	distRes, err := distC.Run(sumJob(distC.FS))
+	if err != nil {
+		t.Fatalf("distributed run with crashes: %v", err)
+	}
+
+	crashed := 0
+	for _, w := range h.Workers() {
+		if w.Crashed() {
+			crashed++
+		}
+	}
+	// The crash draws are deterministic in (Seed, job, task, assign), so
+	// with rate 0.12 this configuration always kills at least one worker.
+	if crashed == 0 {
+		t.Error("no worker died from injected crashes; the test exercised nothing")
+	}
+
+	if !equalTotals(readTotals(t, simC.FS), readTotals(t, distC.FS)) {
+		t.Error("output diverges from the simulated engine after crash recovery")
+	}
+	if simRes.Counters["mapped"] != distRes.Counters["mapped"] ||
+		simRes.Counters["groups"] != distRes.Counters["groups"] {
+		t.Errorf("counters diverge after crash recovery: simulated %v, distributed %v",
+			simRes.Counters, distRes.Counters)
+	}
+}
+
+func equalTotals(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHarnessCloseLeavesNoGoroutines pins the subsystem's shutdown: a
+// harness that registered workers, ran nothing, and closed must wind
+// down every master and worker goroutine.
+func TestHarnessCloseLeavesNoGoroutines(t *testing.T) {
+	defer leakcheck.Check(t)()
+	h, err := StartHarness(HarnessConfig{Workers: 4, Tracer: trace.New()})
+	if err != nil {
+		t.Fatalf("StartHarness: %v", err)
+	}
+	if err := h.Master.WaitForWorkers(4, 0); err != nil {
+		t.Fatalf("WaitForWorkers: %v", err)
+	}
+	h.Close()
+	h.Close() // idempotent
+}

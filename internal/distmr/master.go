@@ -1,0 +1,444 @@
+package distmr
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/rpcutil"
+	"ffmr/internal/trace"
+)
+
+// Metric names the master publishes on the cluster tracer's registry.
+const (
+	// GaugeWorkersAlive tracks the live worker count.
+	GaugeWorkersAlive = "distmr workers alive"
+	// CounterWorkerDeaths counts workers declared dead (crash, transport
+	// failure, heartbeat staleness or lease expiry).
+	CounterWorkerDeaths = "distmr worker deaths"
+	// CounterReassigns counts task reassignments after a worker death.
+	CounterReassigns = "distmr reassignments"
+	// CounterBackups counts speculative backup attempts launched.
+	CounterBackups = "distmr speculative backups"
+	// CounterLostMapRecoveries counts map tasks re-executed because their
+	// outputs became unreachable.
+	CounterLostMapRecoveries = "distmr lost map recoveries"
+)
+
+// Config parameterizes a Master. The zero value gets usable defaults.
+type Config struct {
+	// Addr is the listen address (default 127.0.0.1:0).
+	Addr string
+	// HeartbeatInterval is the cadence workers are told to beat at
+	// (default 100ms); HeartbeatGrace is how many intervals of silence
+	// mark a worker dead (default 30).
+	HeartbeatInterval time.Duration
+	HeartbeatGrace    int
+	// LeaseTimeout bounds one task attempt's execution; an expired lease
+	// marks the worker dead and reassigns the task (default 2m).
+	LeaseTimeout time.Duration
+	// SlotsPerWorker caps concurrent tasks per worker (default: the
+	// cluster's SlotsPerNode).
+	SlotsPerWorker int
+	// SpeculativeFraction and SpeculativeFactor gate backup attempts: a
+	// backup launches when at least Fraction of the phase's tasks are
+	// done and a task has run longer than Factor times the median
+	// completed duration (defaults 0.75 and 2.0).
+	SpeculativeFraction float64
+	SpeculativeFactor   float64
+	// MaxAssigns caps how many times one task may be (re)assigned across
+	// worker deaths before the job fails (default 10). Body failures are
+	// capped separately by Faults.MaxAttempts, matching the simulated
+	// engine.
+	MaxAssigns int
+	// WorkerWait is how long a job waits for a live worker before
+	// failing (default 30s).
+	WorkerWait time.Duration
+	// Tracer records master-side spans/gauges until a job installs the
+	// cluster's tracer.
+	Tracer *trace.Tracer
+}
+
+func (c *Config) applyDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.HeartbeatGrace <= 0 {
+		c.HeartbeatGrace = 30
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 2 * time.Minute
+	}
+	if c.SpeculativeFraction <= 0 {
+		c.SpeculativeFraction = 0.75
+	}
+	if c.SpeculativeFactor <= 1 {
+		c.SpeculativeFactor = 2.0
+	}
+	if c.MaxAssigns <= 0 {
+		c.MaxAssigns = 10
+	}
+	if c.WorkerWait <= 0 {
+		c.WorkerWait = 30 * time.Second
+	}
+}
+
+// workerHandle is the master's view of one registered worker.
+type workerHandle struct {
+	id       uint64
+	addr     string
+	client   *rpc.Client
+	lastBeat time.Time
+	running  int
+	dead     bool
+}
+
+// Master schedules jobs onto registered workers. It implements
+// mapreduce.Backend, so assigning it to Cluster.Distributed routes every
+// Cluster.Run through it.
+type Master struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	workers map[uint64]*workerHandle
+	nextID  uint64
+	jobSeq  uint64
+	conns   map[net.Conn]struct{}
+	fs      *dfs.FS
+	reg     *trace.Registry
+	shut    bool
+
+	shutOnce sync.Once
+	shutCh   chan struct{}
+
+	runMu sync.Mutex // serializes RunJob (the driver runs rounds in order)
+}
+
+// NewMaster starts a master listening for worker registrations.
+func NewMaster(cfg Config) (*Master, error) {
+	cfg.applyDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("distmr: master listen: %w", err)
+	}
+	m := &Master{
+		cfg:     cfg,
+		ln:      ln,
+		workers: make(map[uint64]*workerHandle),
+		conns:   make(map[net.Conn]struct{}),
+		reg:     cfg.Tracer.Registry(),
+		shutCh:  make(chan struct{}),
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Master", &masterService{m: m}); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("distmr: master register service: %w", err)
+	}
+	go m.accept(srv)
+	return m, nil
+}
+
+// Addr returns the master's listen address for workers to register at.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+func (m *Master) accept(srv *rpc.Server) {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.shut {
+			m.mu.Unlock()
+			conn.Close()
+			return
+		}
+		m.conns[conn] = struct{}{}
+		m.mu.Unlock()
+		go func() {
+			srv.ServeConn(conn)
+			m.mu.Lock()
+			delete(m.conns, conn)
+			m.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Shutdown stops the master: workers are told to exit (directly and via
+// their next heartbeat), all connections close, and any running job
+// fails promptly.
+func (m *Master) Shutdown() {
+	m.shutOnce.Do(func() {
+		m.mu.Lock()
+		m.shut = true
+		workers := make([]*workerHandle, 0, len(m.workers))
+		for _, w := range m.workers {
+			if !w.dead {
+				workers = append(workers, w)
+			}
+		}
+		conns := make([]net.Conn, 0, len(m.conns))
+		for c := range m.conns {
+			conns = append(conns, c)
+		}
+		m.mu.Unlock()
+		close(m.shutCh)
+		for _, w := range workers {
+			// Best-effort: a dead worker's call just errors out.
+			call := w.client.Go("Worker.Shutdown", &ShutdownArgs{}, &ShutdownReply{}, make(chan *rpc.Call, 1))
+			select {
+			case <-call.Done:
+			case <-time.After(500 * time.Millisecond):
+			}
+			w.client.Close()
+		}
+		m.ln.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+}
+
+// registry returns the current trace registry (the cluster's once a job
+// has run, the config's before). All registry methods are nil-safe.
+func (m *Master) registry() *trace.Registry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg
+}
+
+// LiveWorkers returns the number of registered, live workers.
+func (m *Master) LiveWorkers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitForWorkers blocks until at least n workers are live or the timeout
+// elapses.
+func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if m.LiveWorkers() >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("distmr: %d workers did not register within %v (have %d)", n, timeout, m.LiveWorkers())
+		}
+		select {
+		case <-m.shutCh:
+			return fmt.Errorf("distmr: master shut down")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// markDead declares a worker dead: its client closes (unblocking every
+// in-flight lease with a transport error) and it receives no more work.
+func (m *Master) markDead(w *workerHandle) {
+	m.mu.Lock()
+	already := w.dead
+	w.dead = true
+	m.mu.Unlock()
+	if already {
+		return
+	}
+	w.client.Close()
+	reg := m.registry()
+	reg.Counter(CounterWorkerDeaths).Add(1)
+	reg.Gauge(GaugeWorkersAlive).Set(int64(m.LiveWorkers()))
+}
+
+// checkHeartbeats marks workers silent for longer than the grace period
+// dead.
+func (m *Master) checkHeartbeats() {
+	limit := time.Duration(m.cfg.HeartbeatGrace) * m.cfg.HeartbeatInterval
+	var stale []*workerHandle
+	m.mu.Lock()
+	for _, w := range m.workers {
+		if !w.dead && time.Since(w.lastBeat) > limit {
+			stale = append(stale, w)
+		}
+	}
+	m.mu.Unlock()
+	for _, w := range stale {
+		m.markDead(w)
+	}
+}
+
+// pickWorker returns the live worker with the most free slots, or nil.
+func (m *Master) pickWorker(slots int, exclude *workerHandle) *workerHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best *workerHandle
+	ids := make([]uint64, 0, len(m.workers))
+	for id := range m.workers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := m.workers[id]
+		if w.dead || w == exclude || w.running >= slots {
+			continue
+		}
+		if best == nil || w.running < best.running {
+			best = w
+		}
+	}
+	if best != nil {
+		best.running++
+	}
+	return best
+}
+
+func (m *Master) release(w *workerHandle) {
+	m.mu.Lock()
+	w.running--
+	m.mu.Unlock()
+}
+
+// masterService is the RPC wrapper exposing the worker-facing API.
+type masterService struct{ m *Master }
+
+// Register adds a worker: the master dials it back for task dispatch
+// before acknowledging, so a registered worker is always reachable.
+func (s *masterService) Register(args *RegisterArgs, reply *RegisterReply) error {
+	m := s.m
+	if args.Addr == "" {
+		return fmt.Errorf("distmr: register without an address")
+	}
+	client, err := rpcutil.DialRPC(args.Addr, rpcutil.Policy{})
+	if err != nil {
+		return fmt.Errorf("distmr: dial back worker at %s: %w", args.Addr, err)
+	}
+	m.mu.Lock()
+	if m.shut {
+		m.mu.Unlock()
+		client.Close()
+		return fmt.Errorf("distmr: master is shutting down")
+	}
+	m.nextID++
+	w := &workerHandle{id: m.nextID, addr: args.Addr, client: client, lastBeat: time.Now()}
+	m.workers[w.id] = w
+	m.mu.Unlock()
+	reply.Worker = w.id
+	reply.HeartbeatInterval = int64(m.cfg.HeartbeatInterval)
+	m.registry().Gauge(GaugeWorkersAlive).Set(int64(m.LiveWorkers()))
+	return nil
+}
+
+// Heartbeat records a worker's liveness report and publishes its gauges.
+func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
+	m := s.m
+	hb, err := DecodeHeartbeat(args.Data)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	w := m.workers[hb.Worker]
+	if w != nil && !w.dead {
+		w.lastBeat = time.Now()
+	}
+	shut := m.shut
+	reg := m.reg
+	m.mu.Unlock()
+	reply.Shutdown = shut
+	reg.Gauge(fmt.Sprintf("distmr worker %d running", hb.Worker)).Set(hb.Running)
+	reg.Gauge(fmt.Sprintf("distmr worker %d store bytes", hb.Worker)).Set(hb.StoreBytes)
+	return nil
+}
+
+// ReadFile serves a file from the running job's DFS to workers (side
+// files, schimmy base partitions).
+func (s *masterService) ReadFile(args *ReadFileArgs, reply *ReadFileReply) error {
+	s.m.mu.Lock()
+	fs := s.m.fs
+	s.m.mu.Unlock()
+	if fs == nil {
+		return fmt.Errorf("distmr: no job is running")
+	}
+	data, err := fs.ReadFile(args.Name)
+	if err != nil {
+		return err
+	}
+	reply.Data = data
+	return nil
+}
+
+// RunJob implements mapreduce.Backend: it executes one job across the
+// registered workers and assembles a Result with the same statistics the
+// simulated engine would report.
+func (m *Master) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Result, error) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	if job.Spec == nil || job.Spec.Kind == "" {
+		return nil, fmt.Errorf("distmr: job %q has no Spec; only spec-bearing jobs can run distributed", job.Name)
+	}
+	if job.NewReducer == nil {
+		return nil, fmt.Errorf("distmr: job %q is map-only; the distributed backend requires a reduce phase", job.Name)
+	}
+	select {
+	case <-m.shutCh:
+		return nil, fmt.Errorf("distmr: master shut down")
+	default:
+	}
+
+	m.mu.Lock()
+	m.fs = c.FS
+	m.jobSeq++
+	seq := m.jobSeq
+	if reg := c.Tracer.Registry(); reg != nil {
+		m.reg = reg
+	}
+	m.mu.Unlock()
+
+	jr := &jobRun{
+		m:      m,
+		c:      c,
+		job:    job,
+		seq:    seq,
+		tracer: c.Tracer,
+		events: make(chan event, 64),
+		cancel: make(chan struct{}),
+	}
+	res, err := jr.run()
+	jr.close()
+	m.cleanJob(seq)
+	return res, err
+}
+
+// cleanJob tells every live worker to retire the job's cached code and
+// spill segments.
+func (m *Master) cleanJob(seq uint64) {
+	m.mu.Lock()
+	workers := make([]*workerHandle, 0, len(m.workers))
+	for _, w := range m.workers {
+		if !w.dead {
+			workers = append(workers, w)
+		}
+	}
+	m.mu.Unlock()
+	for _, w := range workers {
+		call := w.client.Go("Worker.CleanJob", &CleanJobArgs{JobSeq: seq}, &CleanJobReply{}, make(chan *rpc.Call, 1))
+		select {
+		case <-call.Done:
+		case <-time.After(2 * time.Second):
+		}
+	}
+}

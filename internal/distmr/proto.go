@@ -1,0 +1,126 @@
+package distmr
+
+import "ffmr/internal/spill"
+
+// This file defines the RPC envelopes exchanged between master and
+// workers. Task descriptors and heartbeats travel pre-encoded in the
+// custom wire format (wire.go) inside these envelopes; results and
+// bookkeeping use net/rpc's native gob encoding.
+
+// RegisterArgs is a worker's registration request.
+type RegisterArgs struct {
+	// Addr is the worker's own listen address, which the master dials
+	// back for task dispatch and which reducers dial for shuffle fetches.
+	Addr string
+	// Pid identifies the worker process (0 for in-process workers).
+	Pid int
+}
+
+// RegisterReply assigns the worker its identity and cadence.
+type RegisterReply struct {
+	Worker            uint64
+	HeartbeatInterval int64 // nanoseconds
+}
+
+// HeartbeatArgs carries one wire-encoded Heartbeat.
+type HeartbeatArgs struct {
+	Data []byte
+}
+
+// HeartbeatReply is the master's response; Shutdown tells the worker to
+// exit (the master is shutting down).
+type HeartbeatReply struct {
+	Shutdown bool
+}
+
+// ReadFileArgs asks the master for a file from the job's DFS (side
+// files, schimmy base partitions).
+type ReadFileArgs struct {
+	Name string
+}
+
+// ReadFileReply returns the file contents.
+type ReadFileReply struct {
+	Data []byte
+}
+
+// RunTaskArgs carries one wire-encoded TaskDescriptor.
+type RunTaskArgs struct {
+	Desc []byte
+}
+
+// RunTaskReply carries the task's result. RPC-level errors mean the
+// worker died (the master reassigns without consuming an attempt); task
+// body failures travel in TaskResult.Err and consume Fault.MaxAttempts.
+type RunTaskReply struct {
+	Result TaskResult
+}
+
+// TaskResult is what a completed task attempt reports. Only the winning
+// attempt's result is merged into the job's statistics, so retried and
+// speculated attempts leave no trace.
+type TaskResult struct {
+	// Err is a task body failure (consumes an attempt); empty on success.
+	Err string
+
+	// Map-side statistics, mirroring the simulated engine's mapTaskStats:
+	// InRecs input records, OutRecs pre-combine emissions, RawBytes the
+	// framed output size, MaxFrame the largest framed record.
+	InRecs   int64
+	OutRecs  int64
+	RawBytes int64
+	MaxFrame int64
+	Spills   int64
+	// Parts holds the map output segment metadata per partition; the
+	// segments live in the worker's local store until the job is cleaned.
+	Parts [][]spill.Segment
+
+	// Reduce-side results.
+	OutputData []byte // the output partition's record file
+	OutBytes   int64
+	OutRecords int64
+	Fetch      int64 // shuffle bytes fetched (raw)
+	Inter      int64 // subset fetched across simulated node boundaries
+	MergePasses   int64
+	MaxMergeFanIn int64
+	MaxGroup      int64
+	// LostMaps lists map tasks whose segments could not be fetched; the
+	// master re-runs them and re-dispatches this reduce. Not a failure.
+	// LostFrom holds, per entry, the worker ID the failed fetch targeted,
+	// so the master only invalidates a map whose winning output still
+	// lives on that worker — a map already re-run elsewhere is left alone.
+	LostMaps []int
+	LostFrom []uint64
+
+	// Counters is the attempt's user counter snapshot.
+	Counters map[string]int64
+	// DurNanos is the attempt's measured execution time, feeding the
+	// cost model exactly as the simulated engine's measured durations do.
+	DurNanos int64
+}
+
+// FetchSegmentArgs asks a worker for one spill segment's stored bytes.
+type FetchSegmentArgs struct {
+	Name string
+}
+
+// FetchSegmentReply returns the segment's stored (possibly compressed)
+// bytes.
+type FetchSegmentReply struct {
+	Data []byte
+}
+
+// CleanJobArgs retires a job on a worker: its code is closed and its
+// store prefix removed.
+type CleanJobArgs struct {
+	JobSeq uint64
+}
+
+// CleanJobReply is empty.
+type CleanJobReply struct{}
+
+// ShutdownArgs asks a worker to exit.
+type ShutdownArgs struct{}
+
+// ShutdownReply is empty.
+type ShutdownReply struct{}

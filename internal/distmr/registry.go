@@ -1,0 +1,76 @@
+package distmr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ffmr/internal/mapreduce"
+)
+
+// JobCode is a worker-side reconstruction of a job's executable parts.
+// A kind factory builds one per (worker, job) from the JobSpec params the
+// master ships; workers cache it for the job's lifetime and call Close
+// when the master retires the job.
+type JobCode struct {
+	// NewMapper creates one mapper per map task attempt (required).
+	NewMapper func() mapreduce.Mapper
+	// NewReducer creates one reducer per reduce task attempt (required —
+	// the distributed backend does not run map-only jobs).
+	NewReducer func() mapreduce.Reducer
+	// NewCombiner, if non-nil, pre-aggregates map output per key.
+	NewCombiner func() mapreduce.Combiner
+	// Service is exposed to tasks via TaskContext.Service — typically a
+	// live client dialed to a job-scoped service (aug_proc, the FF1
+	// collector) whose address travelled in the params.
+	Service any
+	// Close releases the code's resources (service connections) when the
+	// job is cleaned or the worker shuts down. May be nil.
+	Close func() error
+}
+
+// KindFunc builds a job's code from its spec params.
+type KindFunc func(params []byte) (*JobCode, error)
+
+var (
+	kindMu sync.RWMutex
+	kinds  = make(map[string]KindFunc)
+)
+
+// RegisterKind installs a worker-side factory for a job kind, typically
+// from an init function of the package defining the job's mappers and
+// reducers (every binary that links the jobs — master, worker, tests —
+// registers the same kinds). Registering a duplicate name panics.
+func RegisterKind(name string, f KindFunc) {
+	if name == "" || f == nil {
+		panic("distmr: RegisterKind with empty name or nil factory")
+	}
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if _, dup := kinds[name]; dup {
+		panic(fmt.Sprintf("distmr: kind %q registered twice", name))
+	}
+	kinds[name] = f
+}
+
+// Kinds returns the registered kind names, sorted (diagnostics).
+func Kinds() []string {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	names := make([]string, 0, len(kinds))
+	for name := range kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupKind(name string) (KindFunc, error) {
+	kindMu.RLock()
+	f, ok := kinds[name]
+	kindMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("distmr: job kind %q is not registered in this binary (have %v)", name, Kinds())
+	}
+	return f, nil
+}

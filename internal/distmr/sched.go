@@ -1,0 +1,618 @@
+package distmr
+
+import (
+	"fmt"
+	"net/rpc"
+	"sort"
+	"time"
+
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/trace"
+)
+
+// event is one lease outcome delivered to the job's scheduler loop.
+type event struct {
+	ph     Phase
+	task   int
+	assign int
+	w      *workerHandle
+	res    *TaskResult // nil when the lease failed at the transport level
+	err    error       // transport error or lease expiry (worker death)
+}
+
+// dispatch is one in-flight lease: a Worker.RunTask call outstanding on a
+// worker, bounded by the lease timeout.
+type dispatch struct {
+	w      *workerHandle
+	backup bool
+	start  time.Time
+}
+
+// taskState is the scheduler's view of one task. The two failure axes are
+// kept apart exactly as the engine's semantics require: body failures
+// (TaskResult.Err, injected FailureRate draws) advance attempt and count
+// "task failures", capped by Faults.MaxAttempts; worker deaths (transport
+// errors, expired leases) advance only the assignment sequence, capped by
+// Config.MaxAssigns, and leave the counters untouched.
+type taskState struct {
+	ph   Phase
+	task int
+	node int
+
+	attempt  int  // body-attempt number: the simulated engine's coordinate
+	admitted bool // current attempt survived the injected-failure draws
+	assigns  int  // dispatches so far, reassignments and backups included
+	lastErr  error
+
+	queued bool
+	parked bool // reduce waiting for lost map outputs to be re-created
+	done   bool
+
+	winner  *TaskResult
+	winnerW *workerHandle
+	dur     time.Duration
+
+	outstanding map[int]*dispatch // assign -> in-flight lease
+	specDone    bool              // a backup attempt has been launched
+}
+
+// jobRun executes one job. A single goroutine (run) owns all task state;
+// lease goroutines communicate through the events channel only.
+type jobRun struct {
+	m      *Master
+	c      *mapreduce.Cluster
+	job    *mapreduce.Job
+	seq    uint64
+	tracer *trace.Tracer
+	events chan event
+	cancel chan struct{}
+
+	counters    *mapreduce.Counters // master-side: "task failures"
+	maxAttempts int
+
+	splits  []mapreduce.Split
+	maps    []taskState
+	reduces []taskState
+	queue   []*taskState
+
+	mapsDone    int
+	reducesDone int
+	reducesOn   bool // reduce phase opened (output prefix cleared)
+
+	lastLive time.Time
+}
+
+// close releases every lease goroutine still in flight.
+func (jr *jobRun) close() { close(jr.cancel) }
+
+func (jr *jobRun) run() (*mapreduce.Result, error) {
+	job, c := jr.job, jr.c
+	start := time.Now()
+	jobSpan := jr.tracer.Start(trace.CatJob, job.Name, job.Parent)
+	defer jobSpan.End()
+
+	jr.counters = mapreduce.NewCounters()
+	jr.maxAttempts = c.Fault.MaxAttempts
+	if jr.maxAttempts < 1 {
+		jr.maxAttempts = 1
+	}
+
+	res := &mapreduce.Result{}
+	for _, in := range job.Inputs {
+		ss, sz, err := c.PlanSplits(in)
+		if err != nil {
+			return nil, err
+		}
+		jr.splits = append(jr.splits, ss...)
+		res.InputBytes += sz
+	}
+	res.MapTasks = len(jr.splits)
+	res.ReduceTasks = job.NumReducers
+
+	jr.maps = make([]taskState, len(jr.splits))
+	for i := range jr.maps {
+		jr.maps[i] = taskState{ph: PhaseMap, task: i, node: jr.splits[i].Node, outstanding: map[int]*dispatch{}}
+		jr.enqueue(&jr.maps[i])
+	}
+	jr.reduces = make([]taskState, job.NumReducers)
+	for p := range jr.reduces {
+		jr.reduces[p] = taskState{ph: PhaseReduce, task: p, node: p % c.Nodes, outstanding: map[int]*dispatch{}}
+	}
+	if len(jr.maps) == 0 {
+		jr.openReduce()
+	}
+
+	jr.lastLive = time.Now()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+
+	for jr.reducesDone < len(jr.reduces) || !jr.reducesOn {
+		if err := jr.dispatchReady(); err != nil {
+			return nil, err
+		}
+		select {
+		case ev := <-jr.events:
+			if err := jr.handle(ev); err != nil {
+				return nil, err
+			}
+		case <-ticker.C:
+			jr.m.checkHeartbeats()
+			jr.checkSpeculation()
+			if err := jr.checkLiveness(); err != nil {
+				return nil, err
+			}
+		case <-jr.m.shutCh:
+			return nil, fmt.Errorf("distmr: master shut down during job %q", job.Name)
+		}
+	}
+
+	// Assemble the Result from winning attempts only, in task order, so
+	// every statistic matches the simulated engine's single-execution
+	// accounting regardless of retries, crashes or backups along the way.
+	mapDur := make([]time.Duration, len(jr.maps))
+	for i := range jr.maps {
+		r := jr.maps[i].winner
+		mapDur[i] = jr.maps[i].dur
+		res.MapInputRecords += r.InRecs
+		res.MapOutputRecords += r.OutRecs
+		res.MapOutputBytes += r.RawBytes
+		if r.MaxFrame > res.MaxRecordBytes {
+			res.MaxRecordBytes = r.MaxFrame
+		}
+		res.Spills += r.Spills
+		res.SpilledBytes += r.RawBytes
+	}
+	reduceDur := make([]time.Duration, len(jr.reduces))
+	reduceFetch := make([]int64, len(jr.reduces))
+	for p := range jr.reduces {
+		r := jr.reduces[p].winner
+		reduceDur[p] = jr.reduces[p].dur
+		reduceFetch[p] = r.Fetch
+		res.ShuffleBytes += r.Fetch
+		res.InterNodeShuffleBytes += r.Inter
+		res.MergePasses += r.MergePasses
+		if r.MaxMergeFanIn > res.MaxMergeFanIn {
+			res.MaxMergeFanIn = r.MaxMergeFanIn
+		}
+		if r.MaxGroup > res.MaxGroupBytes {
+			res.MaxGroupBytes = r.MaxGroup
+		}
+		res.ReduceOutputRecords += r.OutRecords
+		res.OutputBytes += r.OutBytes
+		if err := c.FS.WriteFile(mapreduce.PartName(job.OutputPrefix, p), r.OutputData); err != nil {
+			return nil, err
+		}
+	}
+
+	all := make(map[string]int64)
+	addAll := func(m map[string]int64) {
+		for k, v := range m {
+			all[k] += v
+		}
+	}
+	for i := range jr.maps {
+		addAll(jr.maps[i].winner.Counters)
+	}
+	for p := range jr.reduces {
+		addAll(jr.reduces[p].winner.Counters)
+	}
+	addAll(jr.counters.Snapshot())
+	res.Counters = all
+
+	// Workers always run the spill-backed shuffle (with a default budget)
+	// for counter parity, so the merged stats are nonzero even when the
+	// cluster itself is unbounded. Result promises "all zero on the
+	// in-memory path", so only budgeted clusters report — and publish —
+	// spill activity, exactly like the simulated engine.
+	if c.MemoryBudget > 0 {
+		c.PublishSpillMetrics(res, jobSpan)
+	} else {
+		res.Spills, res.SpilledBytes = 0, 0
+		res.MergePasses, res.MaxMergeFanIn = 0, 0
+	}
+
+	res.WallTime = time.Since(start)
+	res.SimTime = c.ModelSimTime(job, res, jr.splits, mapDur, reduceDur, reduceFetch)
+	jobSpan.SetInt("map_tasks", int64(res.MapTasks))
+	jobSpan.SetInt("reduce_tasks", int64(res.ReduceTasks))
+	jobSpan.SetInt(trace.AttrMapOutRecords, res.MapOutputRecords)
+	jobSpan.SetInt(trace.AttrShuffleBytes, res.ShuffleBytes)
+	jobSpan.SetInt(trace.AttrOutputBytes, res.OutputBytes)
+	jobSpan.SetInt("task_failures", all["task failures"])
+	jobSpan.SetInt(trace.AttrSimTimeUS, res.SimTime.Microseconds())
+	return res, nil
+}
+
+// openReduce transitions the job into its reduce phase: the output prefix
+// is cleared (as the engine does between phases) and every reduce task
+// becomes schedulable.
+func (jr *jobRun) openReduce() {
+	jr.reducesOn = true
+	jr.c.FS.DeletePrefix(jr.job.OutputPrefix)
+	for p := range jr.reduces {
+		jr.enqueue(&jr.reduces[p])
+	}
+}
+
+func (jr *jobRun) enqueue(ts *taskState) {
+	if !ts.queued && !ts.done {
+		ts.queued = true
+		jr.queue = append(jr.queue, ts)
+	}
+}
+
+func (jr *jobRun) slots() int {
+	if jr.m.cfg.SlotsPerWorker > 0 {
+		return jr.m.cfg.SlotsPerWorker
+	}
+	if jr.c.SlotsPerNode > 0 {
+		return jr.c.SlotsPerNode
+	}
+	return 1
+}
+
+// dispatchReady hands queued tasks to workers until no eligible task
+// remains or no worker has a free slot. A reduce is only eligible while
+// every map task is done: its descriptor snapshots the map winners'
+// segment locations, so launching one while a lost map is being re-run
+// would silently merge without that map's output.
+func (jr *jobRun) dispatchReady() error {
+	for {
+		var ts *taskState
+		keep := jr.queue[:0]
+		for i, t := range jr.queue {
+			switch {
+			case t.done:
+				t.queued = false
+			case ts == nil && (t.ph == PhaseMap || jr.mapsDone == len(jr.maps)):
+				ts = t
+			default:
+				keep = append(keep, t)
+			}
+			if ts == t {
+				keep = append(keep, jr.queue[i+1:]...)
+				break
+			}
+		}
+		jr.queue = keep
+		if ts == nil {
+			return nil
+		}
+		ts.queued = false
+		if !ts.admitted {
+			if err := jr.admit(ts); err != nil {
+				return err
+			}
+		}
+		if ts.assigns >= jr.m.cfg.MaxAssigns {
+			return fmt.Errorf("distmr: %s %s task %d abandoned after %d assignments (worker deaths): %v",
+				jr.job.Name, ts.ph, ts.task, ts.assigns, ts.lastErr)
+		}
+		w := jr.m.pickWorker(jr.slots(), nil)
+		if w == nil {
+			jr.enqueue(ts)
+			return nil // no capacity; the ticker retries
+		}
+		jr.launch(ts, w, false)
+	}
+}
+
+// admit consumes the injected-failure draws for the task's next attempts,
+// using the exact coordinates and counter the simulated engine's
+// runAttempts uses, so a given Faults.Seed injects the same failures and
+// reports the same "task failures" count on either backend.
+func (jr *jobRun) admit(ts *taskState) error {
+	rate := jr.c.Fault.FailureRate
+	for {
+		if ts.attempt >= jr.maxAttempts {
+			return fmt.Errorf("mapreduce: %s %s task %d failed after %d attempts: %w",
+				jr.job.Name, ts.ph, ts.task, jr.maxAttempts, ts.lastErr)
+		}
+		if rate > 0 && mapreduce.InjectHash(jr.c.Fault.Seed, jr.job.Name, ts.ph.String(), ts.task, ts.attempt) < rate {
+			jr.counters.Add("task failures", 1)
+			ts.lastErr = fmt.Errorf("mapreduce: %s %s task %d attempt %d: injected worker failure",
+				jr.job.Name, ts.ph, ts.task, ts.attempt)
+			ts.attempt++
+			continue
+		}
+		ts.admitted = true
+		return nil
+	}
+}
+
+// launch starts one lease: the RunTask call is the lease body, bounded by
+// the lease timeout; its outcome (result, transport error, or expiry)
+// posts back to the scheduler as an event. The worker slot is released by
+// the lease goroutine itself so cancellation cannot leak slots.
+func (jr *jobRun) launch(ts *taskState, w *workerHandle, backup bool) {
+	assign := ts.assigns
+	ts.assigns++
+	ts.outstanding[assign] = &dispatch{w: w, backup: backup, start: time.Now()}
+	if backup {
+		ts.specDone = true
+		jr.m.registry().Counter(CounterBackups).Add(1)
+	}
+	args := &RunTaskArgs{Desc: EncodeTask(jr.descriptor(ts, assign))}
+	ph, task := ts.ph, ts.task
+	go func() {
+		defer jr.m.release(w)
+		reply := &RunTaskReply{}
+		call := w.client.Go("Worker.RunTask", args, reply, make(chan *rpc.Call, 1))
+		timer := time.NewTimer(jr.m.cfg.LeaseTimeout)
+		defer timer.Stop()
+		var ev event
+		select {
+		case <-call.Done:
+			if call.Error != nil {
+				ev = event{ph: ph, task: task, assign: assign, w: w, err: call.Error}
+			} else {
+				ev = event{ph: ph, task: task, assign: assign, w: w, res: &reply.Result}
+			}
+		case <-timer.C:
+			ev = event{ph: ph, task: task, assign: assign, w: w,
+				err: fmt.Errorf("distmr: lease expired after %v", jr.m.cfg.LeaseTimeout)}
+		case <-jr.cancel:
+			return
+		}
+		select {
+		case jr.events <- ev:
+		case <-jr.cancel:
+		}
+	}()
+}
+
+// descriptor builds the wire task for one assignment. Everything a worker
+// needs travels here, so any worker can execute any assignment of the
+// task and produce the identical result.
+func (jr *jobRun) descriptor(ts *taskState, assign int) *TaskDescriptor {
+	c, job := jr.c, jr.job
+	d := &TaskDescriptor{
+		JobSeq:       jr.seq,
+		JobName:      job.Name,
+		Kind:         job.Spec.Kind,
+		Params:       job.Spec.Params,
+		Phase:        ts.ph,
+		Task:         ts.task,
+		Attempt:      ts.attempt,
+		Assign:       assign,
+		Node:         ts.node,
+		Round:        job.Round,
+		NumReducers:  job.NumReducers,
+		MemoryBudget: c.MemoryBudget,
+		Compress:     c.SpillCompress,
+		MergeFanIn:   c.MergeFanIn,
+		Seed:         c.Fault.Seed,
+		CrashRate:    c.Fault.WorkerCrashRate,
+		SideFiles:    job.SideFiles,
+	}
+	// The simulated engine only draws spill failures on its out-of-core
+	// path; the distributed worker always spills, so the draw is gated on
+	// the budget to keep the injected failure sets identical.
+	if c.MemoryBudget > 0 {
+		d.DiskFailureRate = c.Fault.DiskFailureRate
+	}
+	if ts.ph == PhaseMap {
+		d.Split = jr.splits[ts.task].Data
+	} else {
+		d.Schimmy = job.Schimmy
+		d.SchimmyBase = job.SchimmyBase
+		d.Sources = jr.sources(ts.task)
+	}
+	return d
+}
+
+// sources lists, in map-task order, where a reduce partition's segments
+// live right now — the same order the simulated engine's partSegments
+// walks, so merge statistics agree.
+func (jr *jobRun) sources(p int) []MapSource {
+	srcs := make([]MapSource, 0, len(jr.maps))
+	for i := range jr.maps {
+		mt := &jr.maps[i]
+		if mt.winner == nil || p >= len(mt.winner.Parts) {
+			continue
+		}
+		segs := mt.winner.Parts[p]
+		if len(segs) == 0 {
+			continue
+		}
+		srcs = append(srcs, MapSource{MapTask: i, Worker: mt.winnerW.id, Addr: mt.winnerW.addr, Segments: segs})
+	}
+	return srcs
+}
+
+// handle processes one lease outcome.
+func (jr *jobRun) handle(ev event) error {
+	var ts *taskState
+	if ev.ph == PhaseMap {
+		ts = &jr.maps[ev.task]
+	} else {
+		ts = &jr.reduces[ev.task]
+	}
+	d := ts.outstanding[ev.assign]
+	if d == nil {
+		return nil // retired dispatch (task already concluded)
+	}
+	delete(ts.outstanding, ev.assign)
+
+	if ev.err != nil {
+		// Transport failure or expired lease: the worker is gone. The
+		// task is reassigned on a fresh assignment without consuming a
+		// body attempt — a worker death is not a task failure.
+		jr.m.markDead(ev.w)
+		if ts.done {
+			return nil
+		}
+		ts.lastErr = ev.err
+		if d.backup {
+			ts.specDone = false
+			return nil
+		}
+		jr.m.registry().Counter(CounterReassigns).Add(1)
+		jr.enqueue(ts)
+		return nil
+	}
+
+	res := ev.res
+	if ts.done {
+		return nil // a late backup lost the race; its result is discarded
+	}
+	if res.Err != "" {
+		if d.backup {
+			// Only the primary chain consumes attempts and counters, so
+			// duplicated deterministic failures are not double-counted.
+			ts.specDone = false
+			return nil
+		}
+		jr.counters.Add("task failures", 1)
+		ts.lastErr = fmt.Errorf("mapreduce: %s", res.Err)
+		ts.attempt++
+		ts.admitted = false
+		jr.enqueue(ts)
+		return nil
+	}
+	if len(res.LostMaps) > 0 {
+		// The shuffle fetch failed: those map outputs died with their
+		// worker. Park the reduce, re-run the maps, re-dispatch when the
+		// outputs exist again.
+		ts.parked = true
+		for i, mt := range res.LostMaps {
+			var from uint64
+			if i < len(res.LostFrom) {
+				from = res.LostFrom[i]
+			}
+			jr.invalidateMap(mt, from)
+		}
+		if jr.mapsDone == len(jr.maps) {
+			// Every lost map was already re-run by the time this report
+			// arrived; the reduce can go straight back out.
+			jr.unpark()
+		}
+		return nil
+	}
+
+	ts.done = true
+	ts.parked = false
+	ts.winner = res
+	ts.winnerW = ev.w
+	ts.dur = time.Duration(res.DurNanos)
+	if ev.ph == PhaseMap {
+		jr.mapsDone++
+		if jr.mapsDone == len(jr.maps) {
+			if !jr.reducesOn {
+				jr.openReduce()
+			} else {
+				jr.unpark()
+			}
+		}
+	} else {
+		jr.reducesDone++
+	}
+	return nil
+}
+
+// invalidateMap returns a completed map task to the queue because its
+// winning output is unreachable. from is the worker the failed fetch
+// targeted: if the task's current winner lives elsewhere (it was already
+// re-run after that worker died), the output the next dispatch will be
+// pointed at is fine and nothing is invalidated — otherwise every
+// straggling reduce that fetched from the dead worker would re-run the
+// map once more, burning an assignment each time.
+func (jr *jobRun) invalidateMap(mt int, from uint64) {
+	if mt < 0 || mt >= len(jr.maps) {
+		return
+	}
+	ts := &jr.maps[mt]
+	if !ts.done {
+		return // already being re-run
+	}
+	if ts.winnerW != nil && ts.winnerW.id != from {
+		return // winner already moved to another worker
+	}
+	ts.done = false
+	ts.winner = nil
+	ts.winnerW = nil
+	jr.mapsDone--
+	jr.m.registry().Counter(CounterLostMapRecoveries).Add(1)
+	jr.enqueue(ts)
+}
+
+// unpark re-dispatches reduces that were waiting for lost map outputs.
+func (jr *jobRun) unpark() {
+	for p := range jr.reduces {
+		ts := &jr.reduces[p]
+		if ts.parked && !ts.done {
+			ts.parked = false
+			jr.enqueue(ts)
+		}
+	}
+}
+
+// checkSpeculation launches cross-worker backup attempts for stragglers.
+// Map tasks are always eligible when the job opted in; reduce tasks only
+// when re-execution is side-effect free (no job service to double-submit
+// to, no schimmy partition alignment to double-write).
+func (jr *jobRun) checkSpeculation() {
+	if !jr.job.Speculative {
+		return
+	}
+	jr.spec(jr.maps, jr.mapsDone)
+	// Reduce backups additionally wait for every map to be done: a
+	// backup's descriptor snapshots map winners, so launching one while a
+	// lost map re-runs would merge an incomplete segment set.
+	if jr.job.Service == nil && !jr.job.Schimmy && jr.mapsDone == len(jr.maps) {
+		jr.spec(jr.reduces, jr.reducesDone)
+	}
+}
+
+func (jr *jobRun) spec(tasks []taskState, done int) {
+	n := len(tasks)
+	if n == 0 || done == 0 || float64(done) < jr.m.cfg.SpeculativeFraction*float64(n) {
+		return
+	}
+	durs := make([]time.Duration, 0, done)
+	for i := range tasks {
+		if tasks[i].done {
+			durs = append(durs, tasks[i].dur)
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	median := durs[len(durs)/2]
+	threshold := time.Duration(jr.m.cfg.SpeculativeFactor * float64(median))
+	if threshold <= 0 {
+		return
+	}
+	for i := range tasks {
+		ts := &tasks[i]
+		if ts.done || ts.parked || ts.specDone || len(ts.outstanding) != 1 {
+			continue
+		}
+		var cur *dispatch
+		for _, d := range ts.outstanding {
+			cur = d
+		}
+		if cur.backup || time.Since(cur.start) <= threshold {
+			continue
+		}
+		if ts.assigns >= jr.m.cfg.MaxAssigns {
+			continue
+		}
+		w := jr.m.pickWorker(jr.slots(), cur.w)
+		if w == nil {
+			return // no spare capacity for backups right now
+		}
+		jr.launch(ts, w, true)
+	}
+}
+
+// checkLiveness fails the job if work is pending but no worker has been
+// alive for the configured wait.
+func (jr *jobRun) checkLiveness() error {
+	if jr.m.LiveWorkers() > 0 {
+		jr.lastLive = time.Now()
+		return nil
+	}
+	if len(jr.queue) > 0 && time.Since(jr.lastLive) > jr.m.cfg.WorkerWait {
+		return fmt.Errorf("distmr: job %q: no live workers for %v", jr.job.Name, jr.m.cfg.WorkerWait)
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+// Package distmr is the distributed MapReduce execution backend: a
+// master that schedules the engine's jobs onto workers which are real
+// processes (or in-process harness workers) speaking net/rpc over TCP,
+// the way the paper's Hadoop deployment schedules map and reduce tasks
+// onto tasktrackers. It provides worker registration with periodic
+// heartbeats, task leases with timeout-based reassignment when a worker
+// dies or goes silent, cross-worker speculative backup attempts for
+// stragglers, and a network shuffle in which each worker serves its map
+// output spill segments to reducers over the wire.
+//
+// The backend plugs in behind the engine via mapreduce.Cluster.Distributed
+// and must reproduce the simulated engine's per-round statistics exactly:
+// task placement (Split.Node, partition % Nodes), partitioning, spill
+// segmentation and merge order all mirror the simulated paths, and
+// counters are merged from winning attempts only, so crashes, retries
+// and backup attempts leave no trace in the job's Result.
+package distmr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ffmr/internal/spill"
+)
+
+// Phase identifies which half of a job a task belongs to.
+type Phase uint8
+
+const (
+	// PhaseMap is a map task over one input split.
+	PhaseMap Phase = iota
+	// PhaseReduce is a reduce task over one partition.
+	PhaseReduce
+)
+
+// String names the phase as the engine does in errors and spans.
+func (p Phase) String() string {
+	if p == PhaseMap {
+		return "map"
+	}
+	return "reduce"
+}
+
+// MapSource tells a reduce task where one map task's output for its
+// partition lives: the worker serving the segments and the segment
+// metadata, in spill order (the same order the simulated engine's
+// partSegments produces, so merge statistics agree).
+type MapSource struct {
+	// MapTask is the producing map task's index, reported back in
+	// TaskResult.LostMaps when the segments cannot be fetched.
+	MapTask int
+	// Worker and Addr identify the worker holding the segments; a reduce
+	// running on that worker reads its local store instead of fetching.
+	Worker uint64
+	Addr   string
+	// Segments are this partition's segments from the winning attempt.
+	Segments []spill.Segment
+}
+
+// TaskDescriptor is the master-to-worker task assignment, carried inside
+// the RPC envelope in the custom wire format below (EncodeTask /
+// DecodeTask). One descriptor fully determines a task's execution, so a
+// reassigned or speculated attempt on another worker computes the
+// identical result.
+type TaskDescriptor struct {
+	// JobSeq namespaces the job's state on workers (code cache, side file
+	// cache, store prefixes); JobName feeds error text and injection
+	// hashes, matching the simulated engine's coordinates.
+	JobSeq  uint64
+	JobName string
+	// Kind and Params reconstruct the job's code via the worker-side kind
+	// registry (closures cannot cross the process boundary).
+	Kind   string
+	Params []byte
+
+	Phase Phase
+	// Task is the task index; Attempt is the body-failure attempt number
+	// (the simulated engine's coordinate, so injected failures replay
+	// identically); Assign is the assignment sequence number, advancing on
+	// every dispatch including reassignments and backups, which keys
+	// store prefixes and worker-crash draws.
+	Task    int
+	Attempt int
+	Assign  int
+	// Node is the simulated cluster node this task is accounted to
+	// (Split.Node for maps, partition % Nodes for reduces).
+	Node  int
+	Round int
+
+	NumReducers  int
+	MemoryBudget int64
+	Compress     bool
+	MergeFanIn   int
+
+	// Fault-injection coordinates, mirrored from the cluster's Faults.
+	Seed            int64
+	DiskFailureRate float64
+	CrashRate       float64
+
+	// Reduce-side schimmy configuration; the worker fetches the base
+	// partition from the master's file system.
+	Schimmy     bool
+	SchimmyBase string
+
+	// SideFiles are fetched from the master once per job and cached.
+	SideFiles []string
+
+	// Split is the map task's input data (record-aligned, master-planned).
+	Split []byte
+	// Sources are the reduce task's shuffle inputs, in map-task order.
+	Sources []MapSource
+}
+
+// Heartbeat is the periodic worker-to-master liveness report, carried in
+// the custom wire format (EncodeHeartbeat / DecodeHeartbeat). The gauges
+// feed the master's trace registry.
+type Heartbeat struct {
+	Worker       uint64
+	Seq          uint64
+	Running      int64
+	StoreObjects int64
+	StoreBytes   int64
+}
+
+const wireVersion = 1
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes appends a length-prefixed byte slice.
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendSegment(b []byte, s *spill.Segment) []byte {
+	b = appendString(b, s.Name)
+	b = binary.AppendVarint(b, int64(s.Partition))
+	b = binary.AppendVarint(b, s.Records)
+	b = binary.AppendVarint(b, s.RawBytes)
+	b = binary.AppendVarint(b, s.StoredBytes)
+	b = appendBool(b, s.Compressed)
+	b = binary.AppendVarint(b, int64(s.Node))
+	return b
+}
+
+// EncodeTask serializes a task descriptor.
+func EncodeTask(d *TaskDescriptor) []byte {
+	b := make([]byte, 0, 64+len(d.Params)+len(d.Split))
+	b = append(b, wireVersion)
+	b = binary.AppendUvarint(b, d.JobSeq)
+	b = appendString(b, d.JobName)
+	b = appendString(b, d.Kind)
+	b = appendBytes(b, d.Params)
+	b = append(b, byte(d.Phase))
+	b = binary.AppendVarint(b, int64(d.Task))
+	b = binary.AppendVarint(b, int64(d.Attempt))
+	b = binary.AppendVarint(b, int64(d.Assign))
+	b = binary.AppendVarint(b, int64(d.Node))
+	b = binary.AppendVarint(b, int64(d.Round))
+	b = binary.AppendVarint(b, int64(d.NumReducers))
+	b = binary.AppendVarint(b, d.MemoryBudget)
+	b = appendBool(b, d.Compress)
+	b = binary.AppendVarint(b, int64(d.MergeFanIn))
+	b = binary.AppendVarint(b, d.Seed)
+	b = appendF64(b, d.DiskFailureRate)
+	b = appendF64(b, d.CrashRate)
+	b = appendBool(b, d.Schimmy)
+	b = appendString(b, d.SchimmyBase)
+	b = binary.AppendUvarint(b, uint64(len(d.SideFiles)))
+	for _, s := range d.SideFiles {
+		b = appendString(b, s)
+	}
+	b = appendBytes(b, d.Split)
+	b = binary.AppendUvarint(b, uint64(len(d.Sources)))
+	for i := range d.Sources {
+		src := &d.Sources[i]
+		b = binary.AppendVarint(b, int64(src.MapTask))
+		b = binary.AppendUvarint(b, src.Worker)
+		b = appendString(b, src.Addr)
+		b = binary.AppendUvarint(b, uint64(len(src.Segments)))
+		for j := range src.Segments {
+			b = appendSegment(b, &src.Segments[j])
+		}
+	}
+	return b
+}
+
+// EncodeHeartbeat serializes a heartbeat.
+func EncodeHeartbeat(h *Heartbeat) []byte {
+	b := make([]byte, 0, 32)
+	b = append(b, wireVersion)
+	b = binary.AppendUvarint(b, h.Worker)
+	b = binary.AppendUvarint(b, h.Seq)
+	b = binary.AppendVarint(b, h.Running)
+	b = binary.AppendVarint(b, h.StoreObjects)
+	b = binary.AppendVarint(b, h.StoreBytes)
+	return b
+}
+
+// decoder is a bounds-checked cursor over an encoded message. Every read
+// after an error returns a zero value, so decode paths need one error
+// check at the end; no input can make it panic or allocate more than the
+// input's own length (all counts are validated against remaining bytes).
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("distmr: corrupt %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// intv decodes a varint that must fit a non-negative int.
+func (d *decoder) intv(what string) int {
+	v := d.varint(what)
+	if v < 0 || v > math.MaxInt32 {
+		d.fail(what)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) bytes(what string) []byte {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(what)
+		return nil
+	}
+	v := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return v
+}
+
+func (d *decoder) str(what string) string { return string(d.bytes(what)) }
+
+func (d *decoder) boolean(what string) bool { return d.byte(what) != 0 }
+
+func (d *decoder) f64(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 8 {
+		d.fail(what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// count decodes a collection length, bounded by the remaining input (each
+// element takes at least one byte), so corrupt input cannot force a huge
+// allocation.
+func (d *decoder) count(what string) int {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(what)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) segment(s *spill.Segment) {
+	s.Name = d.str("segment name")
+	s.Partition = d.intv("segment partition")
+	s.Records = d.varint("segment records")
+	s.RawBytes = d.varint("segment raw bytes")
+	s.StoredBytes = d.varint("segment stored bytes")
+	s.Compressed = d.boolean("segment compressed")
+	s.Node = int(d.varint("segment node"))
+}
+
+// DecodeTask parses an encoded task descriptor. It never panics on
+// malformed input.
+func DecodeTask(data []byte) (*TaskDescriptor, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown task wire version %d", v)
+	}
+	t := &TaskDescriptor{}
+	t.JobSeq = d.uvarint("job seq")
+	t.JobName = d.str("job name")
+	t.Kind = d.str("kind")
+	t.Params = d.bytes("params")
+	phase := d.byte("phase")
+	if d.err == nil && phase > byte(PhaseReduce) {
+		return nil, fmt.Errorf("distmr: unknown phase %d", phase)
+	}
+	t.Phase = Phase(phase)
+	t.Task = d.intv("task")
+	t.Attempt = d.intv("attempt")
+	t.Assign = d.intv("assign")
+	t.Node = d.intv("node")
+	t.Round = d.intv("round")
+	t.NumReducers = d.intv("reducers")
+	t.MemoryBudget = d.varint("memory budget")
+	t.Compress = d.boolean("compress")
+	t.MergeFanIn = d.intv("merge fan-in")
+	t.Seed = d.varint("seed")
+	t.DiskFailureRate = d.f64("disk failure rate")
+	t.CrashRate = d.f64("crash rate")
+	t.Schimmy = d.boolean("schimmy")
+	t.SchimmyBase = d.str("schimmy base")
+	if n := d.count("side files"); n > 0 {
+		t.SideFiles = make([]string, n)
+		for i := range t.SideFiles {
+			t.SideFiles[i] = d.str("side file")
+		}
+	}
+	t.Split = d.bytes("split")
+	if n := d.count("sources"); n > 0 {
+		t.Sources = make([]MapSource, n)
+		for i := range t.Sources {
+			src := &t.Sources[i]
+			src.MapTask = d.intv("source map task")
+			src.Worker = d.uvarint("source worker")
+			src.Addr = d.str("source addr")
+			if m := d.count("source segments"); m > 0 {
+				src.Segments = make([]spill.Segment, m)
+				for j := range src.Segments {
+					d.segment(&src.Segments[j])
+				}
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after task descriptor", len(data)-d.off)
+	}
+	return t, nil
+}
+
+// DecodeHeartbeat parses an encoded heartbeat. It never panics on
+// malformed input.
+func DecodeHeartbeat(data []byte) (*Heartbeat, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown heartbeat wire version %d", v)
+	}
+	h := &Heartbeat{}
+	h.Worker = d.uvarint("worker")
+	h.Seq = d.uvarint("seq")
+	h.Running = d.varint("running")
+	h.StoreObjects = d.varint("store objects")
+	h.StoreBytes = d.varint("store bytes")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after heartbeat", len(data)-d.off)
+	}
+	return h, nil
+}

@@ -1,0 +1,158 @@
+package distmr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ffmr/internal/spill"
+)
+
+func sampleTask() *TaskDescriptor {
+	return &TaskDescriptor{
+		JobSeq:  42,
+		JobName: "ff-round-3",
+		Kind:    "core/ff-round",
+		Params:  []byte{0x01, 0x02, 0x00, 0xff},
+		Phase:   PhaseReduce,
+		Task:    7,
+		Attempt: 1,
+		Assign:  4,
+		Node:    2,
+		Round:   3,
+
+		NumReducers:  6,
+		MemoryBudget: 1 << 10,
+		Compress:     true,
+		MergeFanIn:   2,
+
+		Seed:            -99,
+		DiskFailureRate: 0.001,
+		CrashRate:       0.02,
+
+		Schimmy:     true,
+		SchimmyBase: "ff/round-2/",
+		SideFiles:   []string{"ff/deltas-3", "ff/meta"},
+		Split:       []byte("record-aligned split bytes"),
+		Sources: []MapSource{
+			{MapTask: 0, Worker: 3, Addr: "127.0.0.1:4001", Segments: []spill.Segment{
+				{Name: "j42-m0-a0-p1-s0", Partition: 1, Records: 10, RawBytes: 512, StoredBytes: 300, Compressed: true, Node: 1},
+				{Name: "j42-m0-a0-p1-s1", Partition: 1, Records: 4, RawBytes: 128, StoredBytes: 128, Node: 1},
+			}},
+			{MapTask: 1, Worker: 5, Addr: "127.0.0.1:4002"},
+		},
+	}
+}
+
+func TestTaskDescriptorRoundTrip(t *testing.T) {
+	cases := []*TaskDescriptor{
+		sampleTask(),
+		{JobName: "minimal", Kind: "k", Phase: PhaseMap}, // all-zero optionals
+	}
+	for _, want := range cases {
+		enc := EncodeTask(want)
+		got, err := DecodeTask(enc)
+		if err != nil {
+			t.Fatalf("DecodeTask(%q): %v", want.JobName, err)
+		}
+		// Canonical-bytes equality sidesteps nil-vs-empty slice noise;
+		// DeepEqual on the fully populated sample pins field fidelity.
+		if re := EncodeTask(got); string(re) != string(enc) {
+			t.Errorf("task %q does not re-encode canonically", want.JobName)
+		}
+		if want.JobSeq != 0 && !reflect.DeepEqual(got, want) {
+			t.Errorf("task %q round trip mismatch:\n got  %+v\n want %+v", want.JobName, got, want)
+		}
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	want := &Heartbeat{Worker: 9, Seq: 1234, Running: 3, StoreObjects: 77, StoreBytes: 1 << 20}
+	got, err := DecodeHeartbeat(EncodeHeartbeat(want))
+	if err != nil {
+		t.Fatalf("DecodeHeartbeat: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("heartbeat round trip mismatch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	enc := EncodeTask(sampleTask())
+
+	// Every truncation must fail cleanly, never panic.
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeTask(enc[:n]); err == nil {
+			t.Fatalf("DecodeTask accepted a %d-byte truncation of a %d-byte descriptor", n, len(enc))
+		}
+	}
+
+	if _, err := DecodeTask(append(append([]byte(nil), enc...), 0)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing byte: got %v, want trailing-bytes error", err)
+	}
+
+	bad := append([]byte(nil), enc...)
+	bad[0] = wireVersion + 1
+	if _, err := DecodeTask(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: got %v, want version error", err)
+	}
+
+	hb := EncodeHeartbeat(&Heartbeat{Worker: 1, Seq: 2})
+	for n := 0; n < len(hb); n++ {
+		if _, err := DecodeHeartbeat(hb[:n]); err == nil {
+			t.Fatalf("DecodeHeartbeat accepted a %d-byte truncation", n)
+		}
+	}
+	if _, err := DecodeHeartbeat(append(append([]byte(nil), hb...), 7)); err == nil {
+		t.Error("DecodeHeartbeat accepted trailing bytes")
+	}
+}
+
+// FuzzDecodeTask asserts the task-descriptor decoder never panics, and
+// that any descriptor it accepts survives a stable re-encode: the
+// encoder's output must itself decode, and that decode must re-encode
+// byte-identically. (Accepted input may differ from the re-encode —
+// non-minimal varints and nonzero boolean bytes decode fine — but the
+// encoder's own form is a fixed point.)
+func FuzzDecodeTask(f *testing.F) {
+	f.Add(EncodeTask(sampleTask()))
+	f.Add(EncodeTask(&TaskDescriptor{JobName: "m", Kind: "k"}))
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeTask(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeTask(d)
+		d2, err := DecodeTask(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input does not decode: %v", err)
+		}
+		if re := EncodeTask(d2); string(re) != string(enc) {
+			t.Errorf("re-encode is not a fixed point:\n enc %x\n re  %x", enc, re)
+		}
+	})
+}
+
+// FuzzDecodeHeartbeat is the heartbeat-side counterpart.
+func FuzzDecodeHeartbeat(f *testing.F) {
+	f.Add(EncodeHeartbeat(&Heartbeat{Worker: 3, Seq: 8, Running: 1, StoreObjects: 2, StoreBytes: 99}))
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeartbeat(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeHeartbeat(h)
+		h2, err := DecodeHeartbeat(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input does not decode: %v", err)
+		}
+		if re := EncodeHeartbeat(h2); string(re) != string(enc) {
+			t.Errorf("re-encode is not a fixed point:\n enc %x\n re  %x", enc, re)
+		}
+	})
+}

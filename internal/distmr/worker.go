@@ -1,0 +1,670 @@
+package distmr
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/rpcutil"
+	"ffmr/internal/spill"
+	"ffmr/internal/trace"
+)
+
+// defaultMapBudget bounds a map task's shuffle buffer when the cluster
+// runs without an explicit MemoryBudget: large enough that small jobs
+// spill exactly once at close (a single sorted segment per partition),
+// which keeps the network shuffle uniform without changing statistics
+// the simulated in-memory path reports.
+const defaultMapBudget = 1 << 30
+
+// WorkerConfig configures a worker.
+type WorkerConfig struct {
+	// MasterAddr is the master's RPC address (required).
+	MasterAddr string
+	// ListenAddr is the worker's own listen address (default 127.0.0.1:0).
+	ListenAddr string
+	// Store holds map output spill segments; it is the worker's local
+	// disk in Hadoop terms. Default: an in-memory store. Worker processes
+	// should use spill.NewDiskRunStore.
+	Store spill.RunStore
+	// Tracer, if non-nil, records worker-side task and spill spans.
+	Tracer *trace.Tracer
+	// OnDeath is invoked (once, on its own goroutine) when the worker
+	// dies from injected WorkerCrashRate — the harness uses it to start a
+	// replacement, the way a cluster re-provisions a dead tasktracker.
+	OnDeath func(w *Worker)
+	// HeartbeatMisses is how many consecutive heartbeat failures the
+	// worker tolerates before concluding the master is gone and exiting
+	// (default 20).
+	HeartbeatMisses int
+	// DialPolicy configures all of the worker's outbound dials.
+	DialPolicy rpcutil.Policy
+}
+
+// Worker executes tasks for a master and serves its map output segments
+// to other workers. Create with StartWorker; it registers itself and
+// heartbeats until Close, a master shutdown, or an injected crash.
+type Worker struct {
+	cfg    WorkerConfig
+	id     uint64
+	ln     net.Listener
+	master *rpc.Client
+	hbEvery time.Duration
+
+	running atomic.Int64
+	dead    atomic.Bool
+	crashed atomic.Bool
+
+	closeOnce sync.Once
+	stop      chan struct{} // closed on death; stops the heartbeat loop
+	done      chan struct{} // closed when the worker is fully down
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	jobs    map[uint64]*workerJob
+	fetchCl map[string]*rpc.Client
+}
+
+// workerJob is a worker's cached per-job state: the reconstructed code
+// and the broadcast side files, built once on first task receipt.
+type workerJob struct {
+	once sync.Once
+	err  error
+	code *JobCode
+	side map[string][]byte
+}
+
+// workerService is the RPC wrapper so only intended methods are served.
+type workerService struct{ w *Worker }
+
+// StartWorker launches a worker: it listens, registers with the master,
+// and starts heartbeating.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.MasterAddr == "" {
+		return nil, fmt.Errorf("distmr: worker needs a master address")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.Store == nil {
+		cfg.Store = spill.NewMemRunStore()
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 20
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("distmr: worker listen: %w", err)
+	}
+	w := &Worker{
+		cfg:     cfg,
+		ln:      ln,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		jobs:    make(map[uint64]*workerJob),
+		fetchCl: make(map[string]*rpc.Client),
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &workerService{w: w}); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("distmr: worker register service: %w", err)
+	}
+
+	master, err := rpcutil.DialRPC(cfg.MasterAddr, cfg.DialPolicy)
+	if err != nil {
+		w.die(false)
+		return nil, err
+	}
+	w.master = master
+	var reply RegisterReply
+	args := &RegisterArgs{Addr: ln.Addr().String(), Pid: os.Getpid()}
+	if err := master.Call("Master.Register", args, &reply); err != nil {
+		w.die(false)
+		return nil, fmt.Errorf("distmr: register with master: %w", err)
+	}
+	w.id = reply.Worker
+	w.hbEvery = time.Duration(reply.HeartbeatInterval)
+	if w.hbEvery <= 0 {
+		w.hbEvery = 100 * time.Millisecond
+	}
+	// Serve RPCs only now that registration filled in id/master/hbEvery:
+	// the master may dispatch a task the moment Register returns, and a
+	// handler must never observe a half-initialized worker. The master's
+	// dial-back during Register only needs the listen backlog, not the
+	// accept loop, so the ordering is safe.
+	go w.accept(srv)
+	go w.heartbeatLoop()
+	return w, nil
+}
+
+// Addr returns the worker's listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// ID returns the master-assigned worker id.
+func (w *Worker) ID() uint64 { return w.id }
+
+// Crashed reports whether the worker died from injected WorkerCrashRate.
+func (w *Worker) Crashed() bool { return w.crashed.Load() }
+
+// Wait blocks until the worker is down (Close, master shutdown, or an
+// injected crash).
+func (w *Worker) Wait() { <-w.done }
+
+// Close stops the worker: heartbeats end, the listener and every open
+// connection close, cached shuffle clients and job services are released.
+func (w *Worker) Close() error {
+	w.die(false)
+	return nil
+}
+
+// die is the single teardown path. crash marks an injected death, which
+// additionally fires OnDeath; in both cases every held resource closes
+// so leak checks stay clean.
+func (w *Worker) die(crash bool) {
+	w.closeOnce.Do(func() {
+		w.dead.Store(true)
+		if crash {
+			w.crashed.Store(true)
+		}
+		close(w.stop)
+		w.ln.Close()
+
+		w.mu.Lock()
+		for conn := range w.conns {
+			conn.Close()
+		}
+		w.conns = map[net.Conn]struct{}{}
+		for _, c := range w.fetchCl {
+			c.Close()
+		}
+		w.fetchCl = map[string]*rpc.Client{}
+		jobs := w.jobs
+		w.jobs = map[uint64]*workerJob{}
+		w.mu.Unlock()
+
+		for _, j := range jobs {
+			if j.code != nil && j.code.Close != nil {
+				j.code.Close() //nolint:errcheck // best-effort service teardown
+			}
+		}
+		if w.master != nil {
+			w.master.Close()
+		}
+		// The store is wiped even on a crash: a dead tasktracker's local
+		// disk is unreachable either way, and the listener is already
+		// closed so no fetch can observe the difference.
+		w.cfg.Store.Close() //nolint:errcheck // store teardown
+		if crash && w.cfg.OnDeath != nil {
+			go w.cfg.OnDeath(w)
+		}
+		close(w.done)
+	})
+}
+
+func (w *Worker) accept(srv *rpc.Server) {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.mu.Lock()
+		if w.dead.Load() {
+			w.mu.Unlock()
+			conn.Close()
+			return
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		go func() {
+			srv.ServeConn(conn)
+			w.mu.Lock()
+			delete(w.conns, conn)
+			w.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+func (w *Worker) heartbeatLoop() {
+	// Staggered start so a fleet of workers does not beat in lock-step.
+	timer := time.NewTimer(rpcutil.Jitter(w.hbEvery))
+	defer timer.Stop()
+	var seq uint64
+	misses := 0
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-timer.C:
+		}
+		seq++
+		hb := &Heartbeat{
+			Worker:       w.id,
+			Seq:          seq,
+			Running:      w.running.Load(),
+			StoreObjects: int64(w.cfg.Store.Objects()),
+			StoreBytes:   w.cfg.Store.Bytes(),
+		}
+		var reply HeartbeatReply
+		err := w.master.Call("Master.Heartbeat", &HeartbeatArgs{Data: EncodeHeartbeat(hb)}, &reply)
+		if err != nil {
+			misses++
+			if misses >= w.cfg.HeartbeatMisses {
+				w.die(false)
+				return
+			}
+		} else {
+			misses = 0
+			if reply.Shutdown {
+				w.die(false)
+				return
+			}
+		}
+		timer.Reset(w.hbEvery)
+	}
+}
+
+// readMasterFile fetches a file from the master's DFS.
+func (w *Worker) readMasterFile(name string) ([]byte, error) {
+	var reply ReadFileReply
+	if err := w.master.Call("Master.ReadFile", &ReadFileArgs{Name: name}, &reply); err != nil {
+		return nil, fmt.Errorf("distmr: read %q from master: %w", name, err)
+	}
+	return reply.Data, nil
+}
+
+// jobState returns the cached per-job code and side files, building them
+// on first use.
+func (w *Worker) jobState(desc *TaskDescriptor) (*workerJob, error) {
+	w.mu.Lock()
+	j := w.jobs[desc.JobSeq]
+	if j == nil {
+		j = &workerJob{}
+		w.jobs[desc.JobSeq] = j
+	}
+	w.mu.Unlock()
+	j.once.Do(func() {
+		factory, err := lookupKind(desc.Kind)
+		if err != nil {
+			j.err = err
+			return
+		}
+		code, err := factory(desc.Params)
+		if err != nil {
+			j.err = fmt.Errorf("distmr: build job kind %q: %w", desc.Kind, err)
+			return
+		}
+		side := make(map[string][]byte, len(desc.SideFiles))
+		for _, name := range desc.SideFiles {
+			data, err := w.readMasterFile(name)
+			if err != nil {
+				if code.Close != nil {
+					code.Close() //nolint:errcheck // factory teardown on error
+				}
+				j.err = err
+				return
+			}
+			side[name] = data
+		}
+		j.code = code
+		j.side = side
+	})
+	return j, j.err
+}
+
+// fetchClient returns a cached shuffle connection to another worker. The
+// dial fast-fails (two attempts) rather than using the registration
+// policy: a fetch from a dead worker is recoverable — the reduce reports
+// the lost maps and the master re-runs them — so retrying a refused
+// connection at length only delays that recovery.
+func (w *Worker) fetchClient(addr string) (*rpc.Client, error) {
+	w.mu.Lock()
+	c := w.fetchCl[addr]
+	w.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := rpcutil.DialRPC(addr, rpcutil.Policy{Attempts: 2, BaseDelay: 10 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if prev := w.fetchCl[addr]; prev != nil {
+		w.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	w.fetchCl[addr] = c
+	w.mu.Unlock()
+	return c, nil
+}
+
+func (w *Worker) dropFetchClient(addr string) {
+	w.mu.Lock()
+	if c := w.fetchCl[addr]; c != nil {
+		delete(w.fetchCl, addr)
+		c.Close()
+	}
+	w.mu.Unlock()
+}
+
+// RunTask executes one task attempt. It is the lease body: the master's
+// in-flight call is the lease, and an RPC-level failure (worker death)
+// triggers reassignment.
+func (s *workerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
+	w := s.w
+	if w.dead.Load() {
+		return fmt.Errorf("distmr: worker %d is dead", w.id)
+	}
+	desc, err := DecodeTask(args.Desc)
+	if err != nil {
+		return err
+	}
+	// Injected worker crash, drawn at task receipt — before any side
+	// effect — so a crashed attempt has submitted nothing to job services
+	// and re-execution preserves exactly-once semantics. The draw is
+	// keyed by the assignment sequence, so the reassigned attempt draws
+	// fresh.
+	if desc.CrashRate > 0 &&
+		mapreduce.InjectHash(desc.Seed, desc.JobName, desc.Phase.String()+"-crash", desc.Task, desc.Assign) < desc.CrashRate {
+		w.die(true)
+		return fmt.Errorf("distmr: worker %d crashed", w.id)
+	}
+	w.running.Add(1)
+	defer w.running.Add(-1)
+
+	j, err := w.jobState(desc)
+	if err != nil {
+		reply.Result.Err = err.Error()
+		return nil
+	}
+	sp := w.cfg.Tracer.Start(trace.CatTask, fmt.Sprintf("%s-%05d", desc.Phase, desc.Task), nil)
+	sp.SetInt("task", int64(desc.Task))
+	sp.SetInt("assign", int64(desc.Assign))
+	sp.SetInt("node", int64(desc.Node))
+	sp.SetTID(int64(desc.Node) + 2)
+	defer sp.End()
+
+	t0 := time.Now()
+	var res *TaskResult
+	if desc.Phase == PhaseMap {
+		res = w.runMap(desc, j, sp)
+	} else {
+		res = w.runReduce(desc, j, sp)
+	}
+	res.DurNanos = time.Since(t0).Nanoseconds()
+	if res.Err != "" {
+		sp.SetStr("error", res.Err)
+	}
+	reply.Result = *res
+	return nil
+}
+
+// runMap executes one map attempt over its split, spilling sorted output
+// to the local store — always the spill path, so the segments exist to
+// be served to reducers and the statistics match the simulated engine's
+// out-of-core shuffle byte for byte.
+func (w *Worker) runMap(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *TaskResult {
+	res := &TaskResult{}
+	counters := mapreduce.NewCounters()
+	budget := desc.MemoryBudget
+	if budget <= 0 {
+		budget = defaultMapBudget
+	}
+	cfg := spill.Config{
+		Partitions:   desc.NumReducers,
+		MemoryBudget: budget,
+		Store:        w.cfg.Store,
+		NamePrefix:   fmt.Sprintf("j%05d/map-%05d/a%d/", desc.JobSeq, desc.Task, desc.Assign),
+		Node:         desc.Node,
+		Compress:     desc.Compress,
+		Tracer:       w.cfg.Tracer,
+		Parent:       sp,
+	}
+	if j.code.NewCombiner != nil {
+		combiner := j.code.NewCombiner()
+		cfg.Combine = combiner.Combine
+		cfg.OnCombine = func(in, out int64) {
+			counters.Add("combine input records", in)
+			counters.Add("combine output records", out)
+		}
+	}
+	if desc.DiskFailureRate > 0 {
+		cfg.FailSpill = func(idx int) error {
+			// Same coordinates as the simulated engine, so a given seed
+			// injects the same disk failures on either backend.
+			if mapreduce.InjectHash(desc.Seed, desc.JobName, "spill", desc.Task, desc.Attempt<<16|idx) < desc.DiskFailureRate {
+				return fmt.Errorf("injected disk write failure")
+			}
+			return nil
+		}
+	}
+	sw, err := spill.NewWriter(cfg)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	var emitErr error
+	var outRecs int64
+	emit := func(key, value []byte) {
+		if emitErr != nil {
+			return
+		}
+		p := mapreduce.Partition(key, desc.NumReducers)
+		if err := sw.Add(p, key, value); err != nil {
+			emitErr = err
+			return
+		}
+		outRecs++
+	}
+	ctx := mapreduce.NewTaskContext(desc.Round, desc.Task, desc.Assign, desc.Node, counters, j.side, j.code.Service, emit)
+	mapper := j.code.NewMapper()
+	r := dfs.NewRecordReader(desc.Split)
+	var inRecs int64
+	for emitErr == nil {
+		key, value, ok, err := r.Next()
+		if err != nil {
+			emitErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		inRecs++
+		if err := mapper.Map(ctx, key, value); err != nil {
+			emitErr = err
+			break
+		}
+	}
+	if emitErr != nil {
+		sw.Abort()
+		res.Err = emitErr.Error()
+		return res
+	}
+	out, err := sw.Close()
+	if err != nil {
+		sw.Abort()
+		res.Err = err.Error()
+		return res
+	}
+	res.InRecs = inRecs
+	res.OutRecs = outRecs
+	res.RawBytes = out.RawBytes
+	res.MaxFrame = out.MaxFrame
+	res.Spills = out.Spills
+	res.Parts = out.Parts
+	res.Counters = counters.Snapshot()
+	sp.SetInt("spills", out.Spills)
+	sp.SetInt("records_out", outRecs)
+	return res
+}
+
+// runReduce executes one reduce attempt: fetch this partition's segments
+// from their workers into the local store, k-way merge them, and stream
+// the groups through the reducer. Unfetchable segments abort before the
+// reducer runs (so job services see no partial submissions) and are
+// reported as lost map outputs for the master to recover.
+func (w *Worker) runReduce(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *TaskResult {
+	res := &TaskResult{}
+	var segs []spill.Segment
+	for i := range desc.Sources {
+		src := &desc.Sources[i]
+		if len(src.Segments) == 0 {
+			continue
+		}
+		if src.Worker != w.id {
+			if err := w.fetchSegments(src); err != nil {
+				res.LostMaps = append(res.LostMaps, src.MapTask)
+				res.LostFrom = append(res.LostFrom, src.Worker)
+				continue
+			}
+		}
+		segs = append(segs, src.Segments...)
+	}
+	if len(res.LostMaps) > 0 {
+		return res
+	}
+	for _, seg := range segs {
+		res.Fetch += seg.RawBytes
+		if seg.Node != desc.Node {
+			res.Inter += seg.RawBytes
+		}
+	}
+
+	var base []mapreduce.Rec
+	if desc.Schimmy {
+		data, err := w.readMasterFile(fmt.Sprintf("%spart-%05d", desc.SchimmyBase, desc.Task))
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		base, err = mapreduce.ReadBaseRecords(data)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+
+	var stream mapreduce.RecIter = func() ([]byte, []byte, bool, error) {
+		return nil, nil, false, nil
+	}
+	if len(segs) > 0 {
+		it, mstats, err := spill.Merge(w.cfg.Store, segs, spill.MergeOptions{
+			FanIn:     desc.MergeFanIn,
+			Compress:  desc.Compress,
+			TmpPrefix: fmt.Sprintf("j%05d/reduce-%05d/a%d/", desc.JobSeq, desc.Task, desc.Assign),
+			Tracer:    w.cfg.Tracer,
+			Parent:    sp,
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		defer it.Close()
+		stream = it.Next
+		res.MergePasses = mstats.Passes
+		res.MaxMergeFanIn = mstats.MaxFanIn
+		sp.SetInt("merge_passes", mstats.Passes)
+	}
+
+	counters := mapreduce.NewCounters()
+	var out dfs.RecordWriter
+	ctx := mapreduce.NewTaskContext(desc.Round, desc.Task, desc.Assign, desc.Node, counters, j.side, j.code.Service,
+		func(key, value []byte) { out.Append(key, value) })
+	reducer := j.code.NewReducer()
+	maxGroup, err := mapreduce.ReduceGroups(ctx, reducer, base, stream)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.MaxGroup = maxGroup
+	res.OutputData = out.Bytes()
+	res.OutRecords = int64(out.Records())
+	res.OutBytes = int64(out.Len())
+	res.Counters = counters.Snapshot()
+	return res
+}
+
+// fetchSegments pulls one map source's segments over the wire into the
+// local store under their original names (globally unique per job, task
+// and assignment), so the merge reads local data only.
+func (w *Worker) fetchSegments(src *MapSource) error {
+	client, err := w.fetchClient(src.Addr)
+	if err != nil {
+		return err
+	}
+	for i := range src.Segments {
+		seg := &src.Segments[i]
+		var reply FetchSegmentReply
+		if err := client.Call("Worker.FetchSegment", &FetchSegmentArgs{Name: seg.Name}, &reply); err != nil {
+			w.dropFetchClient(src.Addr)
+			return err
+		}
+		wc, err := w.cfg.Store.Create(seg.Name)
+		if err != nil {
+			return err
+		}
+		if _, err := wc.Write(reply.Data); err != nil {
+			wc.Close()
+			return err
+		}
+		if err := wc.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FetchSegment serves one locally stored spill segment to a fetching
+// reducer (the network shuffle).
+func (s *workerService) FetchSegment(args *FetchSegmentArgs, reply *FetchSegmentReply) error {
+	if s.w.dead.Load() {
+		return fmt.Errorf("distmr: worker %d is dead", s.w.id)
+	}
+	rc, err := s.w.cfg.Store.Open(args.Name)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return err
+	}
+	reply.Data = data
+	return nil
+}
+
+// CleanJob retires a job: close its service connections and delete its
+// spill segments (local map outputs and fetched shuffle data).
+func (s *workerService) CleanJob(args *CleanJobArgs, _ *CleanJobReply) error {
+	w := s.w
+	w.mu.Lock()
+	j := w.jobs[args.JobSeq]
+	delete(w.jobs, args.JobSeq)
+	w.mu.Unlock()
+	if j != nil && j.code != nil && j.code.Close != nil {
+		j.code.Close() //nolint:errcheck // best-effort service teardown
+	}
+	w.cfg.Store.RemovePrefix(fmt.Sprintf("j%05d/", args.JobSeq))
+	return nil
+}
+
+// Shutdown asks the worker to exit (used by the master's teardown; the
+// heartbeat reply carries the same signal for workers mid-beat).
+func (s *workerService) Shutdown(_ *ShutdownArgs, _ *ShutdownReply) error {
+	w := s.w
+	go func() {
+		// Give the reply a moment to flush before the connection closes.
+		time.Sleep(20 * time.Millisecond)
+		w.die(false)
+	}()
+	return nil
+}

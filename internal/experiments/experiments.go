@@ -61,6 +61,10 @@ type Scale struct {
 	// with the CLI's -trace flag). Trace-derived experiments (Table1,
 	// Fig7) create a private tracer when this is nil.
 	Tracer *trace.Tracer
+	// Distributed, if non-nil, runs every job on this distributed
+	// master/worker backend instead of the simulated engine (the cost
+	// model still prices simulated time from the measured task profile).
+	Distributed mapreduce.Backend
 }
 
 // Tiny returns a fast configuration for tests and benchmarks: the
@@ -111,6 +115,7 @@ func (sc *Scale) newCluster(nodes int) *mapreduce.Cluster {
 	c.MemoryBudget = sc.MemoryBudget
 	c.SpillDir = sc.SpillDir
 	c.SpillCompress = sc.SpillCompress
+	c.Distributed = sc.Distributed
 	return c
 }
 

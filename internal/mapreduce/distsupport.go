@@ -1,0 +1,103 @@
+package mapreduce
+
+import (
+	"bytes"
+	"sort"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/trace"
+)
+
+// This file is the exported surface a distributed backend (internal/distmr)
+// needs to execute tasks worker-side with byte parity against the
+// simulated engine: the same partitioner, the same failure-injection
+// hash, the same reduce-side group walk, and the same schimmy base
+// handling. Everything here delegates to the engine's internals so the
+// two code paths cannot drift.
+
+// Partition hashes a key to a reduce partition, exactly as the simulated
+// engine's shuffle does (FNV-1a HashPartitioner).
+func Partition(key []byte, numReducers int) int {
+	return partition(key, numReducers)
+}
+
+// InjectHash returns the deterministic pseudo-random draw in [0,1) used
+// for failure injection, keyed by (seed, job, phase, task, attempt).
+// Distributed workers use it to draw WorkerCrashRate decisions from the
+// same sequence regardless of which worker holds the lease.
+func InjectHash(seed int64, job, phase string, task, attempt int) float64 {
+	return injectHash(seed, job, phase, task, attempt)
+}
+
+// NewTaskContext builds the context handed to Mapper/Reducer code on a
+// distributed worker. The simulated engine builds the identical struct
+// internally. exec is the execution id exposed as TaskContext.Exec —
+// a distributed backend passes its assignment number.
+func NewTaskContext(round, task, exec, node int, counters *Counters, side map[string][]byte,
+	service any, emit func(key, value []byte)) *TaskContext {
+	return &TaskContext{
+		round:    round,
+		task:     task,
+		exec:     exec,
+		node:     node,
+		counters: counters,
+		side:     side,
+		service:  service,
+		emit:     emit,
+	}
+}
+
+// PublishSpillMetrics annotates a job span and the cluster tracer's
+// registry with a job's out-of-core shuffle statistics, exactly as the
+// simulated engine does for its budgeted runs. A distributed backend
+// calls it for jobs run under a memory budget so `spills`/`merge passes`
+// registry counters agree across backends.
+func (c *Cluster) PublishSpillMetrics(res *Result, jobSpan *trace.Span) {
+	c.publishSpillMetrics(res, jobSpan)
+}
+
+// Rec is one key/value record, the exported shape of the engine's
+// internal shuffle record.
+type Rec struct {
+	Key, Value []byte
+}
+
+// RecIter streams sorted records to ReduceGroups: spill.Iterator.Next on
+// the merged shuffle, or an in-memory cursor. Returned slices must stay
+// valid across calls.
+type RecIter = recIter
+
+// ReduceGroups walks the sorted shuffle stream and (for schimmy jobs)
+// the sorted base records in a merge-join, invoking the reducer once per
+// key in the union, and returns the byte size of the largest group —
+// identical semantics to the simulated engine's reduce loop.
+func ReduceGroups(ctx *TaskContext, reducer Reducer, base []Rec, next RecIter) (int64, error) {
+	var kbase []kvRec
+	if len(base) > 0 {
+		kbase = make([]kvRec, len(base))
+		for i, r := range base {
+			kbase[i] = kvRec{key: r.Key, value: r.Value}
+		}
+	}
+	return reduceGroups(ctx, reducer, kbase, next)
+}
+
+// ReadBaseRecords parses a schimmy base partition's raw bytes and
+// returns its records sorted by key for the merge-join, matching the
+// simulated engine's base handling.
+func ReadBaseRecords(data []byte) ([]Rec, error) {
+	var recs []Rec
+	r := dfs.NewRecordReader(data)
+	for {
+		key, value, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		recs = append(recs, Rec{Key: key, Value: value})
+	}
+	sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i].Key, recs[j].Key) < 0 })
+	return recs, nil
+}

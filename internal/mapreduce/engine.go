@@ -47,6 +47,15 @@ type Cluster struct {
 	// MergeFanIn bounds how many segments one reduce-side merge pass
 	// reads (Hadoop's io.sort.factor; default spill.DefaultMergeFanIn).
 	MergeFanIn int
+
+	// Distributed, when non-nil, executes jobs on an external backend (a
+	// real master/worker deployment, see internal/distmr) instead of the
+	// in-process simulated engine. Jobs then need a Spec so workers can
+	// reconstruct their code. Nodes, SlotsPerNode and the cost model
+	// still describe the modelled cluster for SimTime purposes; FS
+	// remains the job input/output store, served to workers by the
+	// backend.
+	Distributed Backend
 }
 
 // NewCluster creates a cluster with sensible defaults applied.
@@ -102,15 +111,17 @@ func (sh *shuffleData) partSegments(p int) []spill.Segment {
 	return segs
 }
 
-// split is one map task's input: a record-aligned byte range of a file.
-type split struct {
-	data []byte // record-aligned slice of the file contents
-	node int    // preferred (data-local) node
+// Split is one map task's input: a record-aligned byte range of a file
+// plus its preferred (data-local) node. Exported so distributed backends
+// plan identical task inputs.
+type Split struct {
+	Data []byte // record-aligned slice of the file contents
+	Node int    // preferred (data-local) node
 }
 
-// makeSplits cuts an input file into record-aligned splits of roughly one
+// PlanSplits cuts an input file into record-aligned splits of roughly one
 // DFS block each, the way Hadoop derives one map task per block.
-func (c *Cluster) makeSplits(name string) ([]split, int64, error) {
+func (c *Cluster) PlanSplits(name string) ([]Split, int64, error) {
 	data, err := c.FS.ReadFile(name)
 	if err != nil {
 		return nil, 0, err
@@ -131,7 +142,7 @@ func (c *Cluster) makeSplits(name string) ([]split, int64, error) {
 		return blocks[bi].Nodes[0]
 	}
 
-	var splits []split
+	var splits []Split
 	r := dfs.NewRecordReader(data)
 	start, off := 0, 0
 	for {
@@ -144,12 +155,12 @@ func (c *Cluster) makeSplits(name string) ([]split, int64, error) {
 		}
 		off += int(framedSize(key, value))
 		if off-start >= blockSize {
-			splits = append(splits, split{data: data[start:off], node: nodeOf(start)})
+			splits = append(splits, Split{Data: data[start:off], Node: nodeOf(start)})
 			start = off
 		}
 	}
 	if off > start {
-		splits = append(splits, split{data: data[start:off], node: nodeOf(start)})
+		splits = append(splits, Split{Data: data[start:off], Node: nodeOf(start)})
 	}
 	return splits, int64(len(data)), nil
 }
@@ -163,6 +174,9 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	if c.FS == nil {
 		return nil, fmt.Errorf("mapreduce: cluster has no file system")
 	}
+	if c.Distributed != nil {
+		return c.Distributed.RunJob(c, job)
+	}
 	start := time.Now()
 	jobSpan := c.Tracer.Start(trace.CatJob, job.Name, job.Parent)
 	defer jobSpan.End()
@@ -172,10 +186,10 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 		return nil, err
 	}
 
-	var splits []split
+	var splits []Split
 	res := &Result{}
 	for _, in := range job.Inputs {
-		ss, sz, err := c.makeSplits(in)
+		ss, sz, err := c.PlanSplits(in)
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +251,7 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 
 	res.Counters = counters.Snapshot()
 	res.WallTime = time.Since(start)
-	res.SimTime = c.simTime(job, res, splits, mapDur, reduceDur, reduceFetch)
+	res.SimTime = c.ModelSimTime(job, res, splits, mapDur, reduceDur, reduceFetch)
 	jobSpan.SetInt("map_tasks", int64(res.MapTasks))
 	jobSpan.SetInt("reduce_tasks", int64(res.ReduceTasks))
 	jobSpan.SetInt(trace.AttrMapOutRecords, res.MapOutputRecords)
@@ -287,7 +301,7 @@ type mapTaskStats struct {
 // run store (MemoryBudget > 0) each task spills sorted runs to the
 // store under its budget; otherwise partitions are materialized in
 // memory.
-func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
+func (c *Cluster) runMapPhase(job *Job, splits []Split, side map[string][]byte,
 	counters *Counters, res *Result, phase *trace.Span, store spill.RunStore) (*shuffleData, []time.Duration, error) {
 
 	numParts := job.NumReducers
@@ -312,7 +326,7 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 			defer func() { <-sem }()
 
 			t0 := time.Now()
-			node := splits[ti].node
+			node := splits[ti].Node
 			err := c.runAttempts(job, "map", ti, node, counters, phase, func(att *trace.Span, attempt int) error {
 				// Per-attempt state: a failed attempt's partial output is
 				// discarded, as Hadoop discards a failed task attempt's
@@ -391,6 +405,7 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 				ctx := &TaskContext{
 					round:    job.Round,
 					task:     ti,
+					exec:     attempt,
 					node:     node,
 					counters: counters,
 					side:     side,
@@ -408,7 +423,7 @@ func (c *Cluster) runMapPhase(job *Job, splits []split, side map[string][]byte,
 				}
 
 				mapper := job.NewMapper()
-				r := dfs.NewRecordReader(splits[ti].data)
+				r := dfs.NewRecordReader(splits[ti].Data)
 				st.inRecs = 0
 				for {
 					key, value, ok, err := r.Next()
@@ -773,6 +788,7 @@ func (c *Cluster) runReducePhase(job *Job, mapOut *shuffleData, side map[string]
 				ctx := &TaskContext{
 					round:    job.Round,
 					task:     p,
+					exec:     attempt,
 					node:     node,
 					counters: counters,
 					side:     side,
@@ -929,7 +945,7 @@ func reduceGroups(ctx *TaskContext, reducer Reducer, base []kvRec, next recIter)
 	return maxGroup, nil
 }
 
-// simTime applies the cost model: map and reduce task costs are packed
+// ModelSimTime applies the cost model: map and reduce task costs are packed
 // onto the cluster's worker slots (greedy longest-queue-avoidance, which
 // is how Hadoop's scheduler behaves with uniform tasks), and phase
 // makespans plus fixed overhead give the simulated round time. The
@@ -937,7 +953,7 @@ func reduceGroups(ctx *TaskContext, reducer Reducer, base []kvRec, next recIter)
 // speculative execution charges the better of two attempts' draws, which
 // is exactly the mechanism by which Hadoop's backup tasks shorten the
 // tail of a phase.
-func (c *Cluster) simTime(job *Job, res *Result, splits []split, mapDur, reduceDur []time.Duration, reduceFetch []int64) time.Duration {
+func (c *Cluster) ModelSimTime(job *Job, res *Result, splits []Split, mapDur, reduceDur []time.Duration, reduceFetch []int64) time.Duration {
 	cm := c.Cost
 	xfer := func(bytes int64, bytesPerSec float64) time.Duration {
 		if bytesPerSec <= 0 || bytes <= 0 {
@@ -967,7 +983,7 @@ func (c *Cluster) simTime(job *Job, res *Result, splits []split, mapDur, reduceD
 	var mapCosts []time.Duration
 	for i := range splits {
 		cost := cm.TaskOverhead +
-			xfer(int64(len(splits[i].data)), cm.DiskBytesPerSec) +
+			xfer(int64(len(splits[i].Data)), cm.DiskBytesPerSec) +
 			time.Duration(float64(mapDur[i])*cm.CPUFactor)
 		mapCosts = append(mapCosts, time.Duration(float64(cost)*straggle("map", i)))
 	}

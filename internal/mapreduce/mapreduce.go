@@ -30,6 +30,7 @@ import (
 type TaskContext struct {
 	round    int
 	task     int
+	exec     int
 	node     int
 	counters *Counters
 	side     map[string][]byte
@@ -42,6 +43,13 @@ func (c *TaskContext) Round() int { return c.round }
 
 // Task returns the task index within the current phase.
 func (c *TaskContext) Task() int { return c.task }
+
+// Exec identifies this physical execution of the task: the attempt
+// number on the simulated engine, the assignment number on a
+// distributed backend. Stateful job services use (Task, Exec) to
+// recognize — and discard — submissions duplicated by task re-execution
+// (retries, reassignments after worker deaths, speculative backups).
+func (c *TaskContext) Exec() int { return c.exec }
 
 // Node returns the simulated cluster node the task runs on.
 func (c *TaskContext) Node() int { return c.node }
@@ -175,10 +183,39 @@ type Job struct {
 	// have been produced with the same NumReducers and partitioner.
 	SchimmyBase string
 	// Service is an opaque handle exposed to tasks via TaskContext.
+	// Service handles are process-local (function values, live clients);
+	// a distributed backend ignores them and reconstructs the equivalent
+	// handle on each worker from Spec.Params.
 	Service any
+	// Spec describes the job's code to a distributed backend: a kind
+	// name registered with the backend's worker-side registry plus the
+	// opaque parameters from which a worker reconstructs the job's
+	// mapper, reducer, combiner and service handle. A job with a nil
+	// Spec can only run on the built-in simulated engine.
+	Spec *JobSpec
 	// Parent, if non-nil, is the trace span under which the engine
 	// records this job's span (the driver passes its round span).
 	Parent *trace.Span
+}
+
+// JobSpec is the serializable description of a job's code, the unit a
+// distributed backend ships to workers (Hadoop ships a job jar plus a
+// serialized configuration; here the worker binary already links the
+// code, so the spec is a registered kind name plus parameters).
+type JobSpec struct {
+	// Kind names a worker-side factory registered for this job type.
+	Kind string
+	// Params is the kind-specific opaque configuration blob.
+	Params []byte
+}
+
+// Backend executes jobs on an alternative runtime. The built-in engine
+// runs when Cluster.Distributed is nil.
+type Backend interface {
+	// RunJob executes one validated job to completion. It must produce
+	// the same output files and (for deterministic jobs) the same
+	// Result counters as the simulated engine.
+	RunJob(c *Cluster, job *Job) (*Result, error)
 }
 
 func (j *Job) validate() error {
@@ -350,6 +387,16 @@ type Faults struct {
 	// (Cluster.MemoryBudget > 0); the failed attempt's partial spill
 	// state is discarded and the task retried.
 	DiskFailureRate float64
+	// WorkerCrashRate injects a probability that the worker holding a
+	// task lease dies at that task's start: it stops heartbeating,
+	// refuses further work, and its locally stored map outputs become
+	// unreachable, so the master must reassign the leased task to
+	// another worker and re-execute any map tasks whose outputs the dead
+	// worker held. Only meaningful on a distributed backend
+	// (Cluster.Distributed != nil); the simulated engine has no workers
+	// to kill and ignores it. Injection is deterministic in Seed, the
+	// job name, the task and the attempt.
+	WorkerCrashRate float64
 	// Seed drives the injection hash.
 	Seed int64
 }

@@ -1,0 +1,112 @@
+// Package rpcutil provides the dial policy shared by every TCP client in
+// the repo: the aug_proc client, the distributed master/worker clients,
+// and the worker-to-worker shuffle fetchers. A single dial attempt
+// against a service that is still binding its listener (worker processes
+// racing the master at startup, or a loopback accept queue momentarily
+// full) fails spuriously; the fix everywhere is the same bounded
+// retry with exponential backoff and jitter, so it lives here once.
+package rpcutil
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// Policy bounds a retried dial. The zero value is completed by
+// applyDefaults; DefaultPolicy returns the completed defaults.
+type Policy struct {
+	// Attempts is the maximum number of dial attempts (default 5).
+	Attempts int
+	// BaseDelay is the sleep after the first failed attempt; each
+	// subsequent failure doubles it up to MaxDelay (defaults 20ms/500ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// DialTimeout bounds each individual connection attempt (default 2s).
+	DialTimeout time.Duration
+}
+
+func (p *Policy) applyDefaults() {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 20 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 2 * time.Second
+	}
+}
+
+// DefaultPolicy returns the defaults used when no policy is given.
+func DefaultPolicy() Policy {
+	var p Policy
+	p.applyDefaults()
+	return p
+}
+
+// jitter is the shared randomness behind backoff jitter. Determinism is
+// not wanted here: two workers backing off after colliding should not
+// stay in lock-step.
+var (
+	jitterMu sync.Mutex
+	jitterRN = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Jitter returns a uniformly random duration in [0, d). It is exported
+// for callers that add spacing outside a dial (heartbeat staggering).
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return time.Duration(jitterRN.Int63n(int64(d)))
+}
+
+// backoff returns the sleep before retry attempt i (0-based), with up to
+// half the step added as jitter.
+func (p *Policy) backoff(i int) time.Duration {
+	d := p.BaseDelay
+	for ; i > 0 && d < p.MaxDelay; i-- {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d + Jitter(d/2)
+}
+
+// Dial connects to a TCP address with retry/backoff/jitter.
+func Dial(addr string, policy Policy) (net.Conn, error) {
+	policy.applyDefaults()
+	var lastErr error
+	for attempt := 0; attempt < policy.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(policy.backoff(attempt - 1))
+		}
+		conn, err := net.DialTimeout("tcp", addr, policy.DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("rpcutil: dial %s failed after %d attempts: %w",
+		addr, policy.Attempts, lastErr)
+}
+
+// DialRPC connects a net/rpc client to a TCP address with
+// retry/backoff/jitter.
+func DialRPC(addr string, policy Policy) (*rpc.Client, error) {
+	conn, err := Dial(addr, policy)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(conn), nil
+}

@@ -1,0 +1,102 @@
+package rpcutil
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDialSucceedsImmediately(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		if c, err := ln.Accept(); err == nil {
+			c.Close()
+		}
+	}()
+	conn, err := Dial(ln.Addr().String(), Policy{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	conn.Close()
+}
+
+// TestDialRetriesUntilListenerAppears is the startup race the package
+// exists for: the first attempts fail, then the listener binds, and the
+// dial must succeed without surfacing the transient failures.
+func TestDialRetriesUntilListenerAppears(t *testing.T) {
+	// Reserve a port, then free it so the first dial attempts fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the dial error path still passes
+		}
+		defer ln2.Close()
+		if c, err := ln2.Accept(); err == nil {
+			c.Close()
+		}
+	}()
+
+	conn, err := Dial(addr, Policy{Attempts: 20, BaseDelay: 10 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Skipf("port was not re-bindable on this host: %v", err)
+	}
+	conn.Close()
+}
+
+func TestDialExhaustsAttempts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here now
+
+	start := time.Now()
+	_, err = Dial(addr, Policy{Attempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Dial succeeded against a closed port")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("error does not report the attempt count: %v", err)
+	}
+	// Fast-fail policies must actually fail fast (the shuffle fetcher
+	// relies on this to keep crash recovery off the slow path).
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("2-attempt dial took %v", d)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	if Jitter(0) != 0 || Jitter(-time.Second) != 0 {
+		t.Error("non-positive bounds must return 0")
+	}
+	for i := 0; i < 1000; i++ {
+		if d := Jitter(50 * time.Millisecond); d < 0 || d >= 50*time.Millisecond {
+			t.Fatalf("Jitter out of [0, 50ms): %v", d)
+		}
+	}
+}
+
+func TestBackoffCapsAtMaxDelay(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	p.applyDefaults()
+	for i := 0; i < 10; i++ {
+		// backoff adds up to half the step as jitter.
+		if d := p.backoff(i); d > p.MaxDelay+p.MaxDelay/2 {
+			t.Fatalf("backoff(%d) = %v exceeds cap %v", i, d, p.MaxDelay+p.MaxDelay/2)
+		}
+	}
+}
