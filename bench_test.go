@@ -479,3 +479,44 @@ func BenchmarkDistributed(b *testing.B) {
 		run(b, h.Master)
 	})
 }
+
+// BenchmarkDynamic compares incremental (warm-restart) max-flow against
+// cold recomputation over randomized update batches of growing size, on
+// the FB1-scale graph under the realistic cost model. The headline
+// metrics: warm rounds and warm simulated time stay below cold for small
+// batches, converging toward cold as the batch size grows (crossover
+// documented in EXPERIMENTS.md, recorded in BENCH_dynamic.json).
+func BenchmarkDynamic(b *testing.B) {
+	for _, size := range []int{5, 20, 80, 200} {
+		size := size
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			sc := benchScale()
+			// Warm restarts pay at most one re-augmentation wave, so the
+			// advantage needs a graph where a cold run pays several: FB5
+			// is the smallest chain member where that holds.
+			sc.Chain = sc.Chain[4:5]
+			sc.Realistic = true
+			var last []experiments.WarmColdRow
+			for i := 0; i < b.N; i++ {
+				rows, _, err := experiments.WarmVsCold(sc, []int{size}, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rows
+			}
+			var warmR, coldR, warmMS, coldMS float64
+			for _, r := range last {
+				warmR += float64(r.WarmRounds)
+				coldR += float64(r.ColdRounds)
+				warmMS += float64(r.WarmSim.Milliseconds())
+				coldMS += float64(r.ColdSim.Milliseconds())
+			}
+			n := float64(len(last))
+			b.ReportMetric(warmR/n, "warm-rounds")
+			b.ReportMetric(coldR/n, "cold-rounds")
+			b.ReportMetric(warmMS/n, "warm-sim-ms")
+			b.ReportMetric(coldMS/n, "cold-sim-ms")
+			b.ReportMetric(coldMS/warmMS, "speedup-x")
+		})
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: graphs|fig5|fig6|table1|fig7|fig8|ablation|mrbsp|all")
+		exp      = fs.String("exp", "all", "experiment: graphs|fig5|fig6|table1|fig7|fig8|ablation|mrbsp|warmcold|all")
 		scale    = fs.String("scale", "tiny", "scale: tiny (10000x down) or default (1000x down)")
 		w        = fs.Int("w", 0, "override super source/sink tap count")
 		seed     = fs.Int64("seed", 0, "override generation seed")
@@ -208,6 +208,14 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, tbl)
 			return saveCSV("mrbsp", tbl)
 		}},
+		{"warmcold", func() error {
+			_, tbl, err := experiments.WarmVsCold(sc, []int{5, 20, 80}, 2)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl)
+			return saveCSV("warmcold", tbl)
+		}},
 	}
 	if *exp != "all" {
 		known := false
@@ -215,7 +223,7 @@ func run(args []string, stdout io.Writer) error {
 			known = known || s.name == *exp
 		}
 		if !known {
-			return fmt.Errorf("unknown experiment %q (want graphs, fig5, fig6, table1, fig7, fig8, ablation, mrbsp or all)", *exp)
+			return fmt.Errorf("unknown experiment %q (want graphs, fig5, fig6, table1, fig7, fig8, ablation, mrbsp, warmcold or all)", *exp)
 		}
 	}
 	for _, s := range steps {

@@ -32,6 +32,7 @@ import (
 	"ffmr/internal/core"
 	"ffmr/internal/dfs"
 	"ffmr/internal/distmr"
+	"ffmr/internal/dynamic"
 	"ffmr/internal/graph"
 	"ffmr/internal/graphgen"
 	"ffmr/internal/mapreduce"
@@ -71,6 +72,10 @@ func main() {
 		budget  = flag.Int64("memory-budget", 0, "per-map-task shuffle buffer bytes; >0 spills sorted runs to disk (0 = unbounded in-memory shuffle)")
 		spillTo = flag.String("spill-dir", "", "directory for spill segments (default: system temp dir)")
 		comp    = flag.Bool("compress", false, "DEFLATE-compress spill segments")
+
+		updates  = flag.Int("updates", 0, "after solving, apply this many randomized edge-update batches (dynamic max-flow)")
+		updBatch = flag.Int("update-batch", 20, "updates per batch for -updates (inserts, deletes, capacity changes)")
+		warm     = flag.Bool("warm", true, "solve update batches by warm restart from persisted state (false: cold recompute per batch)")
 
 		dist       = flag.Bool("distributed", false, "run jobs on the distributed master/worker backend instead of the simulated engine")
 		distWork   = flag.Int("dist-workers", 3, "in-process workers to start (0 = external ffmr-worker processes only)")
@@ -154,9 +159,21 @@ func main() {
 				stats.FormatCount(rs.ActiveVertices))
 		}
 	}
-	res, err := core.Run(cluster, in, opts)
-	if err != nil {
-		log.Fatal(err)
+	// With -updates the base solve goes through dynamic.Solve, which keeps
+	// the final records in the DFS so batches can warm-restart from them.
+	var res *core.Result
+	var snap *dynamic.Snapshot
+	if *updates > 0 {
+		snap, err = dynamic.Solve(cluster, in, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = snap.Result
+	} else {
+		res, err = core.Run(cluster, in, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("\n%s max-flow: %d in %d rounds (sim %s, wall %s)\n",
@@ -176,6 +193,73 @@ func main() {
 	if *rounds {
 		fmt.Println(stats.RoundTable("\nPer-round statistics",
 			trace.RoundSummariesUnder(res.RunSpan)))
+	}
+
+	if *updates > 0 {
+		mode := "warm"
+		if !*warm {
+			mode = "cold"
+		}
+		tbl := stats.NewTable(fmt.Sprintf("\nDynamic updates (%s, %d batches x %d updates)", mode, *updates, *updBatch),
+			"Gen", "Violations", "Cancelled", "Rounds", "SimTime", "|f*|")
+		profile := graphgen.DefaultUpdateProfile()
+		cur := in
+		for g := 1; g <= *updates; g++ {
+			batch, err := graphgen.GenerateUpdates(cur, *updBatch, profile, *seed+int64(1000*g))
+			if err != nil {
+				log.Fatal(err)
+			}
+			var (
+				flow    int64
+				nrounds int
+				simTime time.Duration
+				viol    int
+				cancel  int64
+			)
+			if *warm {
+				out, err := dynamic.Apply(cluster, snap, batch)
+				if err != nil {
+					log.Fatal(err)
+				}
+				snap, cur = out.Snapshot, out.Snapshot.Input
+				flow, nrounds = out.Warm.MaxFlow, out.Warm.Rounds
+				simTime = out.Warm.TotalSimTime + out.RepairSimTime
+				viol, cancel = out.Violations, out.CancelledFlow
+			} else {
+				cur, err = graph.ApplyUpdates(cur, batch)
+				if err != nil {
+					log.Fatal(err)
+				}
+				coldC := newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp)
+				if master != nil {
+					distribute(coldC, master, *crash, *seed)
+				}
+				coldOpts := opts
+				coldOpts.Tracer = nil
+				coldRes, err := core.Run(coldC, cur, coldOpts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				flow, nrounds, simTime = coldRes.MaxFlow, coldRes.Rounds, coldRes.TotalSimTime
+			}
+			if *check {
+				net, err := maxflow.FromInput(cur)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if want := maxflow.Dinic(net, int(cur.Source), int(cur.Sink)); want != flow {
+					fmt.Printf("check: MISMATCH at batch %d — %s computed %d, Dinic says %d\n",
+						g, mode, flow, want)
+					os.Exit(1)
+				}
+			}
+			tbl.AddRow(g, viol, stats.FormatCount(cancel), nrounds,
+				stats.FormatDuration(simTime), stats.FormatCount(flow))
+		}
+		fmt.Println(tbl.String())
+		if *check {
+			fmt.Printf("check: sequential Dinic agrees after every batch\n")
+		}
 	}
 
 	if *distVerify {

@@ -209,14 +209,63 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		}
 	}
 
+	loop := &ffLoop{
+		cluster: cluster, in: in, opts: opts, feat: feat,
+		prefix: prefix, tr: tr, runSpan: runSpan, result: result,
+	}
+	if err := loop.run(startRound); err != nil {
+		return nil, err
+	}
+
+	for i := range result.RoundStats {
+		result.TotalSimTime += result.RoundStats[i].SimTime
+		result.TotalWallTime += result.RoundStats[i].WallTime
+	}
+	if !result.Converged {
+		return result, fmt.Errorf("core: %s did not converge within %d rounds", opts.Variant, opts.MaxRounds)
+	}
+	return result, nil
+}
+
+// ffLoop is the multi-round max-flow loop shared by the cold driver (Run)
+// and the warm-restart driver (RunWarm). It owns the per-round job
+// construction, acceptance collection, delta broadcasting, checkpointing
+// and the termination rule; the two entry points differ only in how the
+// round-0 state comes to exist and in which termination signal is sound.
+type ffLoop struct {
+	cluster *mapreduce.Cluster
+	in      *graph.Input
+	opts    Options
+	feat    features
+	prefix  string
+	tr      *trace.Tracer
+	runSpan *trace.Span
+	result  *Result
+
+	// warmBase, when non-empty, is the DFS prefix of the records consumed
+	// by the first executed round instead of roundPrefix(prefix,
+	// startRound-1): warm restarts read state produced outside the
+	// round-NNNNN chain (by the dynamic-update apply/drain jobs).
+	warmBase string
+	// warm switches the termination rule to the warm-restart one; see
+	// run. Cold runs must keep the paper's source/sink-move rule
+	// byte-identical, so this is never inferred.
+	warm bool
+}
+
+func (l *ffLoop) run(startRound int) error {
+	opts, feat, prefix := l.opts, l.feat, l.prefix
+	fs := l.cluster.FS
+	result := l.result
+
 	var aug *AugProcServer
 	if feat.augProc {
 		var err error
 		aug, err = NewAugProcServer()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		aug.SetTracer(tr)
+		aug.SetTracer(l.tr)
 		aug.SetDeterministic(opts.DeterministicAccept)
 		defer aug.Close() //nolint:errcheck // shutdown of a loopback listener
 	}
@@ -225,22 +274,22 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 	// its acceptance outcome travels back over a collector server, the
 	// FF1 counterpart of aug_proc.
 	var ff1srv *ff1CollectorServer
-	if cluster.Distributed != nil && !feat.augProc {
+	if l.cluster.Distributed != nil && !feat.augProc {
 		var err error
 		ff1srv, err = newFF1CollectorServer()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		defer ff1srv.Close() //nolint:errcheck // shutdown of a loopback listener
 	}
 
 	for round := startRound; round <= opts.MaxRounds; round++ {
-		roundSpan := tr.Start(trace.CatRound, fmt.Sprintf("round-%05d", round), runSpan)
+		roundSpan := l.tr.Start(trace.CatRound, fmt.Sprintf("round-%05d", round), l.runSpan)
 		cfg := &runConfig{
 			opts:       opts,
 			feat:       feat,
-			source:     in.Source,
-			sink:       in.Sink,
+			source:     l.in.Source,
+			sink:       l.in.Sink,
 			deltasFile: deltaName(prefix, round),
 		}
 
@@ -252,7 +301,7 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 			c, err := DialAugProc(aug.Addr())
 			if err != nil {
 				roundSpan.End()
-				return nil, err
+				return err
 			}
 			client = c
 			service = client
@@ -264,15 +313,19 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 			}
 		}
 
+		basePrefix := roundPrefix(prefix, round-1)
+		if round == startRound && l.warmBase != "" {
+			basePrefix = l.warmBase
+		}
 		job := &mapreduce.Job{
 			Name:         fmt.Sprintf("ffmr-%s-round-%d", opts.Variant, round),
 			Round:        round,
-			Inputs:       fs.List(roundPrefix(prefix, round-1)),
+			Inputs:       fs.List(basePrefix),
 			OutputPrefix: roundPrefix(prefix, round),
 			NumReducers:  opts.Reducers,
 			SideFiles:    []string{cfg.deltasFile},
 			Schimmy:      feat.schimmy,
-			SchimmyBase:  roundPrefix(prefix, round-1),
+			SchimmyBase:  basePrefix,
 			Service:      service,
 			Parent:       roundSpan,
 			NewMapper:    func() mapreduce.Mapper { return newFFMapper(cfg) },
@@ -290,19 +343,19 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		job.Spec = &mapreduce.JobSpec{Kind: KindFFRound, Params: mustEncodeParams(&ffRoundParams{
 			Variant:     opts.Variant,
 			K:           opts.K,
-			Source:      in.Source,
-			Sink:        in.Sink,
+			Source:      l.in.Source,
+			Sink:        l.in.Sink,
 			DeltasFile:  cfg.deltasFile,
 			UseCombiner: opts.UseCombiner,
 			ServiceAddr: svcAddr,
 		})}
-		res, err := cluster.Run(job)
+		res, err := l.cluster.Run(job)
 		if client != nil {
 			client.Close() //nolint:errcheck // loopback connection teardown
 		}
 		if err != nil {
 			roundSpan.End()
-			return nil, err
+			return err
 		}
 
 		var st AugProcStats
@@ -317,7 +370,7 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 
 		if err := fs.WriteFile(deltaName(prefix, round+1), EncodeDeltas(deltas)); err != nil {
 			roundSpan.End()
-			return nil, err
+			return err
 		}
 
 		stat := jobStat(round, res, st)
@@ -336,25 +389,42 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 			fs.Delete(deltaName(prefix, round-1))
 		}
 
-		// Termination (Fig. 2 line 10): stop once either search is
-		// quiescent. The strict rule also requires the round to have
-		// accepted nothing, so it never stops mid-progress and leaves no
-		// unapplied flow deltas. With bi-directional search disabled the
-		// sink never moves, so only the source counter is consulted.
-		som := res.Counter("source move")
-		sim := res.Counter("sink move")
-		quiescent := som == 0 || sim == 0
-		if opts.DisableBidirectional {
-			quiescent = som == 0
-		}
-		switch opts.Termination {
-		case TerminationPaper:
-			if quiescent {
+		if l.warm {
+			// Warm termination. A warm restart starts from records already
+			// holding excess paths, so the movement counters of Fig. 4 —
+			// which fire only on a vertex's 0 -> nonzero path transition —
+			// can read zero while extensions are still propagating through
+			// vertices that merely *grew* their path sets. Stopping on them
+			// would abandon in-flight augmentation. Instead the loop stops
+			// at a fixpoint: no vertex added any excess path this round and
+			// no augmenting path was accepted. The next round would then
+			// see an empty AugmentedEdges table and byte-identical records,
+			// so no future round can ever make progress.
+			if res.Counter("source paths added")+res.Counter("sink paths added") == 0 &&
+				st.Accepted == 0 {
 				result.Converged = true
 			}
-		case TerminationStrict:
-			if quiescent && st.Accepted == 0 {
-				result.Converged = true
+		} else {
+			// Termination (Fig. 2 line 10): stop once either search is
+			// quiescent. The strict rule also requires the round to have
+			// accepted nothing, so it never stops mid-progress and leaves no
+			// unapplied flow deltas. With bi-directional search disabled the
+			// sink never moves, so only the source counter is consulted.
+			som := res.Counter("source move")
+			sim := res.Counter("sink move")
+			quiescent := som == 0 || sim == 0
+			if opts.DisableBidirectional {
+				quiescent = som == 0
+			}
+			switch opts.Termination {
+			case TerminationPaper:
+				if quiescent {
+					result.Converged = true
+				}
+			case TerminationStrict:
+				if quiescent && st.Accepted == 0 {
+					result.Converged = true
+				}
 			}
 		}
 		if err := writeCheckpoint(fs, prefix, &checkpoint{
@@ -362,21 +432,13 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 			MaxFlow: result.MaxFlow, Converged: result.Converged,
 			Stats: result.RoundStats,
 		}); err != nil {
-			return nil, err
+			return err
 		}
 		if result.Converged {
 			break
 		}
 	}
-
-	for i := range result.RoundStats {
-		result.TotalSimTime += result.RoundStats[i].SimTime
-		result.TotalWallTime += result.RoundStats[i].WallTime
-	}
-	if !result.Converged {
-		return result, fmt.Errorf("core: %s did not converge within %d rounds", opts.Variant, opts.MaxRounds)
-	}
-	return result, nil
+	return nil
 }
 
 // annotateRoundSpan writes a round's Table I metrics onto its trace

@@ -320,6 +320,7 @@ func (r *ffReducer) Reduce(ctx *mapreduce.TaskContext, key, master []byte, value
 	for i := range masterVal.Tu {
 		mergeSink(&masterVal.Tu[i])
 	}
+	baseS, baseT := len(out.Su), len(out.Tu)
 	for _, f := range frags {
 		for i := range f.Su {
 			mergeSource(&f.Su[i])
@@ -335,6 +336,17 @@ func (r *ffReducer) Reduce(ctx *mapreduce.TaskContext, key, master []byte, value
 	}
 	if tm == 0 && len(out.Tu) > 0 {
 		ctx.Inc("sink move", 1)
+	}
+	// Path-addition counters drive the warm-restart termination rule: a
+	// warm start leaves most vertices already holding paths, so movement
+	// counters (0 -> nonzero transitions) are blind to progress that only
+	// grows existing path sets. A round in which no vertex adds any path
+	// and nothing is accepted is a fixpoint.
+	if d := len(out.Su) - baseS; d > 0 {
+		ctx.Inc("source paths added", int64(d))
+	}
+	if d := len(out.Tu) - baseT; d > 0 {
+		ctx.Inc("sink paths added", int64(d))
 	}
 	// Active vertices — the paper's available-parallelism measure
 	// (Section III-B: "we want the number of active vertices ... to be

@@ -156,6 +156,16 @@ type Options struct {
 	Tracer *trace.Tracer
 }
 
+// WithDefaults returns a copy of o with every unset field resolved
+// exactly as Run resolves it for a cluster with the given number of
+// worker slots. Callers that build jobs against a run's persisted state
+// (internal/dynamic) use it to learn the effective Reducers count, which
+// fixes the partition alignment of every output file.
+func (o Options) WithDefaults(clusterSlots int) Options {
+	o.applyDefaults(clusterSlots)
+	return o
+}
+
 func (o *Options) applyDefaults(clusterSlots int) {
 	if o.Variant == 0 {
 		o.Variant = FF5

@@ -1,0 +1,283 @@
+// Package dynamic implements incremental max-flow over update batches:
+// it takes a completed FFMR run's persisted state (vertex records with
+// residual capacities and excess paths in the DFS), applies a batch of
+// edge updates (insert, delete, capacity increase/decrease), repairs any
+// flow the batch invalidated, and resumes FFMR warm from the repaired
+// records instead of recomputing from the input graph.
+//
+// The key observation is that FFMR's own machinery already supports
+// this: the per-vertex records are the residual network, and the
+// AugmentedEdges delta broadcast is exactly the vehicle an update batch
+// needs. Updates split into two classes. Residual-monotone updates —
+// inserts and capacity increases — only add residual capacity, so the
+// warm run simply continues augmenting. Flow-breaking updates — deletes
+// and capacity decreases below committed flow — leave edges carrying
+// more flow than they may (f > cap), which the repair phase resolves
+// driver-side on the updated residual network: excess flow is first
+// rerouted around the violating edge through residual capacity (flow
+// value preserved — and if the batch only removed capacity, the rerouted
+// flow is still maximum, so the warm run converges immediately), and
+// whatever cannot be rerouted is drained by cancelling a source-to-sink
+// walk of committed flow through the edge (flow value lowered). The
+// resulting deltas are folded into every record by a drain MapReduce
+// job; afterwards no record violates its capacity and RunWarm
+// re-augments to the new maximum.
+//
+// The pipeline per batch is: apply job (rewrite capacities, attach
+// inserted half-edges, fold the previous run's pending deltas, zero FF5
+// sent flags) -> driver-side drain computation -> drain job (apply
+// cancellation deltas) -> core.RunWarm. All jobs carry distmr JobSpecs,
+// so the whole pipeline runs unchanged on the simulated engine or the
+// distributed backend.
+//
+// Invariants: EdgeIDs are never reused — deletion zeroes capacity but
+// keeps the half-edges in place, so IDs stored inside persisted excess
+// paths stay resolvable. Inserted edges must connect vertices that
+// already have a record (degree >= 1 in the pre-batch graph). Warm-run
+// per-round counters are not comparable to a cold run's (see DESIGN.md
+// section 8); only the resulting max-flow value is, and the differential
+// tests hold it equal to a from-scratch oracle recompute.
+package dynamic
+
+import (
+	"fmt"
+	"time"
+
+	"ffmr/internal/core"
+	"ffmr/internal/graph"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/trace"
+)
+
+// Snapshot ties together everything needed to apply an update batch to a
+// completed run: the input graph the run computed on, the resolved
+// options (fixing variant, reducer count and DFS prefix), the run's
+// result, and where its final records and pending deltas live in the
+// DFS. Snapshots chain: Apply returns the snapshot of the warm run it
+// performed.
+type Snapshot struct {
+	// Input is the graph this snapshot's flow was computed on. Inserted
+	// edges are appended to it by Apply, so EdgeID == index holds at
+	// every generation.
+	Input *graph.Input
+	// Opts are the run's options with defaults resolved. Reducers is
+	// load-bearing: every job of the pipeline must reuse it so output
+	// files stay partition-aligned for schimmy rounds.
+	Opts core.Options
+	// Result is the run that produced the state.
+	Result *core.Result
+	// StatePrefix locates the final vertex records; PendingDeltas names
+	// the AugmentedEdges file the run left unapplied (non-empty only
+	// under TerminationPaper).
+	StatePrefix   string
+	PendingDeltas string
+	// Root is the original run's DFS prefix; Gen counts applied batches
+	// and namespaces each warm run under Root.
+	Root string
+	Gen  int
+}
+
+// Solve performs the cold base run and returns its snapshot. It forces
+// KeepIntermediate (the persisted state is the whole point) and resolves
+// option defaults so later batches see the same effective configuration.
+func Solve(cluster *mapreduce.Cluster, in *graph.Input, opts core.Options) (*Snapshot, error) {
+	opts = opts.WithDefaults(cluster.Nodes * cluster.SlotsPerNode)
+	opts.KeepIntermediate = true
+	res, err := core.Run(cluster, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Input:         in,
+		Opts:          opts,
+		Result:        res,
+		StatePrefix:   core.FinalGraphPrefix(opts, res.Rounds),
+		PendingDeltas: core.PendingDeltasFile(opts, res.Rounds),
+		Root:          opts.PathPrefix,
+		Gen:           0,
+	}, nil
+}
+
+// Outcome reports what one Apply call did.
+type Outcome struct {
+	// Snapshot is the post-batch state, ready for the next Apply.
+	Snapshot *Snapshot
+	// Warm is the warm restart's result; Warm.MaxFlow is the maximum flow
+	// of the updated graph.
+	Warm *core.Result
+	// Violations counts edges the batch left carrying more flow than
+	// capacity. ReroutedFlow is how much excess the repair shifted onto
+	// alternative residual paths (flow value preserved); CancelledFlow is
+	// what remained and had to be drained to source/sink (flow value
+	// lowered, re-augmented by the warm run). Both are zero when the
+	// batch was residual-monotone. DrainRan reports whether the drain job
+	// executed.
+	Violations    int
+	ReroutedFlow  int64
+	CancelledFlow int64
+	DrainRan      bool
+	// RepairSimTime is the modelled cluster cost of the apply and drain
+	// jobs, so warm-versus-cold comparisons can charge the full
+	// incremental pipeline, not just the warm rounds.
+	RepairSimTime time.Duration
+}
+
+// Apply folds an update batch into a snapshot: it rewrites the persisted
+// records (apply job), cancels any flow the batch invalidated (drain
+// computation + drain job) and warm-restarts FFMR to re-augment. The
+// snapshot itself is read-only; each call works under a fresh
+// Root/warm-NNNN/ DFS prefix, so a failed Apply leaves the snapshot
+// usable.
+func Apply(cluster *mapreduce.Cluster, snap *Snapshot, batch []graph.Update) (*Outcome, error) {
+	if err := validateBatch(snap.Input, batch); err != nil {
+		return nil, err
+	}
+	updated, err := graph.ApplyUpdates(snap.Input, batch)
+	if err != nil {
+		return nil, err
+	}
+	fs := cluster.FS
+	tr := snap.Opts.Tracer
+	if tr != nil {
+		cluster.Tracer = tr
+	}
+
+	gen := snap.Gen + 1
+	warmPrefix := fmt.Sprintf("%swarm-%04d/", snap.Root, gen)
+	fs.DeletePrefix(warmPrefix)
+
+	// The previous run's unapplied deltas ride along as the apply job's
+	// side file; the updated flow they imply also feeds the driver-side
+	// skeleton below.
+	pendingData, err := fs.ReadFile(snap.PendingDeltas)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: pending deltas: %w (was the base run KeepIntermediate?)", err)
+	}
+	pending, err := core.DecodeDeltas(pendingData)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: pending deltas: %w", err)
+	}
+
+	// Committed flow per edge, in canonical orientation, from the
+	// persisted records plus the pending table.
+	flows, err := readFlows(fs, snap.StatePrefix)
+	if err != nil {
+		return nil, err
+	}
+	for id, d := range pending {
+		flows[id] += d
+	}
+
+	drain, err := computeDrain(updated, flows)
+	if err != nil {
+		return nil, err
+	}
+
+	repairSpan := tr.Start(trace.CatRepair, fmt.Sprintf("repair-%04d", gen), nil)
+	repairSpan.SetInt(trace.AttrUpdates, int64(len(batch)))
+	repairSpan.SetInt(trace.AttrViolations, int64(drain.violations))
+	repairSpan.SetInt(trace.AttrReroutedFlow, drain.rerouted)
+	repairSpan.SetInt(trace.AttrCancelledFlow, -drain.flowDelta)
+
+	statePrefix, repairSim, err := runApplyJob(cluster, snap, batch, updated, warmPrefix, pendingData, repairSpan)
+	if err != nil {
+		repairSpan.End()
+		return nil, err
+	}
+	drainRan := false
+	if len(drain.deltas) > 0 {
+		var drainSim time.Duration
+		statePrefix, drainSim, err = runDrainJob(cluster, snap, drain.deltas, warmPrefix, statePrefix, repairSpan)
+		if err != nil {
+			repairSpan.End()
+			return nil, err
+		}
+		repairSim += drainSim
+		drainRan = true
+	}
+	repairSpan.End()
+
+	warmOpts := snap.Opts
+	warmOpts.PathPrefix = warmPrefix
+	res, err := core.RunWarm(cluster, updated, warmOpts, core.WarmStart{
+		StatePrefix: statePrefix,
+		BaseFlow:    snap.Result.MaxFlow + drain.flowDelta,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &Outcome{
+		Snapshot: &Snapshot{
+			Input:         updated,
+			Opts:          warmOpts,
+			Result:        res,
+			StatePrefix:   core.FinalGraphPrefix(warmOpts, res.Rounds),
+			PendingDeltas: core.PendingDeltasFile(warmOpts, res.Rounds),
+			Root:          snap.Root,
+			Gen:           gen,
+		},
+		Warm:          res,
+		Violations:    drain.violations,
+		ReroutedFlow:  drain.rerouted,
+		CancelledFlow: -drain.flowDelta,
+		DrainRan:      drainRan,
+		RepairSimTime: repairSim,
+	}, nil
+}
+
+// validateBatch rejects updates the record model cannot absorb: an
+// inserted edge must connect vertices that already own a record, i.e.
+// have at least one (possibly zero-capacity) edge in the pre-batch
+// graph. Structural checks (ranges, self-loops, negative capacities) are
+// graph.ApplyUpdates's job.
+func validateBatch(in *graph.Input, batch []graph.Update) error {
+	var deg []int
+	for i := range batch {
+		u := &batch[i]
+		if u.Op != graph.UpdateInsert {
+			continue
+		}
+		if deg == nil {
+			deg = make([]int, in.NumVertices)
+			for j := range in.Edges {
+				e := &in.Edges[j]
+				if int(e.U) < len(deg) {
+					deg[e.U]++
+				}
+				if int(e.V) < len(deg) {
+					deg[e.V]++
+				}
+			}
+		}
+		for _, v := range [2]graph.VertexID{u.Edge.U, u.Edge.V} {
+			if int(v) < len(deg) && deg[v] == 0 {
+				return fmt.Errorf("dynamic: update %d inserts an edge at isolated vertex %d, which has no record", i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// readFlows extracts each edge's committed flow (canonical orientation)
+// from the persisted records. Only the Fwd half is consulted; skew
+// symmetry makes the mirror redundant.
+func readFlows(fsys interface {
+	List(prefix string) []string
+	ReadFile(name string) ([]byte, error)
+}, prefix string) (map[graph.EdgeID]int64, error) {
+	verts, err := core.ReadVertices(fsys, prefix)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: read state: %w", err)
+	}
+	flows := make(map[graph.EdgeID]int64)
+	for _, v := range verts {
+		for i := range v.Eu {
+			e := &v.Eu[i]
+			if e.Fwd && e.Flow != 0 {
+				flows[e.ID] = e.Flow
+			}
+		}
+	}
+	return flows, nil
+}

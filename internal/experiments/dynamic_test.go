@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestWarmVsColdShape(t *testing.T) {
+	sc := micro()
+	sc.Chain = sc.Chain[:1]
+	rows, tbl, err := WarmVsCold(sc, []int{6, 12}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 batch sizes x 2 gens)", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxFlow <= 0 {
+			t.Errorf("batch %d gen %d: non-positive flow %d", r.BatchSize, r.Gen, r.MaxFlow)
+		}
+		if r.WarmRounds < 0 || r.ColdRounds <= 0 {
+			t.Errorf("batch %d gen %d: bad round counts warm=%d cold=%d",
+				r.BatchSize, r.Gen, r.WarmRounds, r.ColdRounds)
+		}
+		// WarmVsCold itself errors when warm and cold flows diverge, so
+		// reaching here means every generation passed the differential.
+	}
+	if tbl == nil || tbl.String() == "" {
+		t.Error("empty rendered table")
+	}
+}
+
+// TestWarmBeatsColdOnSmallBatches pins the experiment's headline under
+// the realistic cost model: for small batches the warm restart's rounds
+// (and hence simulated time, which is dominated by per-round overhead)
+// stay strictly below the cold recompute's.
+func TestWarmBeatsColdOnSmallBatches(t *testing.T) {
+	sc := micro()
+	sc.Chain = sc.Chain[:1]
+	sc.Realistic = true
+	rows, _, err := WarmVsCold(sc, []int{4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.WarmRounds >= r.ColdRounds {
+			t.Errorf("batch %d gen %d: warm rounds %d not below cold rounds %d",
+				r.BatchSize, r.Gen, r.WarmRounds, r.ColdRounds)
+		}
+		if r.WarmSim >= r.ColdSim {
+			t.Errorf("batch %d gen %d: warm sim %v not below cold sim %v",
+				r.BatchSize, r.Gen, r.WarmSim, r.ColdSim)
+		}
+	}
+}

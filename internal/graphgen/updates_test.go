@@ -1,0 +1,114 @@
+package graphgen
+
+import (
+	"testing"
+
+	"ffmr/internal/graph"
+)
+
+func TestGenerateUpdatesShape(t *testing.T) {
+	in, err := WattsStrogatz(200, 6, 0.1, 7)
+	if err != nil {
+		t.Fatalf("WattsStrogatz: %v", err)
+	}
+	RandomCapacities(in, 20, 7)
+	withST, err := AttachSuperSourceSink(in, 4, 3, 7)
+	if err != nil {
+		t.Fatalf("AttachSuperSourceSink: %v", err)
+	}
+
+	batch, err := GenerateUpdates(withST, 60, DefaultUpdateProfile(), 11)
+	if err != nil {
+		t.Fatalf("GenerateUpdates: %v", err)
+	}
+	if len(batch) != 60 {
+		t.Fatalf("got %d updates, want 60", len(batch))
+	}
+
+	// The batch must apply cleanly, and with AvoidST no update may touch
+	// the super source/sink or their tap edges.
+	updated, err := graph.ApplyUpdates(withST, batch)
+	if err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	var ops [3]int
+	for i, u := range batch {
+		switch u.Op {
+		case graph.UpdateInsert:
+			ops[0]++
+			if u.Edge.U == withST.Source || u.Edge.V == withST.Source ||
+				u.Edge.U == withST.Sink || u.Edge.V == withST.Sink {
+				t.Errorf("update %d inserts at super source/sink: %+v", i, u.Edge)
+			}
+		case graph.UpdateSetCap:
+			if u.Cap == 0 {
+				ops[1]++
+			} else {
+				ops[2]++
+			}
+			e := withST.Edges[u.ID]
+			if e.U == withST.Source || e.V == withST.Source || e.U == withST.Sink || e.V == withST.Sink {
+				t.Errorf("update %d targets a tap edge %d", i, u.ID)
+			}
+		}
+	}
+	for kind, n := range map[string]int{"inserts": ops[0], "deletes": ops[1], "cap changes": ops[2]} {
+		if n == 0 {
+			t.Errorf("even profile generated no %s in 60 updates", kind)
+		}
+	}
+
+	// Inserted edges must connect vertices with existing records
+	// (degree >= 1 pre-batch): guaranteed by construction since insert
+	// endpoints are found by walking existing adjacency.
+	deg := make([]int, withST.NumVertices)
+	for _, e := range withST.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for i := len(withST.Edges); i < len(updated.Edges); i++ {
+		e := updated.Edges[i]
+		if deg[e.U] == 0 || deg[e.V] == 0 {
+			t.Errorf("inserted edge %d touches an isolated vertex: %+v", i, e)
+		}
+	}
+}
+
+func TestGenerateUpdatesDeterministic(t *testing.T) {
+	in, err := BarabasiAlbert(150, 3, 5)
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	RandomCapacities(in, 10, 5)
+	a, err := GenerateUpdates(in, 40, DefaultUpdateProfile(), 3)
+	if err != nil {
+		t.Fatalf("GenerateUpdates: %v", err)
+	}
+	b, err := GenerateUpdates(in, 40, DefaultUpdateProfile(), 3)
+	if err != nil {
+		t.Fatalf("GenerateUpdates: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("update %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateUpdatesValidation(t *testing.T) {
+	in, _ := WattsStrogatz(50, 4, 0.1, 1)
+	if _, err := GenerateUpdates(in, -1, DefaultUpdateProfile(), 1); err == nil {
+		t.Error("negative n: expected error")
+	}
+	if _, err := GenerateUpdates(in, 5, UpdateProfile{}, 1); err == nil {
+		t.Error("zero-weight profile: expected error")
+	}
+	p := DefaultUpdateProfile()
+	p.MaxCap = 0
+	if _, err := GenerateUpdates(in, 5, p, 1); err == nil {
+		t.Error("MaxCap 0: expected error")
+	}
+}

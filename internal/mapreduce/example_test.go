@@ -1,0 +1,45 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"log"
+
+	"ffmr/internal/core"
+	"ffmr/internal/dfs"
+	"ffmr/internal/distmr"
+	"ffmr/internal/graph"
+	"ffmr/internal/mapreduce"
+)
+
+// Setting Cluster.Distributed swaps the in-process simulated engine for
+// the distmr backend — here an in-process master/worker harness speaking
+// the real wire protocol over loopback TCP. The driver code is identical
+// either way; jobs carry a Spec naming their registered kind, which is
+// how worker processes reconstruct the mapper and reducer code.
+func ExampleCluster_Distributed() {
+	h, err := distmr.StartHarness(distmr.HarnessConfig{Workers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	fs := dfs.New(dfs.Config{Nodes: 2, BlockSize: 16 << 10, Replication: 1})
+	cluster := mapreduce.NewCluster(2, 4, fs)
+	cluster.Cost = mapreduce.ZeroCostModel()
+	cluster.Distributed = h.Master // every job now runs on the TCP workers
+
+	in := &graph.Input{
+		NumVertices: 4, Source: 0, Sink: 3,
+		Edges: []graph.InputEdge{
+			{U: 0, V: 1, Cap: 2}, {U: 1, V: 3, Cap: 2},
+			{U: 0, V: 2, Cap: 2}, {U: 2, V: 3, Cap: 2},
+		},
+	}
+	res, err := core.Run(cluster, in, core.Options{Variant: core.FF5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("max flow:", res.MaxFlow)
+	// Output:
+	// max flow: 4
+}

@@ -2,15 +2,26 @@
 // algorithms run on, emulating the Hadoop deployment used in the paper: a
 // master that schedules map and reduce tasks over a cluster of slave
 // nodes with a bounded number of worker slots, input splits taken from a
-// distributed file system, hash partitioning, a sort-and-group shuffle,
+// distributed file system, hash partitioning, a sorted shuffle,
 // Hadoop-style named counters, and per-job I/O statistics (map output
 // records, shuffle bytes, largest record) that the paper's evaluation
 // reports directly (Table I, Fig. 7).
 //
-// Tasks execute concurrently on real goroutines, so computation cost is
-// measured; data movement cost is modelled by a configurable CostModel so
-// that a simulated per-round runtime comparable to the paper's
-// wall-clock-per-round can be reported regardless of host speed.
+// The shuffle has two interchangeable paths selected by Job.SpillBudget:
+// the default in-memory sort-and-group, and the out-of-core path built on
+// package spill, where map outputs exceeding the budget are sorted and
+// spilled to segment files that reducers consume through a k-way merge —
+// Hadoop's external sort, scaled down. Both paths must produce identical
+// counters; the spill differential tests enforce that.
+//
+// Execution has two backends behind the same Cluster API: the simulated
+// engine runs tasks on goroutines in-process, while Cluster.Distributed
+// hands whole jobs to a distmr master that leases tasks to worker
+// processes over TCP (see internal/distmr). Tasks execute concurrently
+// on real goroutines, so computation cost is measured; data movement
+// cost is modelled by a configurable CostModel so that a simulated
+// per-round runtime comparable to the paper's wall-clock-per-round can
+// be reported regardless of host speed.
 package mapreduce
 
 import (

@@ -33,6 +33,11 @@ const (
 	CatTask  = "task"  // one task attempt
 	CatSpill = "spill" // one map-side spill (sort + write of a buffer)
 	CatMerge = "merge" // one reduce-side intermediate merge pass
+
+	// CatRepair spans the dynamic-update repair phase between two runs:
+	// one span per update batch, parenting the apply and drain job spans
+	// and annotated with batch size, violation count and cancelled flow.
+	CatRepair = "repair"
 )
 
 // Round-span attribute keys. The driver annotates each round span with
@@ -54,6 +59,18 @@ const (
 	AttrMaxGroupBytes  = "max_group_bytes"
 	AttrOutputBytes    = "output_bytes"
 	AttrSimTimeUS      = "sim_time_us"
+)
+
+// Dynamic-update (warm restart) attribute keys. RunWarm marks its run
+// span with AttrWarm=1 so exports distinguish warm rounds — whose
+// counters are not comparable to a cold run's — and the repair span
+// carries the batch's shape under the remaining keys.
+const (
+	AttrWarm          = "warm"
+	AttrUpdates       = "updates"
+	AttrViolations    = "violations"
+	AttrCancelledFlow = "cancelled_flow"
+	AttrReroutedFlow  = "rerouted_flow"
 )
 
 // Spill-subsystem attribute and counter names. The engine annotates job
