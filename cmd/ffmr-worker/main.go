@@ -18,13 +18,16 @@ package main
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	_ "ffmr/internal/core" // registers the FFMR and MR-BFS job kinds
 	"ffmr/internal/distmr"
+	"ffmr/internal/obsv"
 	"ffmr/internal/spill"
+	"ffmr/internal/trace"
 )
 
 func main() {
@@ -32,16 +35,33 @@ func main() {
 	log.SetPrefix("ffmr-worker: ")
 
 	var (
-		master = flag.String("master", "", "master address to register with (required)")
-		listen = flag.String("listen", "", "address to serve tasks and segment fetches on (default: ephemeral loopback port)")
-		dir    = flag.String("dir", "", "directory for map-output segments (default: hold segments in memory)")
+		master    = flag.String("master", "", "master address to register with (required)")
+		listen    = flag.String("listen", "", "address to serve tasks and segment fetches on (default: ephemeral loopback port)")
+		dir       = flag.String("dir", "", "directory for map-output segments (default: hold segments in memory)")
+		logFmt    = flag.String("log", "", "emit structured logs to stderr: text|json (default: off)")
+		logLevel  = flag.String("log-level", "info", "log level for -log: debug|info|warn|error")
+		admin     = flag.String("admin", "", "serve /metrics, /healthz, /status and /debug/pprof on this HTTP address")
+		flightDir = flag.String("flight-dir", "", "arm the flight recorder; an injected crash dumps recent events here")
 	)
 	flag.Parse()
 	if *master == "" {
 		log.Fatal("-master is required")
 	}
 
-	cfg := distmr.WorkerConfig{MasterAddr: *master, ListenAddr: *listen}
+	var logger *slog.Logger
+	if *logFmt != "" {
+		logger = obsv.NewLogger(os.Stderr, *logFmt, obsv.ParseLevel(*logLevel))
+	}
+	cfg := distmr.WorkerConfig{
+		MasterAddr: *master,
+		ListenAddr: *listen,
+		Obsv:       obsv.Options{Logger: logger, AdminAddr: *admin, FlightDir: *flightDir},
+	}
+	if *admin != "" {
+		// The admin /metrics endpoint scrapes the worker's own registry,
+		// so give the worker a tracer to publish task/spill metrics into.
+		cfg.Tracer = trace.New()
+	}
 	if *dir != "" {
 		store, err := spill.NewDiskRunStore(*dir)
 		if err != nil {
@@ -55,6 +75,9 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("worker %d serving on %s (master %s)", w.ID(), w.Addr(), *master)
+	if a := w.AdminAddr(); a != "" {
+		log.Printf("admin: http://%s/{metrics,healthz,status,debug/pprof}", a)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -20,12 +20,22 @@
 //	# Serve external worker processes (see cmd/ffmr-worker).
 //	ffmr -gen ws -n 2000 -distributed -dist-workers 0 \
 //	     -dist-listen 127.0.0.1:7350 -dist-wait 3
+//
+//	# Watch a distributed run live: structured logs, a dashboard, an
+//	# admin server (/metrics, /healthz, /status, /debug/pprof) and crash
+//	# flight recorders.
+//	ffmr -gen ws -n 5000 -distributed -worker-crash 0.05 \
+//	     -watch -log json -admin 127.0.0.1:8080 -flight-dir ./flight
+//
+//	# Render the merged crash timeline afterwards.
+//	ffmr -postmortem ./flight
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -37,6 +47,7 @@ import (
 	"ffmr/internal/graphgen"
 	"ffmr/internal/mapreduce"
 	"ffmr/internal/maxflow"
+	"ffmr/internal/obsv"
 	"ffmr/internal/stats"
 	"ffmr/internal/trace"
 )
@@ -44,7 +55,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ffmr: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
 		gen     = flag.String("gen", "", "generate a graph: ba|ws|rmat|er (mutually exclusive with -input)")
 		input   = flag.String("input", "", "read an edge-list file instead of generating")
@@ -83,23 +99,55 @@ func main() {
 		distWait   = flag.Int("dist-wait", 0, "wait for this many registered workers before starting (counts in-process and external)")
 		distVerify = flag.Bool("dist-verify", false, "also run the simulated engine and require identical per-round counters")
 		crash      = flag.Float64("worker-crash", 0, "injected probability a worker dies at task start (distributed only)")
+
+		logFmt    = flag.String("log", "", "emit structured logs to stderr: text|json (default: off)")
+		logLevel  = flag.String("log-level", "info", "log level for -log: debug|info|warn|error")
+		admin     = flag.String("admin", "", "serve /metrics, /healthz, /status and /debug/pprof on this HTTP address")
+		watch     = flag.Bool("watch", false, "render a live dashboard of round progress, counters and worker state")
+		flightDir = flag.String("flight-dir", "", "arm flight recorders; crashed workers dump their recent events here")
+		postmort  = flag.String("postmortem", "", "render a merged timeline from the flight dumps in this directory and exit")
 	)
 	flag.Parse()
 
+	if *postmort != "" {
+		dumps, err := obsv.ReadDumpDir(*postmort)
+		if err != nil {
+			return err
+		}
+		return obsv.RenderPostmortem(os.Stdout, dumps)
+	}
+
+	var logger *slog.Logger
+	if *logFmt != "" {
+		logger = obsv.NewLogger(os.Stderr, *logFmt, obsv.ParseLevel(*logLevel))
+	}
+	obsvOpts := obsv.Options{Logger: logger, AdminAddr: *admin, FlightDir: *flightDir}
+
 	in, err := buildGraph(*gen, *input, *n, *m, *k, *beta, *scale, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *w > 0 {
 		in, err = graphgen.AttachSuperSourceSink(in, *w, *minDeg, *seed+100)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	fmt.Printf("graph: %d vertices, %d edges, s=%d, t=%d\n",
 		in.NumVertices, len(in.Edges), in.Source, in.Sink)
 
 	tracer := trace.New()
+	// Deferred immediately so the trace survives run errors and early
+	// termination — a failed run is exactly when the trace matters most.
+	if *trOut != "" {
+		defer func() {
+			if err := writeTrace(tracer, *trOut); err != nil {
+				log.Printf("trace: %v", err)
+			} else {
+				fmt.Printf("trace written to %s\n", *trOut)
+			}
+		}()
+	}
 	cluster := newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp)
 
 	// Distributed mode: boot a master (plus optional in-process workers),
@@ -108,33 +156,50 @@ func main() {
 	if *dist {
 		if *distWork > 0 {
 			h, err := distmr.StartHarness(distmr.HarnessConfig{
-				Workers: *distWork,
-				Replace: *crash > 0,
-				Master:  distmr.Config{Addr: *distListen},
-				Tracer:  tracer,
+				Workers:    *distWork,
+				Replace:    *crash > 0,
+				Master:     distmr.Config{Addr: *distListen, Obsv: obsvOpts},
+				Tracer:     tracer,
+				WorkerObsv: obsv.Options{Logger: logger, FlightDir: *flightDir},
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			defer h.Close()
 			master = h.Master
 		} else {
-			m, err := distmr.NewMaster(distmr.Config{Addr: *distListen, Tracer: tracer})
+			m, err := distmr.NewMaster(distmr.Config{Addr: *distListen, Tracer: tracer, Obsv: obsvOpts})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			defer m.Shutdown()
 			master = m
 		}
+		if a := master.AdminAddr(); a != "" {
+			fmt.Printf("admin: http://%s/{metrics,healthz,status,debug/pprof}\n", a)
+		}
 		if *distWait > 0 {
 			fmt.Printf("distributed: master on %s, waiting for %d workers\n", master.Addr(), *distWait)
 			if err := master.WaitForWorkers(*distWait, 5*time.Minute); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 		fmt.Printf("distributed: %d workers registered with master %s\n",
 			master.LiveWorkers(), master.Addr())
 		distribute(cluster, master, *crash, *seed)
+	} else if *admin != "" {
+		// Simulated mode still gets the admin surface: /metrics serves the
+		// tracer's live registry, pprof the in-process engine.
+		a, err := obsv.StartAdmin(obsv.AdminConfig{
+			Addr:    *admin,
+			Metrics: tracer.Registry,
+			Logger:  logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer a.Close()
+		fmt.Printf("admin: http://%s/{metrics,healthz,status,debug/pprof}\n", a.Addr())
 	}
 
 	opts := core.Options{
@@ -142,6 +207,7 @@ func main() {
 		K:         *kPaths,
 		MaxRounds: *maxR,
 		Tracer:    tracer,
+		Log:       logger,
 	}
 	if *paperT {
 		opts.Termination = core.TerminationPaper
@@ -159,6 +225,29 @@ func main() {
 				stats.FormatCount(rs.ActiveVertices))
 		}
 	}
+
+	var dash *obsv.Dashboard
+	stopDash := func() {
+		if dash != nil {
+			dash.Close()
+			dash = nil
+		}
+	}
+	if *watch {
+		var statusFn func() *obsv.ClusterStatus
+		if master != nil {
+			statusFn = master.Status
+		}
+		dash = obsv.StartDashboard(obsv.DashConfig{
+			Out:     os.Stdout,
+			Metrics: tracer.Registry,
+			Status:  statusFn,
+			Title:   fmt.Sprintf("ffmr %s on %d vertices", opts.Variant, in.NumVertices),
+			ANSI:    true,
+		})
+		defer stopDash()
+	}
+
 	// With -updates the base solve goes through dynamic.Solve, which keeps
 	// the final records in the DFS so batches can warm-restart from them.
 	var res *core.Result
@@ -166,15 +255,16 @@ func main() {
 	if *updates > 0 {
 		snap, err = dynamic.Solve(cluster, in, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res = snap.Result
 	} else {
 		res, err = core.Run(cluster, in, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+	stopDash()
 
 	fmt.Printf("\n%s max-flow: %d in %d rounds (sim %s, wall %s)\n",
 		res.Variant, res.MaxFlow, res.Rounds,
@@ -207,7 +297,7 @@ func main() {
 		for g := 1; g <= *updates; g++ {
 			batch, err := graphgen.GenerateUpdates(cur, *updBatch, profile, *seed+int64(1000*g))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			var (
 				flow    int64
@@ -219,7 +309,7 @@ func main() {
 			if *warm {
 				out, err := dynamic.Apply(cluster, snap, batch)
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
 				snap, cur = out.Snapshot, out.Snapshot.Input
 				flow, nrounds = out.Warm.MaxFlow, out.Warm.Rounds
@@ -228,7 +318,7 @@ func main() {
 			} else {
 				cur, err = graph.ApplyUpdates(cur, batch)
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
 				coldC := newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp)
 				if master != nil {
@@ -238,19 +328,18 @@ func main() {
 				coldOpts.Tracer = nil
 				coldRes, err := core.Run(coldC, cur, coldOpts)
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
 				flow, nrounds, simTime = coldRes.MaxFlow, coldRes.Rounds, coldRes.TotalSimTime
 			}
 			if *check {
 				net, err := maxflow.FromInput(cur)
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
 				if want := maxflow.Dinic(net, int(cur.Source), int(cur.Sink)); want != flow {
-					fmt.Printf("check: MISMATCH at batch %d — %s computed %d, Dinic says %d\n",
+					return fmt.Errorf("check: MISMATCH at batch %d — %s computed %d, Dinic says %d",
 						g, mode, flow, want)
-					os.Exit(1)
 				}
 			}
 			tbl.AddRow(g, viol, stats.FormatCount(cancel), nrounds,
@@ -268,11 +357,10 @@ func main() {
 		simOpts.RoundCallback = nil
 		simRes, err := core.Run(newCluster(*nodes, *slots, *real, *budget, *spillTo, *comp), in, simOpts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if msg := diffRuns(simRes, res); msg != "" {
-			fmt.Printf("dist-verify: MISMATCH — %s\n", msg)
-			os.Exit(1)
+			return fmt.Errorf("dist-verify: MISMATCH — %s", msg)
 		}
 		if *budget > 0 {
 			// Spill accounting must also agree: both backends publish
@@ -280,8 +368,7 @@ func main() {
 			sreg, dreg := simOpts.Tracer.Registry(), tracer.Registry()
 			for _, name := range []string{trace.CounterSpills, trace.CounterSpilledBytes, trace.CounterMergePasses} {
 				if s, d := sreg.Counter(name).Value(), dreg.Counter(name).Value(); s != d {
-					fmt.Printf("dist-verify: MISMATCH — %s: simulated %d, distributed %d\n", name, s, d)
-					os.Exit(1)
+					return fmt.Errorf("dist-verify: MISMATCH — %s: simulated %d, distributed %d", name, s, d)
 				}
 			}
 		}
@@ -292,14 +379,13 @@ func main() {
 	if *check {
 		net, err := maxflow.FromInput(in)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		want := maxflow.Dinic(net, int(in.Source), int(in.Sink))
 		if want == res.MaxFlow {
 			fmt.Printf("check: sequential Dinic agrees (%d)\n", want)
 		} else {
-			fmt.Printf("check: MISMATCH — Dinic computed %d\n", want)
-			os.Exit(1)
+			return fmt.Errorf("check: MISMATCH — Dinic computed %d", want)
 		}
 	}
 
@@ -310,7 +396,7 @@ func main() {
 		}
 		bres, err := core.RunBFS(bc, in, 0, "")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("BFS baseline: %d rounds, s-t distance %d, visited %d (sim %s)\n",
 			bres.Rounds, bres.SinkDist, bres.Visited, stats.FormatDuration(bres.TotalSimTime))
@@ -319,31 +405,29 @@ func main() {
 	if *bsp {
 		bres, err := core.RunBSP(in, core.BSPOptions{Workers: *nodes * *slots, Tracer: tracer})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("BSP translation: max-flow %d in %d supersteps, %s messages, %s moved (wall %s)\n",
 			bres.MaxFlow, bres.Supersteps, stats.FormatCount(bres.Messages),
 			stats.FormatBytes(bres.MessageBytes), stats.FormatDuration(bres.WallTime))
 		if bres.MaxFlow != res.MaxFlow {
-			fmt.Println("WARNING: BSP and MR flows disagree")
-			os.Exit(1)
+			return fmt.Errorf("BSP and MR flows disagree (BSP %d, MR %d)", bres.MaxFlow, res.MaxFlow)
 		}
 	}
+	return nil
+}
 
-	if *trOut != "" {
-		f, err := os.Create(*trOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tracer.WriteChromeTrace(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("trace written to %s\n", *trOut)
+// writeTrace flushes the tracer to a Chrome trace_event JSON file.
+func writeTrace(tracer *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // distribute points a cluster's job execution at the distributed

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/rpc"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"ffmr/internal/graph"
+	"ffmr/internal/obsv"
 	"ffmr/internal/rpcutil"
 	"ffmr/internal/trace"
 )
@@ -103,6 +105,10 @@ type AugProcServer struct {
 	acceptNS atomic.Pointer[trace.Counter]
 	batches  atomic.Pointer[trace.Counter]
 
+	// log, installed by SetLogger, receives per-round accept summaries
+	// (atomic for the same reason as the trace handles).
+	log atomic.Pointer[slog.Logger]
+
 	mu      sync.Mutex
 	acc     Accumulator
 	stats   AugProcStats
@@ -143,6 +149,20 @@ func (s *AugProcServer) SetTracer(t *trace.Tracer) {
 	s.qGauge.Store(reg.Gauge(MetricAugQueueDepth))
 	s.acceptNS.Store(reg.Counter(MetricAugAcceptNS))
 	s.batches.Store(reg.Counter(MetricAugBatches))
+}
+
+// SetLogger installs a structured logger that receives one summary
+// event per round at EndRound. A nil logger silences it.
+func (s *AugProcServer) SetLogger(l *slog.Logger) {
+	s.log.Store(obsv.Or(l))
+}
+
+// logger returns the installed logger (the shared no-op when none is).
+func (s *AugProcServer) logger() *slog.Logger {
+	if l := s.log.Load(); l != nil {
+		return l
+	}
+	return obsv.Nop()
 }
 
 // RPC service wrapper type so only Submit is exported over the wire.
@@ -275,6 +295,9 @@ func (s *AugProcServer) EndRound() (AugProcStats, map[graph.EdgeID]int64) {
 	}
 	st := s.stats
 	st.MaxQueue = s.maxQ.Load()
+	s.logger().Debug("aug_proc round",
+		"submitted", st.Submitted, "accepted", st.Accepted,
+		"flow_delta", st.TotalDelta, "max_queue", st.MaxQueue)
 	return st, s.acc.Deltas()
 }
 

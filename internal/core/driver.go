@@ -7,6 +7,7 @@ import (
 	"ffmr/internal/dfs"
 	"ffmr/internal/graph"
 	"ffmr/internal/mapreduce"
+	"ffmr/internal/obsv"
 	"ffmr/internal/trace"
 )
 
@@ -109,6 +110,13 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 		// Job/phase/task spans of every round nest under this run.
 		cluster.Tracer = tr
 	}
+	if opts.Log != nil {
+		cluster.Log = opts.Log
+	}
+	log := obsv.Or(opts.Log).With("run", fmt.Sprintf("ffmr-%s", opts.Variant))
+	log.Info("run start", "variant", opts.Variant.String(),
+		"reducers", opts.Reducers, "max_rounds", opts.MaxRounds,
+		"distributed", cluster.Distributed != nil)
 	runSpan := tr.Start(trace.CatRun, fmt.Sprintf("ffmr-%s", opts.Variant), nil)
 	runSpan.SetStr("variant", opts.Variant.String())
 	result := &Result{Variant: opts.Variant, RunSpan: runSpan}
@@ -257,6 +265,11 @@ func (l *ffLoop) run(startRound int) error {
 	opts, feat, prefix := l.opts, l.feat, l.prefix
 	fs := l.cluster.FS
 	result := l.result
+	log := obsv.Or(opts.Log).With("run", fmt.Sprintf("ffmr-%s", opts.Variant))
+	// Live progress gauges/counters: published to the tracer's registry
+	// as each round completes, so /metrics and the watch dashboard track
+	// the run in flight (nil-safe when no tracer is configured).
+	reg := l.tr.Registry()
 
 	var aug *AugProcServer
 	if feat.augProc {
@@ -266,6 +279,7 @@ func (l *ffLoop) run(startRound int) error {
 			return err
 		}
 		aug.SetTracer(l.tr)
+		aug.SetLogger(opts.Log)
 		aug.SetDeterministic(opts.DeterministicAccept)
 		defer aug.Close() //nolint:errcheck // shutdown of a loopback listener
 	}
@@ -377,6 +391,16 @@ func (l *ffLoop) run(startRound int) error {
 		annotateRoundSpan(roundSpan, stat)
 		roundSpan.End()
 		result.RoundStats = append(result.RoundStats, stat)
+		reg.Gauge(trace.GaugeFFRound).Set(int64(round))
+		reg.Gauge(trace.GaugeFFMaxFlow).Set(result.MaxFlow)
+		reg.Gauge(trace.GaugeFFActive).Set(stat.ActiveVertices)
+		reg.Counter(trace.CounterFFAPaths).Add(stat.APaths)
+		reg.Counter(trace.CounterFFSubmitted).Add(stat.Submitted)
+		reg.Counter(trace.CounterFFRounds).Add(1)
+		log.Info("round done", "round", round,
+			"a_paths", stat.APaths, "flow_delta", stat.FlowDelta,
+			"max_flow", result.MaxFlow, "active", stat.ActiveVertices,
+			"shuffle_bytes", stat.ShuffleBytes, "sim", stat.SimTime)
 		if opts.RoundCallback != nil {
 			opts.RoundCallback(stat)
 		}
@@ -438,6 +462,8 @@ func (l *ffLoop) run(startRound int) error {
 			break
 		}
 	}
+	log.Info("run done", "max_flow", result.MaxFlow,
+		"rounds", result.Rounds, "converged", result.Converged)
 	return nil
 }
 

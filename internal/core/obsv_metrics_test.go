@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"ffmr/internal/distmr"
+	"ffmr/internal/graphgen"
+	"ffmr/internal/leakcheck"
+	"ffmr/internal/obsv"
+	"ffmr/internal/trace"
+)
+
+// TestDistributedMetricsEndpointParity is the tentpole acceptance test
+// for the live observability layer: a full FF5 run on the distributed
+// backend with the master's admin server enabled, then a real HTTP
+// scrape of /metrics whose end-of-run totals must equal the
+// trace.Registry the run published into — every counter, exactly.
+// /healthz and /status are exercised on the same live master.
+func TestDistributedMetricsEndpointParity(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	in, err := graphgen.WattsStrogatz(160, 6, 0.1, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	graphgen.RandomCapacities(in, 5, 42)
+
+	tr := trace.New()
+	// The harness is closed by an explicit defer (not t.Cleanup) so it
+	// runs before the leak check above it.
+	h, err := distmr.StartHarness(distmr.HarnessConfig{
+		Workers: 3,
+		Tracer:  tr,
+		Master:  distmr.Config{Obsv: obsv.Options{AdminAddr: "127.0.0.1:0"}},
+	})
+	if err != nil {
+		t.Fatalf("StartHarness: %v", err)
+	}
+	defer h.Close()
+	addr := h.Master.AdminAddr()
+	if addr == "" {
+		t.Fatal("master has no admin address despite AdminAddr being set")
+	}
+	defer http.DefaultClient.CloseIdleConnections()
+
+	distC := testCluster(3)
+	distC.Distributed = h.Master
+	res, err := Run(distC, in, Options{Variant: FF5, Tracer: tr})
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if res.MaxFlow <= 0 {
+		t.Fatalf("max flow = %d, want > 0 (the run must do real work)", res.MaxFlow)
+	}
+
+	if resp, err := http.Get("http://" + addr + "/healthz"); err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+		}
+	}
+
+	// A short run can outpace the 100ms heartbeat cadence, so poll until
+	// the piggybacked task counts have reached the master.
+	var st obsv.ClusterStatus
+	var tasksDone int64
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/status")
+		if err != nil {
+			t.Fatalf("GET /status: %v", err)
+		}
+		st = obsv.ClusterStatus{}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/status unparseable: %v", err)
+		}
+		tasksDone = 0
+		for _, w := range st.Workers {
+			tasksDone += w.TasksDone
+		}
+		if tasksDone > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.Role != "master" || st.WorkersAlive != 3 || len(st.Workers) != 3 {
+		t.Errorf("/status = role %q, %d alive, %d workers; want master/3/3",
+			st.Role, st.WorkersAlive, len(st.Workers))
+	}
+	if tasksDone == 0 {
+		t.Error("/status reports zero heartbeat-piggybacked tasks done after a full run")
+	}
+
+	// The parity assertion: the registry the run's counters live in is
+	// snapshotted, then /metrics is scraped over real HTTP; the Prometheus
+	// totals must match the snapshot for every counter. Counters only
+	// advance during jobs (gauges keep moving with heartbeats), so with
+	// the run complete the two views must be identical.
+	snap := tr.Registry().CounterSnapshot()
+	if len(snap) == 0 {
+		t.Fatal("registry holds no counters after a distributed run")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	parsed, err := obsv.ParseMetrics(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics unparseable: %v", err)
+	}
+	for name, want := range snap {
+		key := obsv.MetricName(name) + "_total"
+		if got, ok := parsed[key]; !ok {
+			t.Errorf("counter %q (%s) missing from /metrics", name, key)
+		} else if got != want {
+			t.Errorf("%s = %d, registry says %d", key, got, want)
+		}
+	}
+
+	// Spot-check the live driver metrics the run loop publishes.
+	if got := parsed[obsv.MetricName(trace.CounterFFRounds)+"_total"]; got != int64(res.Rounds) {
+		t.Errorf("ffmr rounds counter = %d, want %d", got, res.Rounds)
+	}
+	if got := parsed[obsv.MetricName(trace.GaugeFFMaxFlow)]; got != res.MaxFlow {
+		t.Errorf("max-flow gauge = %d, want %d", got, res.MaxFlow)
+	}
+}

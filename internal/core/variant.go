@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 
 	"ffmr/internal/trace"
 )
@@ -154,6 +155,9 @@ type Options struct {
 	// phase/task spans) and the aug_proc server (queue-depth gauge,
 	// accept latency) for the duration of the run.
 	Tracer *trace.Tracer
+	// Log, if non-nil, receives structured per-round progress events. The
+	// driver installs it on the cluster for job-level events too.
+	Log *slog.Logger
 }
 
 // WithDefaults returns a copy of o with every unset field resolved

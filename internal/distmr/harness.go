@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ffmr/internal/obsv"
 	"ffmr/internal/spill"
 	"ffmr/internal/trace"
 )
@@ -28,6 +29,10 @@ type HarnessConfig struct {
 	Tracer *trace.Tracer
 	// NewStore builds each worker's segment store (default in-memory).
 	NewStore func() spill.RunStore
+	// WorkerObsv is handed to every worker (replacements included). Use
+	// an ephemeral AdminAddr like "127.0.0.1:0" — each worker binds its
+	// own port. Master observability is configured via Master.Obsv.
+	WorkerObsv obsv.Options
 }
 
 // Harness is a running in-process master/worker cluster.
@@ -73,6 +78,7 @@ func (h *Harness) startWorker() error {
 	wcfg := WorkerConfig{
 		MasterAddr: h.Master.Addr(),
 		Tracer:     h.cfg.Tracer,
+		Obsv:       h.cfg.WorkerObsv,
 	}
 	if h.cfg.NewStore != nil {
 		wcfg.Store = h.cfg.NewStore()

@@ -2,6 +2,7 @@ package distmr
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"net/rpc"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"ffmr/internal/dfs"
 	"ffmr/internal/mapreduce"
+	"ffmr/internal/obsv"
 	"ffmr/internal/rpcutil"
 	"ffmr/internal/trace"
 )
@@ -62,6 +64,11 @@ type Config struct {
 	// Tracer records master-side spans/gauges until a job installs the
 	// cluster's tracer.
 	Tracer *trace.Tracer
+	// Obsv configures the master's observability surface: structured
+	// logging, the admin HTTP server (/metrics, /healthz, /status,
+	// /debug/pprof) and the flight recorder. The zero value disables all
+	// of it at no cost.
+	Obsv obsv.Options
 }
 
 func (c *Config) applyDefaults() {
@@ -91,7 +98,10 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// workerHandle is the master's view of one registered worker.
+// workerHandle is the master's view of one registered worker. running is
+// the master's own in-flight dispatch count (slot accounting); the hb*
+// fields mirror the worker's last self-reported heartbeat and feed the
+// /status view.
 type workerHandle struct {
 	id       uint64
 	addr     string
@@ -99,14 +109,21 @@ type workerHandle struct {
 	lastBeat time.Time
 	running  int
 	dead     bool
+
+	hbRunning    int64
+	hbTasksDone  int64
+	hbStoreBytes int64
 }
 
 // Master schedules jobs onto registered workers. It implements
 // mapreduce.Backend, so assigning it to Cluster.Distributed routes every
 // Cluster.Run through it.
 type Master struct {
-	cfg Config
-	ln  net.Listener
+	cfg    Config
+	ln     net.Listener
+	log    *slog.Logger
+	admin  *obsv.Admin
+	flight *obsv.FlightRecorder
 
 	mu      sync.Mutex
 	workers map[uint64]*workerHandle
@@ -116,6 +133,13 @@ type Master struct {
 	fs      *dfs.FS
 	reg     *trace.Registry
 	shut    bool
+
+	// statusMu guards the snapshot the running job publishes for /status.
+	// It is separate from mu: the scheduler goroutine owns the job state
+	// and only ever hands immutable snapshots across this lock, so the
+	// admin server never reads scheduler internals.
+	statusMu  sync.Mutex
+	jobStatus *obsv.JobStatus
 
 	shutOnce sync.Once
 	shutCh   chan struct{}
@@ -130,9 +154,19 @@ func NewMaster(cfg Config) (*Master, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distmr: master listen: %w", err)
 	}
+	var flight *obsv.FlightRecorder
+	if cfg.Obsv.FlightDir != "" {
+		flight = obsv.NewFlightRecorder("master", cfg.Obsv.FlightSize)
+	}
+	var next slog.Handler
+	if cfg.Obsv.Logger != nil {
+		next = cfg.Obsv.Logger.Handler()
+	}
 	m := &Master{
 		cfg:     cfg,
 		ln:      ln,
+		log:     slog.New(flight.Handler(next)).With("role", "master"),
+		flight:  flight,
 		workers: make(map[uint64]*workerHandle),
 		conns:   make(map[net.Conn]struct{}),
 		reg:     cfg.Tracer.Registry(),
@@ -143,8 +177,33 @@ func NewMaster(cfg Config) (*Master, error) {
 		ln.Close()
 		return nil, fmt.Errorf("distmr: master register service: %w", err)
 	}
+	if cfg.Obsv.AdminAddr != "" {
+		admin, err := obsv.StartAdmin(obsv.AdminConfig{
+			Addr:    cfg.Obsv.AdminAddr,
+			Metrics: m.registry,
+			Status:  m.Status,
+			Flight:  flight,
+			Logger:  m.log,
+		})
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("distmr: master admin server: %w", err)
+		}
+		m.admin = admin
+		m.log.Info("admin server listening", "addr", admin.Addr())
+	}
+	m.log.Info("master listening", "addr", ln.Addr().String())
 	go m.accept(srv)
 	return m, nil
+}
+
+// AdminAddr returns the admin HTTP server's address, or "" when no admin
+// server was configured.
+func (m *Master) AdminAddr() string {
+	if m.admin == nil {
+		return ""
+	}
+	return m.admin.Addr()
 }
 
 // Addr returns the master's listen address for workers to register at.
@@ -179,6 +238,13 @@ func (m *Master) accept(srv *rpc.Server) {
 // fails promptly.
 func (m *Master) Shutdown() {
 	m.shutOnce.Do(func() {
+		m.log.Info("master shutting down")
+		m.admin.Close()
+		if m.flight != nil && m.cfg.Obsv.FlightDir != "" {
+			if _, err := m.flight.Dump(m.cfg.Obsv.FlightDir, "shutdown"); err != nil {
+				m.log.Warn("flight dump failed", "err", err)
+			}
+		}
 		m.mu.Lock()
 		m.shut = true
 		workers := make([]*workerHandle, 0, len(m.workers))
@@ -215,6 +281,47 @@ func (m *Master) registry() *trace.Registry {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.reg
+}
+
+// setJobStatus publishes (or, with nil, retires) the running job's status
+// snapshot for the admin server. Snapshots are immutable once handed over.
+func (m *Master) setJobStatus(js *obsv.JobStatus) {
+	m.statusMu.Lock()
+	m.jobStatus = js
+	m.statusMu.Unlock()
+}
+
+// Status assembles the cluster view served at /status: every registered
+// worker (heartbeat-reported load, liveness) plus the running job's
+// latest scheduler snapshot.
+func (m *Master) Status() *obsv.ClusterStatus {
+	st := &obsv.ClusterStatus{Role: "master", Addr: m.Addr()}
+	m.mu.Lock()
+	ids := make([]uint64, 0, len(m.workers))
+	for id := range m.workers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := m.workers[id]
+		if !w.dead {
+			st.WorkersAlive++
+		}
+		st.Workers = append(st.Workers, obsv.WorkerStatus{
+			ID:         w.id,
+			Addr:       w.addr,
+			Running:    w.hbRunning,
+			TasksDone:  w.hbTasksDone,
+			StoreBytes: w.hbStoreBytes,
+			LastBeatMS: time.Since(w.lastBeat).Milliseconds(),
+			Dead:       w.dead,
+		})
+	}
+	m.mu.Unlock()
+	m.statusMu.Lock()
+	st.Job = m.jobStatus
+	m.statusMu.Unlock()
+	return st
 }
 
 // LiveWorkers returns the number of registered, live workers.
@@ -263,6 +370,8 @@ func (m *Master) markDead(w *workerHandle) {
 	reg := m.registry()
 	reg.Counter(CounterWorkerDeaths).Add(1)
 	reg.Gauge(GaugeWorkersAlive).Set(int64(m.LiveWorkers()))
+	m.log.Warn("worker declared dead", "worker", w.id, "addr", w.addr,
+		"alive", m.LiveWorkers())
 }
 
 // checkHeartbeats marks workers silent for longer than the grace period
@@ -340,6 +449,8 @@ func (s *masterService) Register(args *RegisterArgs, reply *RegisterReply) error
 	reply.Worker = w.id
 	reply.HeartbeatInterval = int64(m.cfg.HeartbeatInterval)
 	m.registry().Gauge(GaugeWorkersAlive).Set(int64(m.LiveWorkers()))
+	m.log.Info("worker registered", "worker", w.id, "addr", w.addr,
+		"alive", m.LiveWorkers())
 	return nil
 }
 
@@ -354,6 +465,9 @@ func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) er
 	w := m.workers[hb.Worker]
 	if w != nil && !w.dead {
 		w.lastBeat = time.Now()
+		w.hbRunning = hb.Running
+		w.hbTasksDone = hb.TasksDone
+		w.hbStoreBytes = hb.StoreBytes
 	}
 	shut := m.shut
 	reg := m.reg
@@ -414,11 +528,13 @@ func (m *Master) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Re
 		job:    job,
 		seq:    seq,
 		tracer: c.Tracer,
+		log:    m.log.With("job", job.Name, "round", job.Round, "seq", seq),
 		events: make(chan event, 64),
 		cancel: make(chan struct{}),
 	}
 	res, err := jr.run()
 	jr.close()
+	m.setJobStatus(nil)
 	m.cleanJob(seq)
 	return res, err
 }

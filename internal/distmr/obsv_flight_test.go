@@ -1,0 +1,85 @@
+package distmr
+
+import (
+	"strings"
+	"testing"
+
+	"ffmr/internal/leakcheck"
+	"ffmr/internal/obsv"
+)
+
+// TestCrashedWorkerLeavesFlightDump is the flight-recorder acceptance
+// test: a job runs with injected worker crashes and armed flight
+// recorders, every crashed worker must leave a dump in the shared
+// directory, and RenderPostmortem must produce a merged timeline that
+// ends each worker's story with the cause of death.
+func TestCrashedWorkerLeavesFlightDump(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	dir := t.TempDir()
+	h, err := StartHarness(HarnessConfig{
+		Workers:    3,
+		Replace:    true,
+		WorkerObsv: obsv.Options{FlightDir: dir},
+	})
+	if err != nil {
+		t.Fatalf("StartHarness: %v", err)
+	}
+	defer h.Close()
+
+	distC := sumCluster(t, 3, 120)
+	distC.Distributed = h.Master
+	distC.Fault.WorkerCrashRate = 0.12
+	distC.Fault.Seed = 7
+	if _, err := distC.Run(sumJob(distC.FS)); err != nil {
+		t.Fatalf("distributed run with crashes: %v", err)
+	}
+
+	// The crash draws are deterministic in (Seed, job, task, assign), so
+	// this configuration always kills at least one worker. Wait for the
+	// dead to finish dying: the dump is written on their teardown path.
+	crashed := 0
+	for _, w := range h.Workers() {
+		if w.Crashed() {
+			w.Wait()
+			crashed++
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("no worker died from injected crashes; the test exercised nothing")
+	}
+
+	dumps, err := obsv.ReadDumpDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDumpDir: %v", err)
+	}
+	if len(dumps) != crashed {
+		t.Fatalf("found %d flight dumps, want one per crashed worker (%d)", len(dumps), crashed)
+	}
+	for _, d := range dumps {
+		if d.Header.Reason != "crash" {
+			t.Errorf("dump %s has reason %q, want \"crash\"", d.Path, d.Header.Reason)
+		}
+		if !strings.HasPrefix(d.Header.Source, "worker-") {
+			t.Errorf("dump %s has source %q, want a worker", d.Path, d.Header.Source)
+		}
+		if len(d.Events) == 0 {
+			t.Errorf("dump %s holds no events", d.Path)
+		}
+	}
+
+	var out strings.Builder
+	if err := obsv.RenderPostmortem(&out, dumps); err != nil {
+		t.Fatalf("RenderPostmortem: %v", err)
+	}
+	rendered := out.String()
+	if !strings.Contains(rendered, "reason=crash") {
+		t.Errorf("postmortem does not state the dump reason:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "injected worker crash") {
+		t.Errorf("postmortem timeline is missing the cause of death:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "merged timeline:") {
+		t.Errorf("postmortem has no merged timeline section:\n%s", rendered)
+	}
+}

@@ -2,11 +2,13 @@ package distmr
 
 import (
 	"fmt"
+	"log/slog"
 	"net/rpc"
 	"sort"
 	"time"
 
 	"ffmr/internal/mapreduce"
+	"ffmr/internal/obsv"
 	"ffmr/internal/trace"
 )
 
@@ -64,6 +66,7 @@ type jobRun struct {
 	job    *mapreduce.Job
 	seq    uint64
 	tracer *trace.Tracer
+	log    *slog.Logger
 	events chan event
 	cancel chan struct{}
 
@@ -122,6 +125,7 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 		jr.openReduce()
 	}
 
+	jr.log.Debug("job start", "maps", len(jr.maps), "reduces", len(jr.reduces))
 	jr.lastLive = time.Now()
 	ticker := time.NewTicker(10 * time.Millisecond)
 	defer ticker.Stop()
@@ -130,6 +134,7 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 		if err := jr.dispatchReady(); err != nil {
 			return nil, err
 		}
+		jr.publishStatus()
 		select {
 		case ev := <-jr.events:
 			if err := jr.handle(ev); err != nil {
@@ -145,6 +150,7 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 			return nil, fmt.Errorf("distmr: master shut down during job %q", job.Name)
 		}
 	}
+	jr.publishStatus()
 
 	// Assemble the Result from winning attempts only, in task order, so
 	// every statistic matches the simulated engine's single-execution
@@ -220,7 +226,37 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 	jobSpan.SetInt(trace.AttrOutputBytes, res.OutputBytes)
 	jobSpan.SetInt("task_failures", all["task failures"])
 	jobSpan.SetInt(trace.AttrSimTimeUS, res.SimTime.Microseconds())
+	jr.log.Info("job done",
+		"map_tasks", res.MapTasks, "reduce_tasks", res.ReduceTasks,
+		"shuffle_bytes", res.ShuffleBytes, "output_bytes", res.OutputBytes,
+		"task_failures", all["task failures"],
+		"wall", res.WallTime, "sim", res.SimTime)
 	return res, nil
+}
+
+// publishStatus hands the admin server an immutable snapshot of the
+// scheduler's progress. Only the scheduler goroutine calls this, so
+// reading the task states needs no lock; the handover itself goes
+// through the master's statusMu.
+func (jr *jobRun) publishStatus() {
+	js := &obsv.JobStatus{
+		Name:        jr.job.Name,
+		Round:       jr.job.Round,
+		Maps:        len(jr.maps),
+		MapsDone:    jr.mapsDone,
+		Reduces:     len(jr.reduces),
+		ReducesDone: jr.reducesDone,
+	}
+	for i := range jr.maps {
+		js.InFlight += len(jr.maps[i].outstanding)
+	}
+	for p := range jr.reduces {
+		js.InFlight += len(jr.reduces[p].outstanding)
+		if jr.reduces[p].parked {
+			js.Parked++
+		}
+	}
+	jr.m.setJobStatus(js)
 }
 
 // openReduce transitions the job into its reduce phase: the output prefix
@@ -331,6 +367,8 @@ func (jr *jobRun) launch(ts *taskState, w *workerHandle, backup bool) {
 	if backup {
 		ts.specDone = true
 		jr.m.registry().Counter(CounterBackups).Add(1)
+		jr.log.Info("speculative backup launched",
+			"phase", ts.ph.String(), "task", ts.task, "assign", assign, "worker", w.id)
 	}
 	args := &RunTaskArgs{Desc: EncodeTask(jr.descriptor(ts, assign))}
 	ph, task := ts.ph, ts.task
@@ -448,6 +486,9 @@ func (jr *jobRun) handle(ev event) error {
 			return nil
 		}
 		jr.m.registry().Counter(CounterReassigns).Add(1)
+		jr.log.Warn("lease failed, reassigning",
+			"phase", ts.ph.String(), "task", ts.task, "assign", ev.assign,
+			"worker", ev.w.id, "err", ev.err)
 		jr.enqueue(ts)
 		return nil
 	}
@@ -465,6 +506,9 @@ func (jr *jobRun) handle(ev event) error {
 		}
 		jr.counters.Add("task failures", 1)
 		ts.lastErr = fmt.Errorf("mapreduce: %s", res.Err)
+		jr.log.Warn("task attempt failed",
+			"phase", ts.ph.String(), "task", ts.task, "attempt", ts.attempt,
+			"worker", ev.w.id, "err", res.Err)
 		ts.attempt++
 		ts.admitted = false
 		jr.enqueue(ts)
@@ -474,6 +518,8 @@ func (jr *jobRun) handle(ev event) error {
 		// The shuffle fetch failed: those map outputs died with their
 		// worker. Park the reduce, re-run the maps, re-dispatch when the
 		// outputs exist again.
+		jr.log.Warn("shuffle fetch lost map outputs",
+			"reduce", ts.task, "worker", ev.w.id, "lost_maps", len(res.LostMaps))
 		ts.parked = true
 		for i, mt := range res.LostMaps {
 			var from uint64
@@ -533,6 +579,7 @@ func (jr *jobRun) invalidateMap(mt int, from uint64) {
 	ts.winnerW = nil
 	jr.mapsDone--
 	jr.m.registry().Counter(CounterLostMapRecoveries).Add(1)
+	jr.log.Warn("re-running map with lost outputs", "map", mt, "worker", from)
 	jr.enqueue(ts)
 }
 

@@ -114,13 +114,16 @@ type TaskDescriptor struct {
 
 // Heartbeat is the periodic worker-to-master liveness report, carried in
 // the custom wire format (EncodeHeartbeat / DecodeHeartbeat). The gauges
-// feed the master's trace registry.
+// feed the master's trace registry and the /status view; TasksDone
+// piggybacks per-task progress on the beat, so the master's live status
+// needs no extra RPC traffic.
 type Heartbeat struct {
 	Worker       uint64
 	Seq          uint64
 	Running      int64
 	StoreObjects int64
 	StoreBytes   int64
+	TasksDone    int64
 }
 
 const wireVersion = 1
@@ -210,6 +213,7 @@ func EncodeHeartbeat(h *Heartbeat) []byte {
 	b = binary.AppendVarint(b, h.Running)
 	b = binary.AppendVarint(b, h.StoreObjects)
 	b = binary.AppendVarint(b, h.StoreBytes)
+	b = binary.AppendVarint(b, h.TasksDone)
 	return b
 }
 
@@ -409,6 +413,7 @@ func DecodeHeartbeat(data []byte) (*Heartbeat, error) {
 	h.Running = d.varint("running")
 	h.StoreObjects = d.varint("store objects")
 	h.StoreBytes = d.varint("store bytes")
+	h.TasksDone = d.varint("tasks done")
 	if d.err != nil {
 		return nil, d.err
 	}

@@ -3,6 +3,7 @@ package distmr
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/rpc"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 	"ffmr/internal/dfs"
 	"ffmr/internal/mapreduce"
+	"ffmr/internal/obsv"
 	"ffmr/internal/rpcutil"
 	"ffmr/internal/spill"
 	"ffmr/internal/trace"
@@ -46,6 +48,12 @@ type WorkerConfig struct {
 	HeartbeatMisses int
 	// DialPolicy configures all of the worker's outbound dials.
 	DialPolicy rpcutil.Policy
+	// Obsv configures the worker's observability surface. FlightDir arms
+	// the per-worker flight recorder: a bounded ring of recent log events
+	// that is flushed there when the worker dies from an injected crash,
+	// for cmd/ffmr -postmortem to render. AdminAddr starts a per-worker
+	// admin HTTP server. The zero value disables all of it at no cost.
+	Obsv obsv.Options
 }
 
 // Worker executes tasks for a master and serves its map output segments
@@ -57,10 +65,14 @@ type Worker struct {
 	ln     net.Listener
 	master *rpc.Client
 	hbEvery time.Duration
+	log    *slog.Logger
+	flight *obsv.FlightRecorder
+	admin  *obsv.Admin
 
-	running atomic.Int64
-	dead    atomic.Bool
-	crashed atomic.Bool
+	running   atomic.Int64
+	tasksDone atomic.Int64
+	dead      atomic.Bool
+	crashed   atomic.Bool
 
 	closeOnce sync.Once
 	stop      chan struct{} // closed on death; stops the heartbeat loop
@@ -103,9 +115,19 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distmr: worker listen: %w", err)
 	}
+	var flight *obsv.FlightRecorder
+	if cfg.Obsv.FlightDir != "" {
+		flight = obsv.NewFlightRecorder("worker", cfg.Obsv.FlightSize)
+	}
+	var next slog.Handler
+	if cfg.Obsv.Logger != nil {
+		next = cfg.Obsv.Logger.Handler()
+	}
 	w := &Worker{
 		cfg:     cfg,
 		ln:      ln,
+		log:     slog.New(flight.Handler(next)).With("role", "worker"),
+		flight:  flight,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
@@ -135,6 +157,24 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if w.hbEvery <= 0 {
 		w.hbEvery = 100 * time.Millisecond
 	}
+	w.log = w.log.With("worker", w.id)
+	w.flight.SetSource(fmt.Sprintf("worker-%d", w.id))
+	if cfg.Obsv.AdminAddr != "" {
+		admin, err := obsv.StartAdmin(obsv.AdminConfig{
+			Addr:    cfg.Obsv.AdminAddr,
+			Metrics: func() *trace.Registry { return cfg.Tracer.Registry() },
+			Status:  w.Status,
+			Flight:  flight,
+			Logger:  w.log,
+		})
+		if err != nil {
+			w.die(false)
+			return nil, fmt.Errorf("distmr: worker admin server: %w", err)
+		}
+		w.admin = admin
+		w.log.Info("admin server listening", "addr", admin.Addr())
+	}
+	w.log.Info("registered with master", "addr", ln.Addr().String(), "master", cfg.MasterAddr)
 	// Serve RPCs only now that registration filled in id/master/hbEvery:
 	// the master may dispatch a task the moment Register returns, and a
 	// handler must never observe a half-initialized worker. The master's
@@ -153,6 +193,33 @@ func (w *Worker) ID() uint64 { return w.id }
 
 // Crashed reports whether the worker died from injected WorkerCrashRate.
 func (w *Worker) Crashed() bool { return w.crashed.Load() }
+
+// AdminAddr returns the worker's admin HTTP address, or "" when no admin
+// server was configured.
+func (w *Worker) AdminAddr() string {
+	if w.admin == nil {
+		return ""
+	}
+	return w.admin.Addr()
+}
+
+// Status is this worker's self-view, served at its own /status endpoint.
+func (w *Worker) Status() *obsv.ClusterStatus {
+	st := &obsv.ClusterStatus{Role: "worker", Addr: w.Addr()}
+	ws := obsv.WorkerStatus{
+		ID:         w.id,
+		Addr:       w.Addr(),
+		Running:    w.running.Load(),
+		TasksDone:  w.tasksDone.Load(),
+		StoreBytes: w.cfg.Store.Bytes(),
+		Dead:       w.dead.Load(),
+	}
+	if !ws.Dead {
+		st.WorkersAlive = 1
+	}
+	st.Workers = []obsv.WorkerStatus{ws}
+	return st
+}
 
 // Wait blocks until the worker is down (Close, master shutdown, or an
 // injected crash).
@@ -173,7 +240,21 @@ func (w *Worker) die(crash bool) {
 		w.dead.Store(true)
 		if crash {
 			w.crashed.Store(true)
+			// The crash note lands in the ring before the dump, so the
+			// rendered timeline ends with the cause of death.
+			w.log.Error("injected worker crash",
+				"running", w.running.Load(), "tasks_done", w.tasksDone.Load())
+			if w.flight != nil && w.cfg.Obsv.FlightDir != "" {
+				if path, err := w.flight.Dump(w.cfg.Obsv.FlightDir, "crash"); err != nil {
+					w.log.Warn("flight dump failed", "err", err)
+				} else {
+					w.log.Info("flight recorder dumped", "path", path)
+				}
+			}
+		} else {
+			w.log.Debug("worker shutting down")
 		}
+		w.admin.Close()
 		close(w.stop)
 		w.ln.Close()
 
@@ -252,6 +333,7 @@ func (w *Worker) heartbeatLoop() {
 			Running:      w.running.Load(),
 			StoreObjects: int64(w.cfg.Store.Objects()),
 			StoreBytes:   w.cfg.Store.Bytes(),
+			TasksDone:    w.tasksDone.Load(),
 		}
 		var reply HeartbeatReply
 		err := w.master.Call("Master.Heartbeat", &HeartbeatArgs{Data: EncodeHeartbeat(hb)}, &reply)
@@ -368,6 +450,11 @@ func (s *workerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
 	if err != nil {
 		return err
 	}
+	// Debug-level, but always captured by the flight recorder's tee: the
+	// crash dump below then ends with the task the worker was handed.
+	w.log.Debug("task received",
+		"job", desc.JobName, "phase", desc.Phase.String(),
+		"task", desc.Task, "attempt", desc.Attempt, "assign", desc.Assign)
 	// Injected worker crash, drawn at task receipt — before any side
 	// effect — so a crashed attempt has submitted nothing to job services
 	// and re-execution preserves exactly-once semantics. The draw is
@@ -403,6 +490,11 @@ func (s *workerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
 	res.DurNanos = time.Since(t0).Nanoseconds()
 	if res.Err != "" {
 		sp.SetStr("error", res.Err)
+		w.log.Warn("task failed",
+			"job", desc.JobName, "phase", desc.Phase.String(),
+			"task", desc.Task, "attempt", desc.Attempt, "err", res.Err)
+	} else if len(res.LostMaps) == 0 {
+		w.tasksDone.Add(1)
 	}
 	reply.Result = *res
 	return nil

@@ -46,6 +46,7 @@ import (
 	"ffmr/internal/core"
 	"ffmr/internal/graph"
 	"ffmr/internal/mapreduce"
+	"ffmr/internal/obsv"
 	"ffmr/internal/trace"
 )
 
@@ -141,6 +142,7 @@ func Apply(cluster *mapreduce.Cluster, snap *Snapshot, batch []graph.Update) (*O
 	if tr != nil {
 		cluster.Tracer = tr
 	}
+	log := obsv.Or(snap.Opts.Log)
 
 	gen := snap.Gen + 1
 	warmPrefix := fmt.Sprintf("%swarm-%04d/", snap.Root, gen)
@@ -172,6 +174,9 @@ func Apply(cluster *mapreduce.Cluster, snap *Snapshot, batch []graph.Update) (*O
 	if err != nil {
 		return nil, err
 	}
+	log.Info("update batch repair", "gen", gen, "updates", len(batch),
+		"violations", drain.violations, "rerouted_flow", drain.rerouted,
+		"cancelled_flow", -drain.flowDelta, "drain_needed", len(drain.deltas) > 0)
 
 	repairSpan := tr.Start(trace.CatRepair, fmt.Sprintf("repair-%04d", gen), nil)
 	repairSpan.SetInt(trace.AttrUpdates, int64(len(batch)))
@@ -206,6 +211,9 @@ func Apply(cluster *mapreduce.Cluster, snap *Snapshot, batch []graph.Update) (*O
 	if err != nil {
 		return nil, err
 	}
+
+	log.Info("update batch applied", "gen", gen,
+		"max_flow", res.MaxFlow, "warm_rounds", res.Rounds)
 
 	return &Outcome{
 		Snapshot: &Snapshot{

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"ffmr/internal/dfs"
+	"ffmr/internal/obsv"
 	"ffmr/internal/spill"
 	"ffmr/internal/trace"
 )
@@ -32,6 +34,8 @@ type Cluster struct {
 	// Tracer, if non-nil, records job/phase/task-attempt spans for every
 	// job the cluster runs. A nil tracer disables tracing at no cost.
 	Tracer *trace.Tracer
+	// Log receives structured job/attempt events (nil: logging off).
+	Log *slog.Logger
 
 	// MemoryBudget, when > 0, bounds each map task's shuffle buffer in
 	// framed bytes: a full buffer is sorted and spilled to disk, and
@@ -180,6 +184,8 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	start := time.Now()
 	jobSpan := c.Tracer.Start(trace.CatJob, job.Name, job.Parent)
 	defer jobSpan.End()
+	log := obsv.Or(c.Log).With("job", job.Name, "round", job.Round)
+	log.Debug("job start", "inputs", len(job.Inputs))
 
 	side, err := c.loadSideFiles(job)
 	if err != nil {
@@ -259,6 +265,11 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	jobSpan.SetInt(trace.AttrOutputBytes, res.OutputBytes)
 	jobSpan.SetInt("task_failures", counters.Get("task failures"))
 	jobSpan.SetInt(trace.AttrSimTimeUS, res.SimTime.Microseconds())
+	log.Info("job done",
+		"map_tasks", res.MapTasks, "reduce_tasks", res.ReduceTasks,
+		"shuffle_bytes", res.ShuffleBytes, "output_bytes", res.OutputBytes,
+		"task_failures", counters.Get("task failures"),
+		"wall", res.WallTime, "sim", res.SimTime)
 	return res, nil
 }
 
@@ -570,6 +581,9 @@ func (c *Cluster) runAttempts(job *Job, phase string, task, node int, counters *
 				job.Name, phase, task, attempt)
 			sp.SetStr("error", "injected worker failure")
 			sp.End()
+			obsv.Or(c.Log).Warn("task attempt failed",
+				"job", job.Name, "phase", phase, "task", task, "exec", attempt,
+				"err", "injected worker failure")
 			continue
 		}
 		if err := body(sp, attempt); err != nil {
@@ -577,6 +591,8 @@ func (c *Cluster) runAttempts(job *Job, phase string, task, node int, counters *
 			lastErr = err
 			sp.SetStr("error", err.Error())
 			sp.End()
+			obsv.Or(c.Log).Warn("task attempt failed",
+				"job", job.Name, "phase", phase, "task", task, "exec", attempt, "err", err)
 			continue
 		}
 		sp.End()

@@ -1,0 +1,136 @@
+package obsv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"ffmr/internal/trace"
+)
+
+// AdminConfig configures an admin HTTP server.
+type AdminConfig struct {
+	// Addr is the listen address (default 127.0.0.1:0).
+	Addr string
+	// Metrics supplies the registry /metrics is rendered from on every
+	// scrape. A func rather than a value because the distributed master
+	// swaps registries when a job installs the cluster's tracer. Nil (or
+	// returning nil) serves an empty exposition.
+	Metrics func() *trace.Registry
+	// Status supplies the /status payload (nil: an empty object).
+	Status func() *ClusterStatus
+	// Flight, when non-nil, is served on /flight as the current ring
+	// contents — the live view of what a crash dump would contain.
+	Flight *FlightRecorder
+	// Logger logs serve errors (nil: silent).
+	Logger *slog.Logger
+}
+
+// Admin is a running admin HTTP server. Create with StartAdmin; Close
+// shuts it down and releases every connection.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+	log *slog.Logger
+}
+
+// StartAdmin binds the admin address and serves the observability
+// endpoints: /metrics, /healthz, /status, /flight and /debug/pprof/*.
+func StartAdmin(cfg AdminConfig) (*Admin, error) {
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: admin listen %s: %w", addr, err)
+	}
+	a := &Admin{ln: ln, log: Or(cfg.Logger)}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var reg *trace.Registry
+		if cfg.Metrics != nil {
+			reg = cfg.Metrics()
+		}
+		if err := WriteMetrics(w, reg); err != nil {
+			a.log.Warn("metrics write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		st := &ClusterStatus{}
+		if cfg.Status != nil {
+			if s := cfg.Status(); s != nil {
+				st = s
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			a.log.Warn("status write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := cfg.Flight.WriteDump(w); err != nil {
+			a.log.Warn("flight write failed", "err", err)
+		}
+	})
+	// The pprof handlers, on the explicit mux (the server must not use
+	// http.DefaultServeMux, which other packages can pollute). Index
+	// dispatches /debug/pprof/<profile> for the named runtime profiles.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := a.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			a.log.Warn("admin server exited", "err", err)
+		}
+	}()
+	return a, nil
+}
+
+// Addr returns the server's bound address (for curl and tests).
+func (a *Admin) Addr() string {
+	if a == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// URL returns the server's base URL ("http://host:port").
+func (a *Admin) URL() string {
+	if a == nil {
+		return ""
+	}
+	return "http://" + a.Addr()
+}
+
+// Close shuts the server down: a short graceful drain for in-flight
+// scrapes, then a hard close so no goroutine or connection outlives the
+// owner (the leak checks depend on this).
+func (a *Admin) Close() error {
+	if a == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	err := a.srv.Shutdown(ctx)
+	a.srv.Close()
+	return err
+}

@@ -1,0 +1,232 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ffmr/internal/trace"
+)
+
+// The -watch dashboard: a ticker goroutine polls the live sources (the
+// trace registry, and in distributed mode the master's status snapshot)
+// and redraws an ASCII view of round progress, counters and scheduler
+// decisions. The sources are the same ones /metrics and /status serve,
+// so the dashboard works identically against the simulated engine and
+// the TCP cluster.
+
+// DashConfig configures a watch dashboard.
+type DashConfig struct {
+	// Out receives the frames (default os.Stdout).
+	Out io.Writer
+	// Interval is the redraw period (default 500ms).
+	Interval time.Duration
+	// Metrics supplies the registry rendered into the counter/gauge
+	// panels each frame; Status, when set, supplies the cluster panel.
+	Metrics func() *trace.Registry
+	Status  func() *ClusterStatus
+	// Title heads every frame ("ff5 on fb3", "distributed run", ...).
+	Title string
+	// ANSI redraws frames in place with terminal escape codes; without
+	// it frames are appended, which is what a piped log wants.
+	ANSI bool
+}
+
+// Dashboard is a running watch loop. Close stops it and draws one final
+// frame so the terminal ends on the completed state.
+type Dashboard struct {
+	cfg   DashConfig
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+// StartDashboard launches the redraw loop. Closing the returned
+// Dashboard is the only way to stop it.
+func StartDashboard(cfg DashConfig) *Dashboard {
+	if cfg.Out == nil {
+		cfg.Out = os.Stdout
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	d := &Dashboard{cfg: cfg, start: time.Now(), stop: make(chan struct{}), done: make(chan struct{})}
+	go d.loop()
+	return d
+}
+
+func (d *Dashboard) loop() {
+	defer close(d.done)
+	tick := time.NewTicker(d.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			d.draw(false)
+		case <-d.stop:
+			d.draw(true)
+			return
+		}
+	}
+}
+
+func (d *Dashboard) draw(final bool) {
+	snap := d.snapshot(final)
+	if d.cfg.ANSI {
+		// Home the cursor and clear to end of screen, then repaint.
+		fmt.Fprint(d.cfg.Out, "\x1b[H\x1b[2J")
+	}
+	RenderDash(d.cfg.Out, snap)
+}
+
+func (d *Dashboard) snapshot(final bool) DashSnapshot {
+	snap := DashSnapshot{Title: d.cfg.Title, Elapsed: time.Since(d.start), Final: final}
+	if d.cfg.Metrics != nil {
+		if reg := d.cfg.Metrics(); reg != nil {
+			snap.Counters = reg.CounterSnapshot()
+			snap.Gauges = reg.GaugeSnapshot()
+		}
+	}
+	if d.cfg.Status != nil {
+		snap.Status = d.cfg.Status()
+	}
+	return snap
+}
+
+// Close stops the loop after one final frame. Safe to call twice.
+func (d *Dashboard) Close() {
+	if d == nil {
+		return
+	}
+	d.once.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+// DashSnapshot is everything one frame renders. RenderDash is pure over
+// it, so tests can render snapshots without a running loop.
+type DashSnapshot struct {
+	Title    string
+	Elapsed  time.Duration
+	Final    bool
+	Counters map[string]int64
+	Gauges   map[string]trace.GaugeValue
+	Status   *ClusterStatus
+}
+
+// RenderDash writes one ASCII frame of the snapshot to w.
+func RenderDash(w io.Writer, s DashSnapshot) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	state := "running"
+	if s.Final {
+		state = "done"
+	}
+	title := s.Title
+	if title == "" {
+		title = "ffmr"
+	}
+	fmt.Fprintf(bw, "== %s  [%s, %s] ==\n", title, state, s.Elapsed.Round(100*time.Millisecond))
+
+	if st := s.Status; st != nil {
+		if st.Job != nil {
+			j := st.Job
+			fmt.Fprintf(bw, "job %s  round %d  maps %s  reduces %s  in-flight %d",
+				j.Name, j.Round, bar(j.MapsDone, j.Maps), bar(j.ReducesDone, j.Reduces), j.InFlight)
+			if j.Parked > 0 {
+				fmt.Fprintf(bw, "  parked %d", j.Parked)
+			}
+			fmt.Fprintln(bw)
+		}
+		if len(st.Workers) > 0 {
+			fmt.Fprintf(bw, "workers alive %d/%d\n", st.WorkersAlive, len(st.Workers))
+			ws := append([]WorkerStatus(nil), st.Workers...)
+			sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
+			for _, wk := range ws {
+				mark := " "
+				if wk.Dead {
+					mark = "x"
+				}
+				fmt.Fprintf(bw, "  [%s] w%-3d %-21s running %-3d done %-5d store %s  beat %dms ago\n",
+					mark, wk.ID, wk.Addr, wk.Running, wk.TasksDone, sizeStr(wk.StoreBytes), wk.LastBeatMS)
+			}
+		}
+	}
+
+	// Scheduler decisions get their own line: they are the events an
+	// operator watches a degraded cluster for.
+	if len(s.Counters) > 0 {
+		deaths := s.Counters["distmr worker deaths"]
+		reassigns := s.Counters["distmr reassignments"]
+		backups := s.Counters["distmr speculative backups"]
+		lost := s.Counters["distmr lost map recoveries"]
+		if deaths+reassigns+backups+lost > 0 {
+			fmt.Fprintf(bw, "faults: deaths %d  reassigns %d  backups %d  lost-map recoveries %d\n",
+				deaths, reassigns, backups, lost)
+		}
+	}
+
+	if len(s.Gauges) > 0 {
+		names := sortedKeys(s.Gauges)
+		fmt.Fprintln(bw, "gauges:")
+		for _, name := range names {
+			gv := s.Gauges[name]
+			fmt.Fprintf(bw, "  %-32s %12d  (max %d)\n", name, gv.Last, gv.Max)
+		}
+	}
+	if len(s.Counters) > 0 {
+		names := sortedKeys(s.Counters)
+		fmt.Fprintln(bw, "counters:")
+		for _, name := range names {
+			fmt.Fprintf(bw, "  %-32s %12d\n", name, s.Counters[name])
+		}
+	}
+}
+
+// bar renders "done/total" with a small progress bar.
+func bar(done, total int) string {
+	if total <= 0 {
+		return "-"
+	}
+	const width = 10
+	fill := done * width / total
+	if fill > width {
+		fill = width
+	}
+	b := make([]byte, width)
+	for i := range b {
+		if i < fill {
+			b[i] = '#'
+		} else {
+			b[i] = '.'
+		}
+	}
+	return fmt.Sprintf("%d/%d [%s]", done, total, b)
+}
+
+func sizeStr(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

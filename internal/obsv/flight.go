@@ -1,0 +1,296 @@
+package obsv
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightSize is the flight recorder's ring capacity when
+// Options.FlightSize is unset.
+const DefaultFlightSize = 256
+
+// FlightEvent is one recorded event: a log record or a direct Note.
+type FlightEvent struct {
+	T     time.Time      `json:"t"`
+	Level string         `json:"level"`
+	Msg   string         `json:"msg"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+
+	// Source is filled in when dumps from several recorders are merged
+	// into one post-mortem timeline; the recorder does not store it per
+	// event.
+	Source string `json:"-"`
+}
+
+// FlightRecorder keeps the last N events in a ring buffer — the
+// airplane-style black box of a worker. Recording is cheap (one mutex,
+// no I/O); the ring only touches disk when Dump flushes it after a
+// crash. All methods are safe for concurrent use and on nil receivers,
+// so an unconfigured component carries a nil recorder at no cost.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	buf    []FlightEvent
+	next   int // ring write cursor
+	filled bool
+	seen   atomic.Int64
+
+	source atomic.Pointer[string]
+}
+
+// NewFlightRecorder creates a recorder holding up to size events
+// (DefaultFlightSize when size <= 0). source names the component in
+// dumps ("worker-3", "master"); it can be refined later with SetSource
+// once an identity is assigned.
+func NewFlightRecorder(source string, size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	f := &FlightRecorder{buf: make([]FlightEvent, size)}
+	f.source.Store(&source)
+	return f
+}
+
+// SetSource renames the recorder (workers learn their master-assigned
+// ID only after registration).
+func (f *FlightRecorder) SetSource(source string) {
+	if f == nil {
+		return
+	}
+	f.source.Store(&source)
+}
+
+// Source returns the recorder's current source name ("" on nil).
+func (f *FlightRecorder) Source() string {
+	if f == nil {
+		return ""
+	}
+	return *f.source.Load()
+}
+
+// Note records one event directly, outside the logging pipeline. kv are
+// alternating key/value pairs, slog-style.
+func (f *FlightRecorder) Note(level slog.Level, msg string, kv ...any) {
+	if f == nil {
+		return
+	}
+	var attrs map[string]any
+	if len(kv) > 0 {
+		attrs = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			attrs[fmt.Sprint(kv[i])] = kv[i+1]
+		}
+	}
+	f.record(FlightEvent{T: time.Now(), Level: level.String(), Msg: msg, Attrs: attrs})
+}
+
+func (f *FlightRecorder) record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	f.seen.Add(1)
+	f.mu.Lock()
+	f.buf[f.next] = ev
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.filled = true
+	}
+	f.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.filled {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// Seen reports how many events were ever recorded (including those the
+// ring has since overwritten).
+func (f *FlightRecorder) Seen() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.seen.Load()
+}
+
+// Events returns the ring's contents in chronological order.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.filled {
+		return append([]FlightEvent(nil), f.buf[:f.next]...)
+	}
+	out := make([]FlightEvent, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	return append(out, f.buf[:f.next]...)
+}
+
+// dumpHeader is the first line of a dump file.
+type dumpHeader struct {
+	Source   string    `json:"source"`
+	Reason   string    `json:"reason"`
+	DumpedAt time.Time `json:"dumped_at"`
+	Seen     int64     `json:"events_seen"`
+}
+
+// WriteDump writes the ring as JSON lines: one header line identifying
+// the source, then one line per event, oldest first. Safe on nil
+// (writes an empty header).
+func (f *FlightRecorder) WriteDump(w io.Writer) error {
+	return f.writeDump(w, "live")
+}
+
+func (f *FlightRecorder) writeDump(w io.Writer, reason string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(dumpHeader{Source: f.Source(), Reason: reason, DumpedAt: time.Now(), Seen: f.Seen()}); err != nil {
+		return err
+	}
+	for _, ev := range f.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Dump flushes the ring into dir as a uniquely named JSONL file and
+// returns its path. reason says why ("crash", "shutdown"); it lands in
+// the dump header and the post-mortem rendering. Dumping a nil recorder
+// is a no-op returning "".
+func (f *FlightRecorder) Dump(dir, reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("flight-%s-%d.jsonl", sanitizeFileName(f.Source()), time.Now().UnixNano())
+	path := filepath.Join(dir, name)
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := f.writeDump(file, reason); err != nil {
+		file.Close()
+		return "", err
+	}
+	if err := file.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func sanitizeFileName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		alnum := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-' || c == '_'
+		if !alnum {
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 {
+		return "unnamed"
+	}
+	return string(out)
+}
+
+// Handler returns a slog.Handler that records every log record into the
+// ring and then forwards it to next (the component's real log output).
+// This is how a worker's structured log doubles as its flight recorder:
+// one logging call feeds both. A nil recorder returns next unchanged;
+// a nil next records only.
+func (f *FlightRecorder) Handler(next slog.Handler) slog.Handler {
+	if next == nil {
+		next = nopHandler{}
+	}
+	if f == nil {
+		return next
+	}
+	return &flightHandler{f: f, next: next}
+}
+
+// flightHandler tees log records into a FlightRecorder. It tracks the
+// attrs and group prefix accumulated by With/WithGroup so recorded
+// events carry the same contextual fields the forwarded records do.
+type flightHandler struct {
+	f     *FlightRecorder
+	next  slog.Handler
+	attrs []slog.Attr
+	group string // dotted group prefix for subsequent attrs
+}
+
+// Enabled always records: the flight recorder must keep the full recent
+// event stream even when the forwarding handler filters by level.
+func (h *flightHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *flightHandler) Handle(ctx context.Context, r slog.Record) error {
+	attrs := make(map[string]any, len(h.attrs)+r.NumAttrs())
+	for _, a := range h.attrs {
+		flattenAttr(attrs, "", a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		flattenAttr(attrs, h.group, a)
+		return true
+	})
+	if len(attrs) == 0 {
+		attrs = nil
+	}
+	h.f.record(FlightEvent{T: r.Time, Level: r.Level.String(), Msg: r.Message, Attrs: attrs})
+	if h.next.Enabled(ctx, r.Level) {
+		return h.next.Handle(ctx, r)
+	}
+	return nil
+}
+
+func (h *flightHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	na := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	na = append(na, h.attrs...)
+	for _, a := range attrs {
+		if h.group != "" {
+			a.Key = h.group + a.Key
+		}
+		na = append(na, a)
+	}
+	return &flightHandler{f: h.f, next: h.next.WithAttrs(attrs), attrs: na, group: h.group}
+}
+
+func (h *flightHandler) WithGroup(name string) slog.Handler {
+	return &flightHandler{f: h.f, next: h.next.WithGroup(name), attrs: h.attrs, group: h.group + name + "."}
+}
+
+// flattenAttr resolves one attr into the flat map, joining group names
+// with dots (JSON-friendly, and good enough for a crash timeline).
+func flattenAttr(dst map[string]any, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		p := prefix + a.Key + "."
+		if a.Key == "" {
+			p = prefix
+		}
+		for _, ga := range v.Group() {
+			flattenAttr(dst, p, ga)
+		}
+		return
+	}
+	dst[prefix+a.Key] = v.Any()
+}

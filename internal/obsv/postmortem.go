@@ -1,0 +1,132 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Post-mortem rendering: after a crash every component's flight
+// recorder has dumped its ring into a shared directory. ReadDumpDir
+// loads them all and RenderPostmortem merges the events into one
+// chronological timeline, the distributed-systems equivalent of reading
+// all the black boxes side by side.
+
+// FlightDump is one parsed dump file.
+type FlightDump struct {
+	Path   string
+	Header dumpHeader
+	Events []FlightEvent
+}
+
+// ReadDump parses one JSONL dump produced by FlightRecorder.Dump.
+func ReadDump(path string) (*FlightDump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := readDump(f)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: dump %s: %w", path, err)
+	}
+	d.Path = path
+	return d, nil
+}
+
+func readDump(r io.Reader) (*FlightDump, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("empty dump")
+	}
+	d := &FlightDump{}
+	if err := json.Unmarshal(sc.Bytes(), &d.Header); err != nil {
+		return nil, fmt.Errorf("bad header: %w", err)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev FlightEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("bad event line: %w", err)
+		}
+		ev.Source = d.Header.Source
+		d.Events = append(d.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadDumpDir loads every flight-*.jsonl dump in dir, sorted by path.
+func ReadDumpDir(dir string) ([]*FlightDump, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "flight-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	dumps := make([]*FlightDump, 0, len(paths))
+	for _, p := range paths {
+		d, err := ReadDump(p)
+		if err != nil {
+			return nil, err
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps, nil
+}
+
+// RenderPostmortem writes a human-readable merged timeline of the given
+// dumps to w: a summary line per dump, then every event from every
+// source interleaved in time order.
+func RenderPostmortem(w io.Writer, dumps []*FlightDump) error {
+	bw := bufio.NewWriter(w)
+	if len(dumps) == 0 {
+		fmt.Fprintln(bw, "no flight dumps found")
+		return bw.Flush()
+	}
+	fmt.Fprintf(bw, "post-mortem: %d flight dump(s)\n", len(dumps))
+	var all []FlightEvent
+	for _, d := range dumps {
+		fmt.Fprintf(bw, "  %-12s reason=%-10s events=%d (of %d seen)  %s\n",
+			d.Header.Source, d.Header.Reason, len(d.Events), d.Header.Seen, filepath.Base(d.Path))
+		all = append(all, d.Events...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].T.Before(all[j].T) })
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "merged timeline:")
+	for _, ev := range all {
+		fmt.Fprintf(bw, "%s %-5s %-12s %s%s\n",
+			ev.T.Format("15:04:05.000"), ev.Level, ev.Source, ev.Msg, formatAttrs(ev.Attrs))
+	}
+	return bw.Flush()
+}
+
+// formatAttrs renders an event's attrs as sorted " k=v" pairs.
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%v", k, attrs[k])
+	}
+	return b.String()
+}

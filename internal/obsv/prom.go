@@ -1,0 +1,106 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ffmr/internal/trace"
+)
+
+// Prometheus text exposition over a trace.Registry. The registry's
+// free-form metric names ("distmr worker deaths", "spilled bytes") are
+// sanitized into the prometheus grammar and prefixed "ffmr_"; counters
+// gain the conventional "_total" suffix and each gauge exports its last
+// value plus its high-water mark under "_max". The original registry
+// name travels in the HELP line so a scrape can be mapped back to the
+// end-of-run trace export exactly.
+
+// MetricName sanitizes a registry metric name into a Prometheus metric
+// name: lower-cased, every non-alphanumeric run collapsed to one '_',
+// prefixed "ffmr_".
+func MetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("ffmr_")
+	lastUnderscore := true // suppress a leading '_'
+	for _, r := range strings.ToLower(name) {
+		alnum := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if alnum {
+			b.WriteRune(r)
+			lastUnderscore = false
+		} else if !lastUnderscore {
+			b.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// WriteMetrics renders every counter and gauge of reg in the Prometheus
+// text exposition format (version 0.0.4). A nil registry renders
+// nothing. The output is sorted, so two scrapes of an idle registry are
+// byte-identical.
+func WriteMetrics(w io.Writer, reg *trace.Registry) error {
+	bw := bufio.NewWriter(w)
+	counters := reg.CounterSnapshot()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := MetricName(name) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Registry counter %q.\n", mn, name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", mn)
+		fmt.Fprintf(bw, "%s %d\n", mn, counters[name])
+	}
+	gauges := reg.GaugeSnapshot()
+	names = names[:0]
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := MetricName(name)
+		gv := gauges[name]
+		fmt.Fprintf(bw, "# HELP %s Registry gauge %q.\n", mn, name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", mn)
+		fmt.Fprintf(bw, "%s %d\n", mn, gv.Last)
+		fmt.Fprintf(bw, "# HELP %s_max High-water mark of registry gauge %q.\n", mn, name)
+		fmt.Fprintf(bw, "# TYPE %s_max gauge\n", mn)
+		fmt.Fprintf(bw, "%s_max %d\n", mn, gv.Max)
+	}
+	return bw.Flush()
+}
+
+// ParseMetrics parses a text exposition produced by WriteMetrics back
+// into a name -> value map (comment and blank lines are skipped). Tests
+// use it to compare a live /metrics scrape against the registry.
+func ParseMetrics(r io.Reader) (map[string]int64, error) {
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("obsv: malformed metric line %q", line)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: metric %s: %w", name, err)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

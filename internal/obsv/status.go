@@ -1,0 +1,50 @@
+package obsv
+
+// The /status JSON schema. obsv owns these types so the admin server,
+// the dashboard and the distributed master (which produces them) agree
+// without an import cycle: distmr imports obsv, never the reverse.
+
+// ClusterStatus is a point-in-time view of a master and its workers,
+// served as JSON on /status and rendered by the watch dashboard.
+type ClusterStatus struct {
+	// Role is "master" or "worker"; Addr is the component's RPC address.
+	Role string `json:"role"`
+	Addr string `json:"addr,omitempty"`
+	// WorkersAlive counts live registered workers (master only).
+	WorkersAlive int `json:"workers_alive"`
+	// Workers lists every registered worker, dead ones included.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+	// Job is the currently running job, nil between jobs.
+	Job *JobStatus `json:"job,omitempty"`
+}
+
+// WorkerStatus is the master's live view of one registered worker.
+type WorkerStatus struct {
+	ID   uint64 `json:"id"`
+	Addr string `json:"addr"`
+	// Running is the worker's self-reported in-flight task count;
+	// TasksDone its completed-task total — both piggybacked on the most
+	// recent heartbeat.
+	Running   int64 `json:"running"`
+	TasksDone int64 `json:"tasks_done"`
+	// StoreBytes is the worker's local segment store footprint.
+	StoreBytes int64 `json:"store_bytes"`
+	// LastBeatMS is milliseconds since the last heartbeat arrived.
+	LastBeatMS int64 `json:"last_beat_ms"`
+	Dead       bool  `json:"dead,omitempty"`
+}
+
+// JobStatus is the scheduler's live view of the running job.
+type JobStatus struct {
+	Name  string `json:"name"`
+	Round int    `json:"round"`
+	// Maps/Reduces are task totals; the Done fields count winners so far.
+	Maps        int `json:"maps"`
+	MapsDone    int `json:"maps_done"`
+	Reduces     int `json:"reduces"`
+	ReducesDone int `json:"reduces_done"`
+	// InFlight counts outstanding leases; Parked counts reduces waiting
+	// for lost map outputs to be re-created.
+	InFlight int `json:"in_flight"`
+	Parked   int `json:"parked,omitempty"`
+}

@@ -9,11 +9,14 @@ package rpcutil
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
 	"time"
+
+	"ffmr/internal/obsv"
 )
 
 // Policy bounds a retried dial. The zero value is completed by
@@ -27,6 +30,10 @@ type Policy struct {
 	MaxDelay  time.Duration
 	// DialTimeout bounds each individual connection attempt (default 2s).
 	DialTimeout time.Duration
+	// Logger receives a warning per failed attempt that will be retried
+	// (nil: silent). Expected startup races thus leave a visible record
+	// instead of being swallowed by the eventual success.
+	Logger *slog.Logger
 }
 
 func (p *Policy) applyDefaults() {
@@ -86,6 +93,7 @@ func (p *Policy) backoff(i int) time.Duration {
 // Dial connects to a TCP address with retry/backoff/jitter.
 func Dial(addr string, policy Policy) (net.Conn, error) {
 	policy.applyDefaults()
+	log := obsv.Or(policy.Logger)
 	var lastErr error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
 		if attempt > 0 {
@@ -96,6 +104,10 @@ func Dial(addr string, policy Policy) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
+		if attempt < policy.Attempts-1 {
+			log.Warn("dial failed, retrying",
+				"addr", addr, "attempt", attempt+1, "of", policy.Attempts, "err", err)
+		}
 	}
 	return nil, fmt.Errorf("rpcutil: dial %s failed after %d attempts: %w",
 		addr, policy.Attempts, lastErr)

@@ -89,6 +89,19 @@ const (
 	GaugeMergeFanIn     = "merge fan-in"
 )
 
+// Live driver metric names. The FF driver publishes these to the
+// tracer's registry as rounds complete, so /metrics scrapes and the
+// watch dashboard see run progress while the run is still going (the
+// per-round trace spans only surface at export time).
+const (
+	GaugeFFRound       = "ff round"
+	GaugeFFMaxFlow     = "ff max flow"
+	GaugeFFActive      = "ff active vertices"
+	CounterFFAPaths    = "ff augmenting paths"
+	CounterFFSubmitted = "ff submitted paths"
+	CounterFFRounds    = "ff rounds"
+)
+
 // Attr is one span annotation: an int64 metric or a string label.
 type Attr struct {
 	Key   string

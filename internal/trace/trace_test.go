@@ -204,3 +204,53 @@ func TestConcurrentSpanUse(t *testing.T) {
 		t.Fatalf("exported %d task spans, want 16", tasks)
 	}
 }
+
+// TestRegistryConcurrentUse hammers one Registry from writer goroutines
+// (lazily creating counters and gauges, the driver side) while reader
+// goroutines snapshot it (the admin /metrics scraper side). Run under
+// -race this proves live scraping never needs to pause the cluster.
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	const writers, readers, rounds = 8, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"shared hits", "per-writer hits " + string(rune('a'+w))}
+			for i := 0; i < rounds; i++ {
+				for _, n := range names {
+					reg.Counter(n).Add(1)
+				}
+				g := reg.Gauge("depth " + string(rune('a'+w)))
+				g.Set(int64(i))
+				if i%50 == 0 {
+					g.Reset()
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cs := reg.CounterSnapshot()
+				if v := cs["shared hits"]; v > writers*rounds {
+					t.Errorf("snapshot over-counts: shared hits = %d", v)
+					return
+				}
+				for _, gv := range reg.GaugeSnapshot() {
+					if gv.Last < 0 || gv.Max < 0 {
+						t.Errorf("impossible gauge snapshot: %+v", gv)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.CounterSnapshot()["shared hits"]; got != writers*rounds {
+		t.Fatalf("shared hits = %d, want %d", got, writers*rounds)
+	}
+}

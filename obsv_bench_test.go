@@ -1,0 +1,104 @@
+package ffmr_test
+
+import (
+	"io"
+	"log/slog"
+	"testing"
+
+	"ffmr/internal/core"
+	"ffmr/internal/dfs"
+	"ffmr/internal/distmr"
+	"ffmr/internal/graphgen"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/obsv"
+	"ffmr/internal/trace"
+)
+
+// BenchmarkObsvOverhead measures the live observability stack's cost on
+// one full FF5 computation (the FB3 chain member on a 3-worker
+// distributed backend). "off" is the zero obsv.Options baseline; "logs"
+// adds structured logging at the CLI's default info level on the
+// driver, master, and every worker (to io.Discard, so the cost measured
+// is instrumentation, not the terminal); "full" additionally arms the
+// admin HTTP servers on
+// master and workers, a live metrics registry, and per-worker flight
+// recorders. BENCH_obsv.json records the measured deltas; the full
+// stack must stay within a few percent of off (the observability layer
+// is sold as safe to leave on in production).
+func BenchmarkObsvOverhead(b *testing.B) {
+	sc := benchScale()
+	sc.Chain = sc.Chain[:3] // through FB3
+	chain, err := sc.BuildChain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(chain[2], sc.W, sc.MinDegree, sc.Seed+100)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	newCluster := func() *mapreduce.Cluster {
+		fs := dfs.New(dfs.Config{Nodes: 4, BlockSize: 64 << 10, Replication: 2})
+		c := mapreduce.NewCluster(4, 4, fs)
+		c.Cost = mapreduce.ZeroCostModel()
+		return c
+	}
+	run := func(b *testing.B, h *distmr.Harness, opts core.Options) {
+		b.Helper()
+		var flow, rounds int64
+		for i := 0; i < b.N; i++ {
+			cluster := newCluster()
+			cluster.Distributed = h.Master
+			res, err := core.Run(cluster, in, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			flow, rounds = res.MaxFlow, int64(res.Rounds)
+		}
+		b.ReportMetric(float64(flow), "flow")
+		b.ReportMetric(float64(rounds), "rounds")
+	}
+
+	b.Run("off", func(b *testing.B) {
+		h, err := distmr.StartHarness(distmr.HarnessConfig{Workers: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		run(b, h, core.Options{Variant: core.FF5})
+	})
+
+	b.Run("logs", func(b *testing.B) {
+		logger := obsv.NewLogger(io.Discard, "text", slog.LevelInfo)
+		h, err := distmr.StartHarness(distmr.HarnessConfig{
+			Workers:    3,
+			Master:     distmr.Config{Obsv: obsv.Options{Logger: logger}},
+			WorkerObsv: obsv.Options{Logger: logger},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		run(b, h, core.Options{Variant: core.FF5, Log: logger})
+	})
+
+	b.Run("full", func(b *testing.B) {
+		logger := obsv.NewLogger(io.Discard, "text", slog.LevelInfo)
+		tr := trace.New()
+		h, err := distmr.StartHarness(distmr.HarnessConfig{
+			Workers: 3,
+			Tracer:  tr,
+			Master: distmr.Config{Obsv: obsv.Options{
+				Logger: logger, AdminAddr: "127.0.0.1:0", FlightDir: b.TempDir(),
+			}},
+			WorkerObsv: obsv.Options{
+				Logger: logger, AdminAddr: "127.0.0.1:0", FlightDir: b.TempDir(),
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		run(b, h, core.Options{Variant: core.FF5, Log: logger, Tracer: tr})
+	})
+}
