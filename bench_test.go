@@ -399,10 +399,10 @@ func BenchmarkAugProcRPC(b *testing.B) {
 			{ID: graph.EdgeID(i), From: 0, To: 1, Cap: 1, Fwd: true},
 		}}
 	}
-	srv.BeginRound()
+	srv.BeginRound(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := client.Submit(0, 0, batch); err != nil {
+		if err := client.Submit(0, 0, 0, batch); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -42,7 +42,7 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("aug_proc listening on %s\n", srv.Addr())
 
-	srv.BeginRound()
+	srv.BeginRound(0)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for ci := 0; ci < *clients; ci++ {
@@ -68,14 +68,14 @@ func main() {
 				}
 				batch = append(batch, p)
 				if len(batch) == cap(batch) {
-					if err := client.Submit(ci, 0, batch); err != nil {
+					if err := client.Submit(0, ci, 0, batch); err != nil {
 						log.Print(err)
 						return
 					}
 					batch = batch[:0]
 				}
 			}
-			if err := client.Submit(ci, 0, batch); err != nil {
+			if err := client.Submit(0, ci, 0, batch); err != nil {
 				log.Print(err)
 			}
 		}(ci)

@@ -42,6 +42,7 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log level for -log: debug|info|warn|error")
 		admin     = flag.String("admin", "", "serve /metrics, /healthz, /status and /debug/pprof on this HTTP address")
 		flightDir = flag.String("flight-dir", "", "arm the flight recorder; an injected crash dumps recent events here")
+		drain     = flag.Bool("drain", false, "on SIGINT/SIGTERM, drain gracefully: finish running attempts, hand completed map outputs off through the master, then deregister and exit (a second signal forces immediate shutdown)")
 	)
 	flag.Parse()
 	if *master == "" {
@@ -79,10 +80,20 @@ func main() {
 		log.Printf("admin: http://%s/{metrics,healthz,status,debug/pprof}", a)
 	}
 
-	sigs := make(chan os.Signal, 1)
+	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
+		if *drain {
+			// Graceful retirement: the master stops leasing to this
+			// worker, lets running attempts finish, pulls the winning map
+			// outputs into DFS, and only then deregisters — at which point
+			// the draining worker's next heartbeat ends it and Wait
+			// returns. A second signal skips all that.
+			log.Print("draining (send signal again to force shutdown)")
+			w.Drain()
+			<-sigs
+		}
 		w.Close()
 	}()
 

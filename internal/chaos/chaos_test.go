@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ffmr/internal/leakcheck"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGenerateDeterministic pins the root of chaos reproducibility: the
+// same (seed, profile) always yields the same schedule, and different
+// seeds yield different ones.
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{Events: 10}
+	a := Generate(99, p)
+	b := Generate(99, p)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different schedules:\n a %v\n b %v", a.Events, b.Events)
+	}
+	c := Generate(100, p)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical schedules")
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Fatalf("events out of firing order at %d: %s after %s", i, a.Events[i].At, a.Events[i-1].At)
+		}
+	}
+}
+
+// runOnce boots a fresh supervised cluster, fires the schedule against
+// it with no concurrent job, and returns the applied-event log.
+func runOnce(t *testing.T, sched Schedule) []string {
+	t.Helper()
+	sup, err := StartSupervisor(SupervisorConfig{Workers: 3})
+	if err != nil {
+		t.Fatalf("StartSupervisor: %v", err)
+	}
+	defer sup.Close()
+	return NewRunner(sup, sched).Run()
+}
+
+// TestRunnerLogReproducible is the reproducibility contract: two runs of
+// the same (Seed, Schedule) against identically shaped clusters produce
+// byte-identical applied-event logs. The fleet only changes through the
+// schedule's own events (no concurrent job), so victim resolution is
+// deterministic.
+func TestRunnerLogReproducible(t *testing.T) {
+	defer leakcheck.Check(t)()
+	if testing.Short() {
+		t.Skip("boots two clusters")
+	}
+
+	sched := Generate(4242, Profile{
+		Events:   8,
+		Horizon:  500 * time.Millisecond,
+		MaxSlot:  5,
+		MaxDelay: 5 * time.Millisecond,
+		MaxFor:   50 * time.Millisecond,
+	})
+	first := runOnce(t, sched)
+	second := runOnce(t, sched)
+
+	if len(first) != len(sched.Events) {
+		t.Fatalf("log has %d lines for %d events", len(first), len(sched.Events))
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("same (Seed, Schedule) produced different applied-event logs:\n run 1: %v\n run 2: %v", first, second)
+	}
+}
+
+// TestWorkersReregisterAfterMasterRestart pins the failover plumbing the
+// chaos suite leans on: crash the master, boot a new generation on the
+// same address, and the surviving fleet redials and re-registers.
+func TestWorkersReregisterAfterMasterRestart(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	sup, err := StartSupervisor(SupervisorConfig{Workers: 2})
+	if err != nil {
+		t.Fatalf("StartSupervisor: %v", err)
+	}
+	defer sup.Close()
+
+	if err := sup.RestartMaster(); err != nil {
+		t.Fatalf("RestartMaster: %v", err)
+	}
+	if g := sup.Generation(); g != 2 {
+		t.Errorf("generation = %d after one restart, want 2", g)
+	}
+	waitFor(t, 10*time.Second, "workers to re-register with the new generation", func() bool {
+		return sup.Master().LiveWorkers() == 2
+	})
+}

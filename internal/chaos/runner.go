@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ffmr/internal/distmr"
+	"ffmr/internal/rpcutil"
+)
+
+// Runner fires a Schedule's events against a Supervisor and records an
+// applied-event log: one line per event, stating what was injected and
+// which victim it resolved to. Victims resolve deterministically — slot
+// modulo the live pool, victims named by their start-order index — so as
+// long as the fleet only changes through the schedule's own events, two
+// runs of the same (Seed, Schedule) produce byte-identical logs. (A
+// concurrently running job with fleet-altering fault injection can race
+// victim resolution; the schedule itself is still identical.)
+type Runner struct {
+	sup    *Supervisor
+	sched  Schedule
+	faults *rpcutil.NetFaults
+
+	mu  sync.Mutex
+	log []string
+
+	heals sync.WaitGroup
+}
+
+// NewRunner prepares a runner for one schedule.
+func NewRunner(sup *Supervisor, sched Schedule) *Runner {
+	return &Runner{sup: sup, sched: sched, faults: rpcutil.NewNetFaults()}
+}
+
+// Run installs network-fault injection, fires every event at its offset,
+// waits for timed faults to heal, and returns the applied-event log. It
+// blocks for the schedule's duration; run it alongside a job from
+// another goroutine.
+func (r *Runner) Run() []string {
+	restore := rpcutil.InstallNetFaults(r.faults)
+	start := time.Now()
+	for _, e := range r.sched.Events {
+		if d := time.Until(start.Add(e.At)); d > 0 {
+			time.Sleep(d)
+		}
+		r.apply(e)
+	}
+	r.heals.Wait()
+	restore()
+	return r.Log()
+}
+
+// Log returns the applied-event log so far.
+func (r *Runner) Log() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.log...)
+}
+
+func (r *Runner) record(e Event, outcome string) {
+	r.mu.Lock()
+	r.log = append(r.log, e.String()+" -> "+outcome)
+	r.mu.Unlock()
+}
+
+// victim resolves an event's slot against the live pool and names the
+// worker by its index in the ever-started fleet.
+func (r *Runner) victim(e Event) (*distmr.Worker, string) {
+	live := r.sup.LiveWorkers()
+	if len(live) == 0 {
+		return nil, "no-target"
+	}
+	w := live[e.Slot%len(live)]
+	for i, all := range r.sup.Workers() {
+		if all == w {
+			return w, fmt.Sprintf("worker[%d]", i)
+		}
+	}
+	return w, "worker[?]"
+}
+
+func (r *Runner) apply(e Event) {
+	switch e.Kind {
+	case CrashWorker:
+		if len(r.sup.LiveWorkers()) <= 1 {
+			// Never fell the last live worker: a chaos run should stress
+			// the cluster, not strand the job on an empty fleet. The guard
+			// is itself deterministic, so logs stay reproducible.
+			r.record(e, "skipped-last-worker")
+			return
+		}
+		w, name := r.victim(e)
+		if w == nil {
+			r.record(e, name)
+			return
+		}
+		w.Kill()
+		r.record(e, name)
+	case DrainWorker:
+		if len(r.sup.LiveWorkers()) <= 1 {
+			r.record(e, "skipped-last-worker")
+			return
+		}
+		w, name := r.victim(e)
+		if w == nil {
+			r.record(e, name)
+			return
+		}
+		w.Drain()
+		r.record(e, name)
+	case JoinWorker:
+		if _, err := r.sup.AddWorker(); err != nil {
+			r.record(e, "error")
+			return
+		}
+		r.record(e, fmt.Sprintf("worker[%d]", len(r.sup.Workers())-1))
+	case SlowWorker:
+		w, name := r.victim(e)
+		if w == nil {
+			r.record(e, name)
+			return
+		}
+		w.SetTaskDelay(e.Delay)
+		r.heals.Add(1)
+		time.AfterFunc(e.For, func() {
+			w.SetTaskDelay(0)
+			r.heals.Done()
+		})
+		r.record(e, name)
+	case PartitionWorker:
+		w, name := r.victim(e)
+		if w == nil {
+			r.record(e, name)
+			return
+		}
+		addr := w.Addr()
+		r.faults.Partition(addr)
+		r.heals.Add(1)
+		time.AfterFunc(e.For, func() {
+			r.faults.Heal(addr)
+			r.heals.Done()
+		})
+		r.record(e, name)
+	case RestartMaster:
+		if err := r.sup.RestartMaster(); err != nil {
+			r.record(e, "error")
+			return
+		}
+		r.record(e, fmt.Sprintf("gen=%d", r.sup.Generation()))
+	default:
+		r.record(e, "unknown-kind")
+	}
+}

@@ -1,0 +1,270 @@
+// Package chaos composes the repo's fault injectors — injected worker
+// crashes and disk failures (mapreduce.Faults), network partitions
+// (rpcutil.NetFaults), slow nodes (Worker.SetTaskDelay), graceful drains
+// and master restarts — under a seeded schedule generator, so an entire
+// chaos run is reproducible from (Seed, Schedule). The Supervisor wraps
+// a master and its worker fleet across master generations; the Runner
+// fires a Schedule's events against it and records exactly what it did.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ffmr/internal/distmr"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/spill"
+	"ffmr/internal/trace"
+)
+
+// SupervisorConfig configures a supervised in-process cluster.
+type SupervisorConfig struct {
+	// Workers is the initial fleet size (default 3).
+	Workers int
+	// Master configures each master generation. PersistState is forced
+	// on: master-restart recovery depends on DFS-persisted job state.
+	Master distmr.Config
+	// NewStore builds each worker's segment store (default in-memory).
+	NewStore func() spill.RunStore
+	// Tracer is handed to every master generation and worker.
+	Tracer *trace.Tracer
+	// HeartbeatMisses is each worker's miss budget (default 50 — roomy,
+	// so workers survive the heartbeat gap of a master restart and
+	// re-register instead of dying).
+	HeartbeatMisses int
+}
+
+// Supervisor runs a master and its workers across master restarts: the
+// external process supervisor a real deployment would have. Killing the
+// master (Crash — no goodbyes) and starting a fresh one on the same
+// address exercises the full recovery path: workers redial, re-register
+// under new identities, and a job retried against the new generation
+// resumes from DFS-persisted task state instead of starting over.
+type Supervisor struct {
+	cfg SupervisorConfig
+
+	mu         sync.Mutex
+	gen        int
+	master     *distmr.Master
+	addr       string
+	workers    []*distmr.Worker
+	closed     bool
+	restarting bool
+}
+
+// StartSupervisor boots the first master generation and its fleet.
+func StartSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 50
+	}
+	cfg.Master.PersistState = true
+	if cfg.Master.Tracer == nil {
+		cfg.Master.Tracer = cfg.Tracer
+	}
+	m, err := distmr.NewMaster(cfg.Master)
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{cfg: cfg, gen: 1, master: m, addr: m.Addr()}
+	for i := 0; i < cfg.Workers; i++ {
+		if _, err := s.AddWorker(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if err := m.WaitForWorkers(cfg.Workers, 10*time.Second); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Master returns the current master generation.
+func (s *Supervisor) Master() *distmr.Master {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.master
+}
+
+// Generation returns how many master generations have run (1 initially).
+func (s *Supervisor) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Workers returns every worker ever started, dead ones included.
+func (s *Supervisor) Workers() []*distmr.Worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*distmr.Worker(nil), s.workers...)
+}
+
+// LiveWorkers returns workers that are neither dead nor draining, in
+// start order — the deterministic victim pool for chaos events.
+func (s *Supervisor) LiveWorkers() []*distmr.Worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var live []*distmr.Worker
+	for _, w := range s.workers {
+		if !w.Dead() && !w.Draining() {
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// AddWorker starts one additional worker against the current address.
+func (s *Supervisor) AddWorker() (*distmr.Worker, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("chaos: supervisor closed")
+	}
+	addr := s.addr
+	s.mu.Unlock()
+	wcfg := distmr.WorkerConfig{
+		MasterAddr:      addr,
+		Tracer:          s.cfg.Tracer,
+		HeartbeatMisses: s.cfg.HeartbeatMisses,
+	}
+	if s.cfg.NewStore != nil {
+		wcfg.Store = s.cfg.NewStore()
+	}
+	w, err := distmr.StartWorker(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		w.Close()
+		return nil, fmt.Errorf("chaos: supervisor closed")
+	}
+	s.workers = append(s.workers, w)
+	s.mu.Unlock()
+	return w, nil
+}
+
+// RestartMaster crashes the current master generation and binds a fresh
+// one on the same address. Surviving workers redial and re-register; a
+// job in flight fails over via RunJob's retry and resumes from the
+// DFS-persisted task state.
+func (s *Supervisor) RestartMaster() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("chaos: supervisor closed")
+	}
+	old := s.master
+	s.gen++
+	// The flag closes a race with RunJob: a job that snapshots the
+	// master between the generation bump here and the install below
+	// would otherwise see its master die with no apparent generation
+	// change and misread the failure as genuine.
+	s.restarting = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.restarting = false
+		s.mu.Unlock()
+	}()
+
+	old.Crash()
+	mcfg := s.cfg.Master
+	mcfg.Addr = s.addr
+	var m *distmr.Master
+	var err error
+	// The old listener just closed; rebinding the same port can race the
+	// kernel briefly, so retry for a bounded window.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		m, err = distmr.NewMaster(mcfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: rebind master at %s: %w", s.addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		m.Shutdown()
+		return fmt.Errorf("chaos: supervisor closed")
+	}
+	s.master = m
+	s.mu.Unlock()
+	return nil
+}
+
+// RunJob implements mapreduce.Backend across master generations: a job
+// that fails because its master generation died is retried against the
+// next generation, where persisted task state turns the retry into a
+// resume. Failures with no generation change are genuine and returned.
+func (s *Supervisor) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Result, error) {
+	const maxFailovers = 5
+	for failover := 0; ; failover++ {
+		s.mu.Lock()
+		m := s.master
+		s.mu.Unlock()
+		res, err := m.RunJob(c, job)
+		if err == nil {
+			return res, nil
+		}
+		// A failover is identified by the master pointer, not the
+		// generation counter: RestartMaster bumps the generation before
+		// crashing the old master, so a job started inside the swap
+		// window sees the new generation number with the doomed master.
+		s.mu.Lock()
+		failedOver := s.restarting || s.master != m
+		closed := s.closed
+		s.mu.Unlock()
+		if closed || !failedOver || failover >= maxFailovers {
+			return res, err
+		}
+		// The master died underneath the job. Wait for the replacement
+		// generation to be installed, then retry against it.
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			s.mu.Lock()
+			cur, restarting := s.master, s.restarting
+			s.mu.Unlock()
+			if cur != m && !restarting {
+				break
+			}
+			if time.Now().After(deadline) {
+				return res, err
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// Close tears the cluster down: master first, then every worker, waiting
+// for each so leak checks stay clean.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	m := s.master
+	workers := s.workers
+	s.workers = nil
+	s.mu.Unlock()
+
+	if m != nil {
+		m.Shutdown()
+	}
+	for _, w := range workers {
+		w.Close()
+	}
+	for _, w := range workers {
+		w.Wait()
+	}
+}

@@ -44,6 +44,12 @@ const (
 // task and execution id that produced it so deterministic mode can
 // discard batches duplicated by task re-execution.
 type SubmitArgs struct {
+	// Round fences the submission to the round that produced it. A
+	// reduce attempt orphaned by a master restart (its generation died,
+	// but the worker keeps running it) can submit after the driver has
+	// moved on — its candidates describe an older residual graph, and
+	// accepting them into the current round would corrupt the flow.
+	Round int
 	Task  int
 	Exec  int
 	Paths [][]byte
@@ -97,6 +103,8 @@ type AugProcServer struct {
 
 	queued atomic.Int64 // paths currently enqueued
 	maxQ   atomic.Int64
+	round  atomic.Int64 // current round; stale submissions are dropped
+	stale  atomic.Int64 // paths dropped for a round mismatch (cumulative)
 
 	// Trace instrumentation, installed by SetTracer (atomic pointers so
 	// RPC goroutines and the consumer need no extra locking; the nil
@@ -173,6 +181,13 @@ type augProcService struct{ s *AugProcServer }
 // immediately to avoid delaying the reducer").
 func (svc *augProcService) Submit(args *SubmitArgs, _ *SubmitReply) error {
 	s := svc.s
+	if args.Round != int(s.round.Load()) {
+		// Stale execution from an earlier round (see SubmitArgs.Round):
+		// acknowledge and drop. The submitter's result is not going to be
+		// used either way.
+		s.stale.Add(int64(len(args.Paths)))
+		return nil
+	}
 	n := int64(len(args.Paths))
 	q := s.queued.Add(n)
 	for {
@@ -265,7 +280,10 @@ func (s *AugProcServer) acceptLocked(paths [][]byte) {
 }
 
 // BeginRound resets per-round state before a MapReduce round starts.
-func (s *AugProcServer) BeginRound() {
+// The round number fences submissions: only batches tagged with it are
+// accepted until the next BeginRound.
+func (s *AugProcServer) BeginRound(round int) {
+	s.round.Store(int64(round))
 	s.drain()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -297,7 +315,8 @@ func (s *AugProcServer) EndRound() (AugProcStats, map[graph.EdgeID]int64) {
 	st.MaxQueue = s.maxQ.Load()
 	s.logger().Debug("aug_proc round",
 		"submitted", st.Submitted, "accepted", st.Accepted,
-		"flow_delta", st.TotalDelta, "max_queue", st.MaxQueue)
+		"flow_delta", st.TotalDelta, "max_queue", st.MaxQueue,
+		"stale_dropped_total", s.stale.Load())
 	return st, s.acc.Deltas()
 }
 
@@ -360,12 +379,14 @@ func DialAugProc(addr string) (*AugProcClient, error) {
 }
 
 // Submit sends candidate augmenting paths to aug_proc, tagged with the
-// submitting reduce task and its execution id (TaskContext.Exec).
-func (c *AugProcClient) Submit(task, exec int, paths []graph.ExcessPath) error {
+// round, the submitting reduce task and its execution id
+// (TaskContext.Exec). The round tag lets the server drop submissions
+// from executions orphaned in an earlier round.
+func (c *AugProcClient) Submit(round, task, exec int, paths []graph.ExcessPath) error {
 	if len(paths) == 0 {
 		return nil
 	}
-	args := &SubmitArgs{Task: task, Exec: exec, Paths: make([][]byte, len(paths))}
+	args := &SubmitArgs{Round: round, Task: task, Exec: exec, Paths: make([][]byte, len(paths))}
 	for i := range paths {
 		args.Paths[i] = graph.EncodePath(&paths[i])
 	}

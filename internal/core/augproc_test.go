@@ -25,14 +25,14 @@ func simplePath(id graph.EdgeID, cap int64) graph.ExcessPath {
 
 func TestAugProcAcceptsOverRPC(t *testing.T) {
 	s := newTestAugProc(t)
-	s.BeginRound()
+	s.BeginRound(0)
 	c, err := DialAugProc(s.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
-	if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(1, 1), simplePath(2, 1)}); err != nil {
+	if err := c.Submit(0, 0, 0, []graph.ExcessPath{simplePath(1, 1), simplePath(2, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	st, deltas := s.EndRound()
@@ -49,7 +49,7 @@ func TestAugProcAcceptsOverRPC(t *testing.T) {
 
 func TestAugProcRejectsConflicts(t *testing.T) {
 	s := newTestAugProc(t)
-	s.BeginRound()
+	s.BeginRound(0)
 	c, err := DialAugProc(s.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +57,7 @@ func TestAugProcRejectsConflicts(t *testing.T) {
 	defer c.Close()
 
 	// Two candidates over the same unit-capacity edge: only one wins.
-	if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(7, 1), simplePath(7, 1)}); err != nil {
+	if err := c.Submit(0, 0, 0, []graph.ExcessPath{simplePath(7, 1), simplePath(7, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	st, _ := s.EndRound()
@@ -74,8 +74,8 @@ func TestAugProcRoundIsolation(t *testing.T) {
 	}
 	defer c.Close()
 
-	s.BeginRound()
-	if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(1, 1)}); err != nil {
+	s.BeginRound(0)
+	if err := c.Submit(0, 0, 0, []graph.ExcessPath{simplePath(1, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	st1, _ := s.EndRound()
@@ -84,8 +84,8 @@ func TestAugProcRoundIsolation(t *testing.T) {
 	}
 
 	// A new round must reset grants: the same edge is available again.
-	s.BeginRound()
-	if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(1, 1)}); err != nil {
+	s.BeginRound(0)
+	if err := c.Submit(0, 0, 0, []graph.ExcessPath{simplePath(1, 1)}); err != nil {
 		t.Fatal(err)
 	}
 	st2, _ := s.EndRound()
@@ -96,7 +96,7 @@ func TestAugProcRoundIsolation(t *testing.T) {
 
 func TestAugProcConcurrentClients(t *testing.T) {
 	s := newTestAugProc(t)
-	s.BeginRound()
+	s.BeginRound(0)
 
 	const clients = 8
 	const perClient = 50
@@ -114,7 +114,7 @@ func TestAugProcConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < perClient; i++ {
 				id := graph.EdgeID(ci*perClient + i)
-				if err := c.Submit(0, 0, []graph.ExcessPath{simplePath(id, 1)}); err != nil {
+				if err := c.Submit(0, 0, 0, []graph.ExcessPath{simplePath(id, 1)}); err != nil {
 					errs <- err
 					return
 				}
@@ -144,13 +144,13 @@ func TestAugProcConcurrentClients(t *testing.T) {
 
 func TestAugProcEmptySubmit(t *testing.T) {
 	s := newTestAugProc(t)
-	s.BeginRound()
+	s.BeginRound(0)
 	c, err := DialAugProc(s.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Submit(0, 0, nil); err != nil {
+	if err := c.Submit(0, 0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	st, _ := s.EndRound()

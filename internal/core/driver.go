@@ -311,7 +311,7 @@ func (l *ffLoop) run(startRound int) error {
 		var collector *ff1Collector
 		var client *AugProcClient
 		if feat.augProc {
-			aug.BeginRound()
+			aug.BeginRound(round)
 			c, err := DialAugProc(aug.Addr())
 			if err != nil {
 				roundSpan.End()

@@ -367,7 +367,7 @@ func (r *ffReducer) Reduce(ctx *mapreduce.TaskContext, key, master []byte, value
 			if !ok {
 				return fmt.Errorf("core: job service is not an aug_proc client")
 			}
-			if err := client.Submit(ctx.Task(), ctx.Exec(), candidates); err != nil {
+			if err := client.Submit(ctx.Round(), ctx.Task(), ctx.Exec(), candidates); err != nil {
 				return err
 			}
 			ctx.Inc("candidates sent", int64(len(candidates)))

@@ -18,7 +18,7 @@ func TestAugProcShutdownLeavesNoGoroutines(t *testing.T) {
 		t.Fatalf("NewAugProcServer: %v", err)
 	}
 	srv.SetTracer(trace.New())
-	srv.BeginRound()
+	srv.BeginRound(0)
 	client, err := DialAugProc(srv.Addr())
 	if err != nil {
 		t.Fatalf("DialAugProc: %v", err)
@@ -27,7 +27,7 @@ func TestAugProcShutdownLeavesNoGoroutines(t *testing.T) {
 		{Edges: []graph.PathEdge{{ID: 1, From: 0, To: 1, Flow: 1, Cap: 2, Fwd: true}}},
 	}
 	for i := 0; i < 10; i++ {
-		if err := client.Submit(0, 0, paths); err != nil {
+		if err := client.Submit(0, 0, 0, paths); err != nil {
 			t.Fatalf("Submit: %v", err)
 		}
 	}

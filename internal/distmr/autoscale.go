@@ -1,0 +1,114 @@
+package distmr
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AutoscaleConfig bounds the harness autoscaler.
+type AutoscaleConfig struct {
+	// Min and Max bound the number of live workers (defaults 1 and the
+	// harness's configured worker count).
+	Min int
+	Max int
+	// Interval is the hint-polling cadence (default 100ms).
+	Interval time.Duration
+	// QueuePerWorker is the queue depth per live worker above which the
+	// autoscaler adds a worker (default 2).
+	QueuePerWorker int
+}
+
+// Autoscaler watches the master's published scaling hints and grows or
+// drains the harness's worker fleet in response: the same decision an
+// external cluster supervisor would make from polling /status, executed
+// in-process. One action per tick, so the fleet ramps rather than
+// thundering.
+type Autoscaler struct {
+	h   *Harness
+	cfg AutoscaleConfig
+
+	scaleUps   atomic.Int64
+	scaleDowns atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartAutoscaler begins autoscaling this harness. Stop it before Close.
+func (h *Harness) StartAutoscaler(cfg AutoscaleConfig) *Autoscaler {
+	if cfg.Min <= 0 {
+		cfg.Min = 1
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = h.cfg.Workers
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.QueuePerWorker <= 0 {
+		cfg.QueuePerWorker = 2
+	}
+	a := &Autoscaler{
+		h:    h,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go a.run()
+	return a
+}
+
+// Stop halts the autoscaler and waits for its loop to exit.
+func (a *Autoscaler) Stop() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+}
+
+// ScaleUps returns how many workers the autoscaler has added.
+func (a *Autoscaler) ScaleUps() int64 { return a.scaleUps.Load() }
+
+// ScaleDowns returns how many drains the autoscaler has initiated.
+func (a *Autoscaler) ScaleDowns() int64 { return a.scaleDowns.Load() }
+
+func (a *Autoscaler) run() {
+	defer close(a.done)
+	ticker := time.NewTicker(a.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+		}
+		st := a.h.Master.Status()
+		hints := st.Hints
+		if hints == nil {
+			continue
+		}
+		live := hints.WorkersLive
+		switch {
+		case hints.QueueDepth > a.cfg.QueuePerWorker*max(1, live) &&
+			live+hints.WorkersDraining < a.cfg.Max:
+			// Queue is deep for the fleet we have: add capacity. Draining
+			// workers count against Max so a drain-then-add cycle cannot
+			// overshoot.
+			if _, err := a.h.AddWorker(); err == nil {
+				a.scaleUps.Add(1)
+			}
+		case hints.QueueDepth == 0 && hints.InFlight == 0 && live > a.cfg.Min:
+			// Idle with headroom: drain the youngest live worker. Drain,
+			// not kill — its winning map output hands off through the DFS.
+			if ws := a.h.liveWorkers(); len(ws) > 0 {
+				ws[len(ws)-1].Drain()
+				a.scaleDowns.Add(1)
+			}
+		}
+	}
+}

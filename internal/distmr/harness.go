@@ -62,7 +62,7 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 	}
 	h := &Harness{Master: m, cfg: cfg}
 	for i := 0; i < cfg.Workers; i++ {
-		if err := h.startWorker(); err != nil {
+		if _, err := h.startWorker(); err != nil {
 			h.Close()
 			return nil, err
 		}
@@ -74,7 +74,7 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 	return h, nil
 }
 
-func (h *Harness) startWorker() error {
+func (h *Harness) startWorker() (*Worker, error) {
 	wcfg := WorkerConfig{
 		MasterAddr: h.Master.Addr(),
 		Tracer:     h.cfg.Tracer,
@@ -88,17 +88,17 @@ func (h *Harness) startWorker() error {
 	}
 	w, err := StartWorker(wcfg)
 	if err != nil {
-		return fmt.Errorf("distmr: harness worker: %w", err)
+		return nil, fmt.Errorf("distmr: harness worker: %w", err)
 	}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
 		w.Close()
-		return fmt.Errorf("distmr: harness closed")
+		return nil, fmt.Errorf("distmr: harness closed")
 	}
 	h.workers = append(h.workers, w)
 	h.mu.Unlock()
-	return nil
+	return w, nil
 }
 
 // replaceWorker spawns a substitute for a crashed worker. Failures are
@@ -114,12 +114,32 @@ func (h *Harness) replaceWorker() {
 	h.startWorker() //nolint:errcheck // best-effort re-provisioning
 }
 
+// AddWorker starts one additional worker mid-flight — an elastic
+// scale-up. The new worker registers with the master and is immediately
+// eligible for pending leases and shuffle serving.
+func (h *Harness) AddWorker() (*Worker, error) {
+	return h.startWorker()
+}
+
 // Workers returns the currently tracked workers (dead ones included until
 // Close prunes them).
 func (h *Harness) Workers() []*Worker {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]*Worker(nil), h.workers...)
+}
+
+// liveWorkers returns tracked workers that are neither dead nor draining.
+func (h *Harness) liveWorkers() []*Worker {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var live []*Worker
+	for _, w := range h.workers {
+		if !w.dead.Load() && !w.draining.Load() {
+			live = append(live, w)
+		}
+	}
+	return live
 }
 
 // Close shuts the cluster down: master first (so workers stop receiving

@@ -30,6 +30,16 @@ const (
 	// CounterLostMapRecoveries counts map tasks re-executed because their
 	// outputs became unreachable.
 	CounterLostMapRecoveries = "distmr lost map recoveries"
+	// GaugeWorkersDraining tracks workers currently draining.
+	GaugeWorkersDraining = "distmr workers draining"
+	// CounterDrains counts drains completed (worker deregistered after
+	// hand-off); CounterHandoffSegments counts spill segments handed off
+	// through DFS so completed map tasks were not re-executed.
+	CounterDrains          = "distmr drains completed"
+	CounterHandoffSegments = "distmr handoff segments"
+	// CounterRestoredTasks counts task winners rehydrated from
+	// DFS-persisted job state after a master restart.
+	CounterRestoredTasks = "distmr restored tasks"
 )
 
 // Config parameterizes a Master. The zero value gets usable defaults.
@@ -61,6 +71,19 @@ type Config struct {
 	// WorkerWait is how long a job waits for a live worker before
 	// failing (default 30s).
 	WorkerWait time.Duration
+	// DeadRetention is how long a dead or drained worker's registry entry
+	// survives for /status and the dashboard before the janitor expires
+	// it (default 10 heartbeat intervals). Without expiry the snapshot
+	// would list dead workers until job end.
+	DeadRetention time.Duration
+	// PersistState makes every job persist its task winners (manifests
+	// plus map output segments) to the cluster DFS as they complete, and
+	// rehydrate them at job start. A restarted master pointed at the same
+	// DFS then resumes a job without re-executing completed tasks, and an
+	// epoch counter keeps (task, exec) submission keys from colliding
+	// across master generations. Off by default: it costs one extra copy
+	// of each map output over the wire.
+	PersistState bool
 	// Tracer records master-side spans/gauges until a job installs the
 	// cluster's tracer.
 	Tracer *trace.Tracer
@@ -96,6 +119,43 @@ func (c *Config) applyDefaults() {
 	if c.WorkerWait <= 0 {
 		c.WorkerWait = 30 * time.Second
 	}
+	if c.DeadRetention <= 0 {
+		c.DeadRetention = 10 * c.HeartbeatInterval
+	}
+}
+
+// workerState is the master-side membership state machine:
+//
+//	joining → live → draining → drained → (expired)
+//	             ↘︎      ↘︎ dead → (expired)
+//
+// "joining" is implicit (Register dials the worker back before the
+// handle exists, so a registered worker is always reachable). Only live
+// workers are schedulable; a draining worker finishes its running
+// attempts and serves fetches but receives no new leases. Dead and
+// drained handles linger for DeadRetention so /status and the dashboard
+// can show the transition, then the janitor expires them.
+type workerState uint8
+
+const (
+	stateLive workerState = iota
+	stateDraining
+	stateDead
+	stateDrained
+)
+
+// String names the state as /status reports it.
+func (s workerState) String() string {
+	switch s {
+	case stateLive:
+		return "live"
+	case stateDraining:
+		return "draining"
+	case stateDead:
+		return "dead"
+	default:
+		return "drained"
+	}
 }
 
 // workerHandle is the master's view of one registered worker. running is
@@ -108,11 +168,18 @@ type workerHandle struct {
 	client   *rpc.Client
 	lastBeat time.Time
 	running  int
-	dead     bool
+	state    workerState
+	deadAt   time.Time // when the handle left live/draining (for expiry)
 
 	hbRunning    int64
 	hbTasksDone  int64
 	hbStoreBytes int64
+}
+
+// alive reports whether the worker still participates in the cluster
+// (serving fetches and finishing leases); draining workers count.
+func (w *workerHandle) alive() bool {
+	return w.state == stateLive || w.state == stateDraining
 }
 
 // Master schedules jobs onto registered workers. It implements
@@ -124,15 +191,23 @@ type Master struct {
 	log    *slog.Logger
 	admin  *obsv.Admin
 	flight *obsv.FlightRecorder
+	// instance is this master instance's nonce, handed to workers at
+	// registration and echoed in every heartbeat. Worker ids restart at 1
+	// per instance, so after a master restart a stale worker's old id can
+	// equal a re-registered worker's new one; the nonce check keeps the
+	// stale worker on the Unknown path instead of refreshing the wrong
+	// record.
+	instance uint64
 
-	mu      sync.Mutex
-	workers map[uint64]*workerHandle
-	nextID  uint64
-	jobSeq  uint64
-	conns   map[net.Conn]struct{}
-	fs      *dfs.FS
-	reg     *trace.Registry
-	shut    bool
+	mu        sync.Mutex
+	workers   map[uint64]*workerHandle
+	nextID    uint64
+	jobSeq    uint64
+	conns     map[net.Conn]struct{}
+	fs        *dfs.FS
+	reg       *trace.Registry
+	shut      bool
+	jobActive bool // a jobRun owns drain completion while true
 
 	// statusMu guards the snapshot the running job publishes for /status.
 	// It is separate from mu: the scheduler goroutine owns the job state
@@ -162,15 +237,26 @@ func NewMaster(cfg Config) (*Master, error) {
 	if cfg.Obsv.Logger != nil {
 		next = cfg.Obsv.Logger.Handler()
 	}
+	// The instance nonce distinguishes master generations: heartbeats
+	// carrying another generation's nonce are answered Unknown (so workers
+	// re-register), and seeding jobSeq from it keeps job sequence numbers
+	// — which key the workers' per-job code caches and prefix every spill
+	// segment name — globally unique across generations. Without that, a
+	// restarted master's counter would restart at 1 and its jobs would
+	// collide with segments and cached code left behind by jobs of the
+	// dead generation that were never cleaned up.
+	nonce := uint64(time.Now().UnixNano())
 	m := &Master{
-		cfg:     cfg,
-		ln:      ln,
-		log:     slog.New(flight.Handler(next)).With("role", "master"),
-		flight:  flight,
-		workers: make(map[uint64]*workerHandle),
-		conns:   make(map[net.Conn]struct{}),
-		reg:     cfg.Tracer.Registry(),
-		shutCh:  make(chan struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		log:      slog.New(flight.Handler(next)).With("role", "master"),
+		flight:   flight,
+		instance: nonce,
+		jobSeq:   nonce,
+		workers:  make(map[uint64]*workerHandle),
+		conns:    make(map[net.Conn]struct{}),
+		reg:      cfg.Tracer.Registry(),
+		shutCh:   make(chan struct{}),
 	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Master", &masterService{m: m}); err != nil {
@@ -194,7 +280,28 @@ func NewMaster(cfg Config) (*Master, error) {
 	}
 	m.log.Info("master listening", "addr", ln.Addr().String())
 	go m.accept(srv)
+	go m.janitor()
 	return m, nil
+}
+
+// janitor is the master's background membership sweep: it marks silent
+// workers dead, completes idle drains (a running job completes its own,
+// because hand-off needs the job's winner map), and expires dead or
+// drained registry entries after DeadRetention so /status stops listing
+// them. It runs for the master's whole life, not just during jobs.
+func (m *Master) janitor() {
+	t := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.shutCh:
+			return
+		case <-t.C:
+			m.checkHeartbeats()
+			m.completeIdleDrains()
+			m.expireDead()
+		}
+	}
 }
 
 // AdminAddr returns the admin HTTP server's address, or "" when no admin
@@ -237,11 +344,34 @@ func (m *Master) accept(srv *rpc.Server) {
 // their next heartbeat), all connections close, and any running job
 // fails promptly.
 func (m *Master) Shutdown() {
+	m.stopMaster(true)
+}
+
+// Crash kills the master the way a machine failure would: the listener,
+// every connection and every worker client close, but no worker is told
+// to exit and no goodbye travels. Workers keep heartbeating into the
+// void until their miss budget runs out (or a new master at the same
+// address answers Unknown and they re-register). The chaos supervisor
+// uses this to exercise master-restart recovery against DFS-persisted
+// job state.
+func (m *Master) Crash() {
+	m.stopMaster(false)
+}
+
+// stopMaster is the single teardown path; graceful additionally notifies
+// workers.
+func (m *Master) stopMaster(graceful bool) {
 	m.shutOnce.Do(func() {
-		m.log.Info("master shutting down")
+		reason := "shutdown"
+		if !graceful {
+			reason = "crash"
+			m.log.Error("master crashing (injected)")
+		} else {
+			m.log.Info("master shutting down")
+		}
 		m.admin.Close()
 		if m.flight != nil && m.cfg.Obsv.FlightDir != "" {
-			if _, err := m.flight.Dump(m.cfg.Obsv.FlightDir, "shutdown"); err != nil {
+			if _, err := m.flight.Dump(m.cfg.Obsv.FlightDir, reason); err != nil {
 				m.log.Warn("flight dump failed", "err", err)
 			}
 		}
@@ -249,7 +379,7 @@ func (m *Master) Shutdown() {
 		m.shut = true
 		workers := make([]*workerHandle, 0, len(m.workers))
 		for _, w := range m.workers {
-			if !w.dead {
+			if w.alive() {
 				workers = append(workers, w)
 			}
 		}
@@ -260,11 +390,13 @@ func (m *Master) Shutdown() {
 		m.mu.Unlock()
 		close(m.shutCh)
 		for _, w := range workers {
-			// Best-effort: a dead worker's call just errors out.
-			call := w.client.Go("Worker.Shutdown", &ShutdownArgs{}, &ShutdownReply{}, make(chan *rpc.Call, 1))
-			select {
-			case <-call.Done:
-			case <-time.After(500 * time.Millisecond):
+			if graceful {
+				// Best-effort: a dead worker's call just errors out.
+				call := w.client.Go("Worker.Shutdown", &ShutdownArgs{}, &ShutdownReply{}, make(chan *rpc.Call, 1))
+				select {
+				case <-call.Done:
+				case <-time.After(500 * time.Millisecond):
+				}
 			}
 			w.client.Close()
 		}
@@ -302,11 +434,19 @@ func (m *Master) Status() *obsv.ClusterStatus {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	hints := &obsv.ScalingHints{}
+	var tasksDone int64
 	for _, id := range ids {
 		w := m.workers[id]
-		if !w.dead {
+		switch w.state {
+		case stateLive:
 			st.WorkersAlive++
+			hints.WorkersLive++
+		case stateDraining:
+			st.WorkersAlive++
+			hints.WorkersDraining++
 		}
+		tasksDone += w.hbTasksDone
 		st.Workers = append(st.Workers, obsv.WorkerStatus{
 			ID:         w.id,
 			Addr:       w.addr,
@@ -314,23 +454,37 @@ func (m *Master) Status() *obsv.ClusterStatus {
 			TasksDone:  w.hbTasksDone,
 			StoreBytes: w.hbStoreBytes,
 			LastBeatMS: time.Since(w.lastBeat).Milliseconds(),
-			Dead:       w.dead,
+			Dead:       w.state == stateDead || w.state == stateDrained,
+			State:      w.state.String(),
 		})
 	}
+	reg := m.reg
 	m.mu.Unlock()
 	m.statusMu.Lock()
 	st.Job = m.jobStatus
 	m.statusMu.Unlock()
+	if st.Job != nil {
+		hints.QueueDepth = st.Job.Queued
+		hints.InFlight = st.Job.InFlight
+	}
+	// Straggler ratio: speculative backups launched per completed task, a
+	// scale-up signal (stragglers mean the fleet is unevenly loaded). The
+	// denominator is heartbeat-reported, so it slightly lags the registry.
+	if backups := reg.Counter(CounterBackups).Value(); backups > 0 && tasksDone > 0 {
+		hints.StragglerRatio = float64(backups) / float64(tasksDone)
+	}
+	st.Hints = hints
 	return st
 }
 
-// LiveWorkers returns the number of registered, live workers.
+// LiveWorkers returns the number of registered, schedulable workers
+// (draining workers are excluded: they accept no new leases).
 func (m *Master) LiveWorkers() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
 	for _, w := range m.workers {
-		if !w.dead {
+		if w.state == stateLive {
 			n++
 		}
 	}
@@ -358,10 +512,15 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 
 // markDead declares a worker dead: its client closes (unblocking every
 // in-flight lease with a transport error) and it receives no more work.
+// A draining worker can die too — its hand-off then never happens and
+// its completed maps are recovered by re-execution like any crash.
 func (m *Master) markDead(w *workerHandle) {
 	m.mu.Lock()
-	already := w.dead
-	w.dead = true
+	already := w.state == stateDead || w.state == stateDrained
+	if !already {
+		w.state = stateDead
+		w.deadAt = time.Now()
+	}
 	m.mu.Unlock()
 	if already {
 		return
@@ -381,7 +540,7 @@ func (m *Master) checkHeartbeats() {
 	var stale []*workerHandle
 	m.mu.Lock()
 	for _, w := range m.workers {
-		if !w.dead && time.Since(w.lastBeat) > limit {
+		if w.alive() && time.Since(w.lastBeat) > limit {
 			stale = append(stale, w)
 		}
 	}
@@ -391,7 +550,106 @@ func (m *Master) checkHeartbeats() {
 	}
 }
 
+// retireWorker moves a live worker to draining. The actual drain
+// completion — hand-off, then deregistration — happens in the running
+// job's checkDrains (or the janitor when no job is running).
+func (m *Master) retireWorker(id uint64, reason string) error {
+	m.mu.Lock()
+	w := m.workers[id]
+	if w == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("distmr: retire: unknown worker %d", id)
+	}
+	if w.state != stateLive {
+		st := w.state
+		m.mu.Unlock()
+		return fmt.Errorf("distmr: retire: worker %d is %s", id, st)
+	}
+	w.state = stateDraining
+	m.mu.Unlock()
+	reg := m.registry()
+	reg.Gauge(GaugeWorkersAlive).Set(int64(m.LiveWorkers()))
+	reg.Gauge(GaugeWorkersDraining).Set(int64(len(m.drainingWorkers())))
+	m.log.Info("worker draining", "worker", id, "reason", reason,
+		"alive", m.LiveWorkers())
+	return nil
+}
+
+// drainingWorkers snapshots the handles currently draining.
+func (m *Master) drainingWorkers() []*workerHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ws []*workerHandle
+	for _, w := range m.workers {
+		if w.state == stateDraining {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// workerRunning returns the master's in-flight dispatch count for w.
+func (m *Master) workerRunning(w *workerHandle) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return w.running
+}
+
+// completeDrain deregisters a drained worker: its next heartbeat is
+// answered with Retired, telling it to exit cleanly. Only called once
+// the worker has no running leases and its winning map output (if a job
+// is running) has been handed off to DFS.
+func (m *Master) completeDrain(w *workerHandle) {
+	m.mu.Lock()
+	if w.state != stateDraining {
+		m.mu.Unlock()
+		return
+	}
+	w.state = stateDrained
+	w.deadAt = time.Now()
+	m.mu.Unlock()
+	w.client.Close()
+	reg := m.registry()
+	reg.Counter(CounterDrains).Add(1)
+	reg.Gauge(GaugeWorkersDraining).Set(int64(len(m.drainingWorkers())))
+	m.log.Info("worker drain complete", "worker", w.id, "addr", w.addr)
+}
+
+// completeIdleDrains finishes drains while no job is running: with no
+// scheduler state there is nothing to hand off, so a lease-free draining
+// worker deregisters immediately.
+func (m *Master) completeIdleDrains() {
+	m.mu.Lock()
+	active := m.jobActive
+	m.mu.Unlock()
+	if active {
+		return
+	}
+	for _, w := range m.drainingWorkers() {
+		if m.workerRunning(w) == 0 {
+			m.completeDrain(w)
+		}
+	}
+}
+
+// expireDead removes dead and drained workers from the registry after
+// DeadRetention, so /status and the dashboard stop listing them. The
+// scheduler holds its own handle pointers, so expiry never invalidates
+// an in-flight lease's bookkeeping.
+func (m *Master) expireDead() {
+	m.mu.Lock()
+	for id, w := range m.workers {
+		if (w.state == stateDead || w.state == stateDrained) &&
+			time.Since(w.deadAt) > m.cfg.DeadRetention {
+			delete(m.workers, id)
+			m.log.Debug("expired worker registry entry", "worker", id, "state", w.state.String())
+		}
+	}
+	m.mu.Unlock()
+}
+
 // pickWorker returns the live worker with the most free slots, or nil.
+// Draining, dead and drained workers are never picked.
 func (m *Master) pickWorker(slots int, exclude *workerHandle) *workerHandle {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -403,7 +661,7 @@ func (m *Master) pickWorker(slots int, exclude *workerHandle) *workerHandle {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		w := m.workers[id]
-		if w.dead || w == exclude || w.running >= slots {
+		if w.state != stateLive || w == exclude || w.running >= slots {
 			continue
 		}
 		if best == nil || w.running < best.running {
@@ -426,15 +684,21 @@ func (m *Master) release(w *workerHandle) {
 type masterService struct{ m *Master }
 
 // Register adds a worker: the master dials it back for task dispatch
-// before acknowledging, so a registered worker is always reachable.
+// before acknowledging, so a registered worker is always reachable. A
+// worker joining mid-job becomes eligible for pending leases on the
+// scheduler's next dispatch pass — no job-level coordination needed.
 func (s *masterService) Register(args *RegisterArgs, reply *RegisterReply) error {
 	m := s.m
-	if args.Addr == "" {
+	join, err := DecodeJoin(args.Data)
+	if err != nil {
+		return err
+	}
+	if join.Addr == "" {
 		return fmt.Errorf("distmr: register without an address")
 	}
-	client, err := rpcutil.DialRPC(args.Addr, rpcutil.Policy{})
+	client, err := rpcutil.DialRPC(join.Addr, rpcutil.Policy{})
 	if err != nil {
-		return fmt.Errorf("distmr: dial back worker at %s: %w", args.Addr, err)
+		return fmt.Errorf("distmr: dial back worker at %s: %w", join.Addr, err)
 	}
 	m.mu.Lock()
 	if m.shut {
@@ -443,18 +707,28 @@ func (s *masterService) Register(args *RegisterArgs, reply *RegisterReply) error
 		return fmt.Errorf("distmr: master is shutting down")
 	}
 	m.nextID++
-	w := &workerHandle{id: m.nextID, addr: args.Addr, client: client, lastBeat: time.Now()}
+	w := &workerHandle{id: m.nextID, addr: join.Addr, client: client, lastBeat: time.Now()}
 	m.workers[w.id] = w
 	m.mu.Unlock()
 	reply.Worker = w.id
+	reply.Instance = m.instance
 	reply.HeartbeatInterval = int64(m.cfg.HeartbeatInterval)
 	m.registry().Gauge(GaugeWorkersAlive).Set(int64(m.LiveWorkers()))
-	m.log.Info("worker registered", "worker", w.id, "addr", w.addr,
-		"alive", m.LiveWorkers())
+	if join.PrevWorker != 0 {
+		m.log.Info("worker re-registered", "worker", w.id, "was", join.PrevWorker,
+			"addr", w.addr, "alive", m.LiveWorkers())
+	} else {
+		m.log.Info("worker registered", "worker", w.id, "addr", w.addr,
+			"alive", m.LiveWorkers())
+	}
 	return nil
 }
 
 // Heartbeat records a worker's liveness report and publishes its gauges.
+// The reply doubles as the master→worker control channel: Shutdown on
+// master teardown, Retired when the worker's drain completed, Unknown
+// when the master has no live record of the id (expired entry or a
+// restarted master) so the worker re-registers.
 func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
 	m := s.m
 	hb, err := DecodeHeartbeat(args.Data)
@@ -463,7 +737,12 @@ func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) er
 	}
 	m.mu.Lock()
 	w := m.workers[hb.Worker]
-	if w != nil && !w.dead {
+	switch {
+	case w == nil || w.state == stateDead || hb.Instance != m.instance:
+		reply.Unknown = true
+	case w.state == stateDrained:
+		reply.Retired = true
+	default:
 		w.lastBeat = time.Now()
 		w.hbRunning = hb.Running
 		w.hbTasksDone = hb.TasksDone
@@ -476,6 +755,16 @@ func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) er
 	reg.Gauge(fmt.Sprintf("distmr worker %d running", hb.Worker)).Set(hb.Running)
 	reg.Gauge(fmt.Sprintf("distmr worker %d store bytes", hb.Worker)).Set(hb.StoreBytes)
 	return nil
+}
+
+// Retire starts a graceful drain for a worker (normally requested by the
+// worker itself on SIGTERM or by an autoscaler).
+func (s *masterService) Retire(args *RetireArgs, _ *RetireReply) error {
+	r, err := DecodeRetire(args.Data)
+	if err != nil {
+		return err
+	}
+	return s.m.retireWorker(r.Worker, r.Reason)
 }
 
 // ReadFile serves a file from the running job's DFS to workers (side
@@ -517,6 +806,7 @@ func (m *Master) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Re
 	m.fs = c.FS
 	m.jobSeq++
 	seq := m.jobSeq
+	m.jobActive = true
 	if reg := c.Tracer.Registry(); reg != nil {
 		m.reg = reg
 	}
@@ -534,8 +824,16 @@ func (m *Master) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Re
 	}
 	res, err := jr.run()
 	jr.close()
+	m.mu.Lock()
+	m.jobActive = false
+	m.mu.Unlock()
 	m.setJobStatus(nil)
 	m.cleanJob(seq)
+	if err == nil && m.cfg.PersistState {
+		// The job finished; its persisted recovery state (and any drain
+		// hand-off segments, which live under the same prefix) is garbage.
+		c.FS.DeletePrefix(statePrefix(job.Name))
+	}
 	return res, err
 }
 
@@ -545,7 +843,7 @@ func (m *Master) cleanJob(seq uint64) {
 	m.mu.Lock()
 	workers := make([]*workerHandle, 0, len(m.workers))
 	for _, w := range m.workers {
-		if !w.dead {
+		if w.alive() {
 			workers = append(workers, w)
 		}
 	}

@@ -7,18 +7,18 @@ import "ffmr/internal/spill"
 // custom wire format (wire.go) inside these envelopes; results and
 // bookkeeping use net/rpc's native gob encoding.
 
-// RegisterArgs is a worker's registration request.
+// RegisterArgs carries one wire-encoded JoinRequest.
 type RegisterArgs struct {
-	// Addr is the worker's own listen address, which the master dials
-	// back for task dispatch and which reducers dial for shuffle fetches.
-	Addr string
-	// Pid identifies the worker process (0 for in-process workers).
-	Pid int
+	Data []byte
 }
 
 // RegisterReply assigns the worker its identity and cadence.
 type RegisterReply struct {
-	Worker            uint64
+	Worker uint64
+	// Instance identifies this master instance; the worker echoes it in
+	// every heartbeat so a restarted master (fresh instance, fresh id
+	// counter) can tell stale workers from re-registered ones.
+	Instance          uint64
 	HeartbeatInterval int64 // nanoseconds
 }
 
@@ -28,9 +28,35 @@ type HeartbeatArgs struct {
 }
 
 // HeartbeatReply is the master's response; Shutdown tells the worker to
-// exit (the master is shutting down).
+// exit (the master is shutting down). Unknown means the master has no
+// live record of this worker id (it was expired, or the master
+// restarted): the worker should re-register for a fresh identity.
+// Retired means the worker's drain completed — its outputs are handed
+// off — and it may now exit cleanly.
 type HeartbeatReply struct {
 	Shutdown bool
+	Unknown  bool
+	Retired  bool
+}
+
+// RetireArgs carries one wire-encoded Retire request.
+type RetireArgs struct {
+	Data []byte
+}
+
+// RetireReply is empty.
+type RetireReply struct{}
+
+// HandoffArgs carries one wire-encoded HandoffDescriptor, asking a
+// draining worker for the stored bytes of the listed segments.
+type HandoffArgs struct {
+	Desc []byte
+}
+
+// HandoffReply returns the stored (possibly compressed) bytes of each
+// requested segment, in descriptor order.
+type HandoffReply struct {
+	Data [][]byte
 }
 
 // ReadFileArgs asks the master for a file from the job's DFS (side

@@ -1,10 +1,14 @@
 package distmr
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"log/slog"
 	"net/rpc"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"ffmr/internal/mapreduce"
@@ -54,6 +58,14 @@ type taskState struct {
 	winnerW *workerHandle
 	dur     time.Duration
 
+	// handoff: the winning output lives in the master's DFS (drain
+	// hand-off or restart rehydration), not on a worker. Reducers fetch
+	// it via Master.ReadFile, and losing a worker never invalidates it.
+	// persisted: PersistState copied the winner's segments and manifest
+	// to DFS at completion, so a hand-off is a flag flip, not a copy.
+	handoff   bool
+	persisted bool
+
 	outstanding map[int]*dispatch // assign -> in-flight lease
 	specDone    bool              // a backup attempt has been launched
 }
@@ -82,7 +94,29 @@ type jobRun struct {
 	reducesDone int
 	reducesOn   bool // reduce phase opened (output prefix cleared)
 
+	// assignBase offsets every wire Assign by the master generation's
+	// epoch (PersistState only), so (task, exec) submission keys, worker
+	// store prefixes and crash draws never collide with a previous
+	// master's partial executions of the same job.
+	assignBase int
+	// segPrefix is where handed-off and persisted segments live in DFS.
+	segPrefix string
+
 	lastLive time.Time
+}
+
+// statePrefix is where a job persists its recovery state in the DFS:
+// an epoch counter, per-task winner manifests, and the winners' map
+// output segments. Keyed by job name (stable across master restarts).
+func statePrefix(jobName string) string { return "distmr-state/" + jobName + "/" }
+
+// taskManifest is the gob-encoded DFS record of one task winner, enough
+// to rehydrate the scheduler's view of that task after a master restart.
+type taskManifest struct {
+	Phase   Phase
+	Task    int
+	Attempt int
+	Result  TaskResult
 }
 
 // close releases every lease goroutine still in flight.
@@ -112,16 +146,22 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 	res.MapTasks = len(jr.splits)
 	res.ReduceTasks = job.NumReducers
 
+	jr.segPrefix = statePrefix(job.Name) + "seg/"
 	jr.maps = make([]taskState, len(jr.splits))
 	for i := range jr.maps {
 		jr.maps[i] = taskState{ph: PhaseMap, task: i, node: jr.splits[i].Node, outstanding: map[int]*dispatch{}}
-		jr.enqueue(&jr.maps[i])
 	}
 	jr.reduces = make([]taskState, job.NumReducers)
 	for p := range jr.reduces {
 		jr.reduces[p] = taskState{ph: PhaseReduce, task: p, node: p % c.Nodes, outstanding: map[int]*dispatch{}}
 	}
-	if len(jr.maps) == 0 {
+	if jr.m.cfg.PersistState {
+		jr.restoreState()
+	}
+	for i := range jr.maps {
+		jr.enqueue(&jr.maps[i]) // enqueue skips restored (done) tasks
+	}
+	if jr.mapsDone == len(jr.maps) {
 		jr.openReduce()
 	}
 
@@ -142,6 +182,7 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 			}
 		case <-ticker.C:
 			jr.m.checkHeartbeats()
+			jr.checkDrains()
 			jr.checkSpeculation()
 			if err := jr.checkLiveness(); err != nil {
 				return nil, err
@@ -249,9 +290,15 @@ func (jr *jobRun) publishStatus() {
 	}
 	for i := range jr.maps {
 		js.InFlight += len(jr.maps[i].outstanding)
+		if jr.maps[i].queued {
+			js.Queued++
+		}
 	}
 	for p := range jr.reduces {
 		js.InFlight += len(jr.reduces[p].outstanding)
+		if jr.reduces[p].queued {
+			js.Queued++
+		}
 		if jr.reduces[p].parked {
 			js.Parked++
 		}
@@ -412,7 +459,7 @@ func (jr *jobRun) descriptor(ts *taskState, assign int) *TaskDescriptor {
 		Phase:        ts.ph,
 		Task:         ts.task,
 		Attempt:      ts.attempt,
-		Assign:       assign,
+		Assign:       jr.assignBase + assign,
 		Node:         ts.node,
 		Round:        job.Round,
 		NumReducers:  job.NumReducers,
@@ -453,7 +500,14 @@ func (jr *jobRun) sources(p int) []MapSource {
 		if len(segs) == 0 {
 			continue
 		}
-		srcs = append(srcs, MapSource{MapTask: i, Worker: mt.winnerW.id, Addr: mt.winnerW.addr, Segments: segs})
+		if mt.handoff {
+			// The output was handed off (drain) or rehydrated (restart):
+			// it is served from DFS, with metadata untouched, so fetch and
+			// inter-node accounting stay byte-identical.
+			srcs = append(srcs, MapSource{MapTask: i, Prefix: jr.segPrefix, Segments: segs})
+		} else {
+			srcs = append(srcs, MapSource{MapTask: i, Worker: mt.winnerW.id, Addr: mt.winnerW.addr, Segments: segs})
+		}
 	}
 	return srcs
 }
@@ -541,6 +595,9 @@ func (jr *jobRun) handle(ev event) error {
 	ts.winner = res
 	ts.winnerW = ev.w
 	ts.dur = time.Duration(res.DurNanos)
+	if jr.m.cfg.PersistState {
+		jr.persistWinner(ts)
+	}
 	if ev.ph == PhaseMap {
 		jr.mapsDone++
 		if jr.mapsDone == len(jr.maps) {
@@ -571,6 +628,18 @@ func (jr *jobRun) invalidateMap(mt int, from uint64) {
 	if !ts.done {
 		return // already being re-run
 	}
+	if ts.handoff {
+		return // output lives in DFS; no worker death can lose it
+	}
+	if ts.persisted {
+		// The winner's segments are already in DFS (PersistState copies
+		// them at completion): repoint the reduce at them instead of
+		// re-executing the map — the drain invariant, applied to a crash.
+		ts.handoff = true
+		jr.m.registry().Counter(CounterHandoffSegments).Add(1)
+		jr.log.Info("lost map served from persisted state", "map", mt, "worker", from)
+		return
+	}
 	if ts.winnerW != nil && ts.winnerW.id != from {
 		return // winner already moved to another worker
 	}
@@ -581,6 +650,198 @@ func (jr *jobRun) invalidateMap(mt int, from uint64) {
 	jr.m.registry().Counter(CounterLostMapRecoveries).Add(1)
 	jr.log.Warn("re-running map with lost outputs", "map", mt, "worker", from)
 	jr.enqueue(ts)
+}
+
+// checkDrains completes graceful drains while the job runs. A draining
+// worker receives no new leases (pickWorker skips it); once its running
+// attempts have finished, every winning map output still living on it is
+// handed off through DFS, its tasks' sources are repointed, and only
+// then is the worker deregistered. Completed map tasks are never
+// re-executed by a drain — that is the invariant the attempt counters in
+// the drain tests pin down.
+func (jr *jobRun) checkDrains() {
+	for _, w := range jr.m.drainingWorkers() {
+		if jr.m.workerRunning(w) > 0 {
+			continue // running attempts finish first
+		}
+		if !jr.handoffWorker(w) {
+			continue
+		}
+		jr.m.completeDrain(w)
+	}
+}
+
+// handoffWorker pulls every winning map segment still living on w into
+// the job's DFS state prefix and flips those tasks to hand-off serving.
+// Returns false when the hand-off could not complete this tick (the
+// worker died mid-drain — normal crash recovery re-executes instead, or
+// a transient DFS error — retried next tick).
+func (jr *jobRun) handoffWorker(w *workerHandle) bool {
+	var tasks []*taskState
+	var names []string
+	for i := range jr.maps {
+		ts := &jr.maps[i]
+		if !ts.done || ts.winnerW != w || ts.handoff {
+			continue
+		}
+		tasks = append(tasks, ts)
+		if ts.persisted {
+			continue // segments already copied to DFS at completion
+		}
+		for _, segs := range ts.winner.Parts {
+			for j := range segs {
+				names = append(names, segs[j].Name)
+			}
+		}
+	}
+	if len(names) > 0 {
+		args := &HandoffArgs{Desc: EncodeHandoff(&HandoffDescriptor{JobSeq: jr.seq, Segments: names})}
+		reply := &HandoffReply{}
+		if err := w.client.Call("Worker.Handoff", args, reply); err != nil {
+			jr.log.Warn("drain hand-off failed; treating worker as dead", "worker", w.id, "err", err)
+			jr.m.markDead(w)
+			return false
+		}
+		if len(reply.Data) != len(names) {
+			jr.log.Warn("drain hand-off returned short data; treating worker as dead",
+				"worker", w.id, "want", len(names), "got", len(reply.Data))
+			jr.m.markDead(w)
+			return false
+		}
+		for i, name := range names {
+			if err := jr.c.FS.WriteFile(jr.segPrefix+name, reply.Data[i]); err != nil {
+				jr.log.Warn("drain hand-off DFS write failed; will retry", "worker", w.id, "err", err)
+				return false
+			}
+		}
+		jr.m.registry().Counter(CounterHandoffSegments).Add(int64(len(names)))
+	}
+	for _, ts := range tasks {
+		ts.handoff = true
+	}
+	if len(tasks) > 0 {
+		jr.log.Info("drain hand-off complete", "worker", w.id,
+			"maps", len(tasks), "segments", len(names))
+	}
+	return true
+}
+
+// persistWinner writes a completed task's winner to DFS (PersistState):
+// for maps, the output segments are first pulled from the winning worker
+// into the state prefix; then a manifest records the winner. The
+// manifest is written last, so a crash mid-persist leaves at worst
+// orphaned segment files, never a manifest pointing at missing data. A
+// failed persist is logged and skipped — the task simply is not
+// restorable, and a restarted master re-executes it.
+func (jr *jobRun) persistWinner(ts *taskState) {
+	if ts.ph == PhaseMap {
+		var names []string
+		for _, segs := range ts.winner.Parts {
+			for j := range segs {
+				names = append(names, segs[j].Name)
+			}
+		}
+		if len(names) > 0 {
+			args := &HandoffArgs{Desc: EncodeHandoff(&HandoffDescriptor{JobSeq: jr.seq, Segments: names})}
+			reply := &HandoffReply{}
+			if err := ts.winnerW.client.Call("Worker.Handoff", args, reply); err != nil || len(reply.Data) != len(names) {
+				jr.log.Warn("winner persist: segment pull failed", "phase", ts.ph.String(),
+					"task", ts.task, "worker", ts.winnerW.id, "err", err)
+				return
+			}
+			for i, name := range names {
+				if err := jr.c.FS.WriteFile(jr.segPrefix+name, reply.Data[i]); err != nil {
+					jr.log.Warn("winner persist: DFS write failed", "task", ts.task, "err", err)
+					return
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	man := taskManifest{Phase: ts.ph, Task: ts.task, Attempt: ts.attempt, Result: *ts.winner}
+	if err := gob.NewEncoder(&buf).Encode(&man); err != nil {
+		jr.log.Warn("winner persist: manifest encode failed", "task", ts.task, "err", err)
+		return
+	}
+	name := fmt.Sprintf("%stask/%s-%05d", statePrefix(jr.job.Name), ts.ph, ts.task)
+	if err := jr.c.FS.WriteFile(name, buf.Bytes()); err != nil {
+		jr.log.Warn("winner persist: manifest write failed", "task", ts.task, "err", err)
+		return
+	}
+	ts.persisted = true
+}
+
+// restoreState rehydrates the scheduler from DFS-persisted job state
+// (PersistState): completed tasks become winners again — maps served
+// from the state prefix via hand-off, reduces with their output data —
+// and their failed body attempts are re-counted so "task failures"
+// matches a single uninterrupted run. It also advances the job's epoch,
+// offsetting every new Assign so (task, exec) submission keys from the
+// previous master generation can never collide with this one's —
+// aug_proc's DeterministicAccept dedup then keeps exactly one complete
+// execution per reduce, exactly as DESIGN.md §7 requires.
+func (jr *jobRun) restoreState() {
+	fs := jr.c.FS
+	prefix := statePrefix(jr.job.Name)
+	epoch := 0
+	if data, err := fs.ReadFile(prefix + "epoch"); err == nil {
+		if n, err := strconv.Atoi(strings.TrimSpace(string(data))); err == nil && n > 0 {
+			epoch = n
+		}
+	}
+	jr.assignBase = epoch * jr.m.cfg.MaxAssigns
+	if err := fs.WriteFile(prefix+"epoch", []byte(strconv.Itoa(epoch+1))); err != nil {
+		jr.log.Warn("state restore: epoch write failed", "err", err)
+	}
+	restored := 0
+	for _, name := range fs.List(prefix + "task/") {
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		var man taskManifest
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&man); err != nil {
+			jr.log.Warn("state restore: corrupt manifest skipped", "name", name, "err", err)
+			continue
+		}
+		var ts *taskState
+		switch {
+		case man.Phase == PhaseMap && man.Task >= 0 && man.Task < len(jr.maps):
+			ts = &jr.maps[man.Task]
+		case man.Phase == PhaseReduce && man.Task >= 0 && man.Task < len(jr.reduces):
+			ts = &jr.reduces[man.Task]
+		default:
+			jr.log.Warn("state restore: manifest out of range skipped", "name", name)
+			continue
+		}
+		if ts.done {
+			continue
+		}
+		res := man.Result
+		ts.done = true
+		ts.winner = &res
+		ts.attempt = man.Attempt
+		ts.handoff = true
+		ts.persisted = true
+		ts.dur = time.Duration(res.DurNanos)
+		if man.Phase == PhaseMap {
+			jr.mapsDone++
+		} else {
+			jr.reducesDone++
+		}
+		// The previous generation's master counted these failed body
+		// attempts into counters that died with it; re-count them here so
+		// the job's "task failures" matches an uninterrupted run.
+		if man.Attempt > 0 {
+			jr.counters.Add("task failures", int64(man.Attempt))
+		}
+		restored++
+	}
+	if restored > 0 {
+		jr.m.registry().Counter(CounterRestoredTasks).Add(int64(restored))
+		jr.log.Info("scheduler state rehydrated from DFS", "epoch", epoch,
+			"restored", restored, "maps_done", jr.mapsDone, "reduces_done", jr.reducesDone)
+	}
 }
 
 // unpark re-dispatches reduces that were waiting for lost map outputs.

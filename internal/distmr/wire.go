@@ -54,6 +54,12 @@ type MapSource struct {
 	// running on that worker reads its local store instead of fetching.
 	Worker uint64
 	Addr   string
+	// Prefix, when non-empty, says the segments no longer live on a
+	// worker: they were handed off (drain) or rehydrated (master restart)
+	// into the master's DFS under Prefix+Segment.Name, and the reducer
+	// fetches them via Master.ReadFile. The segment metadata is unchanged
+	// by a hand-off, so shuffle and merge statistics stay identical.
+	Prefix string
 	// Segments are this partition's segments from the winning attempt.
 	Segments []spill.Segment
 }
@@ -118,7 +124,13 @@ type TaskDescriptor struct {
 // piggybacks per-task progress on the beat, so the master's live status
 // needs no extra RPC traffic.
 type Heartbeat struct {
-	Worker       uint64
+	Worker uint64
+	// Instance echoes the master-instance nonce the worker registered
+	// with. Master generations restart their worker-id counter, so after
+	// a restart a stale worker's old id can collide with a re-registered
+	// worker's new one; the nonce mismatch forces the stale worker onto
+	// the Unknown → re-register path instead of silently impersonating.
+	Instance     uint64
 	Seq          uint64
 	Running      int64
 	StoreObjects int64
@@ -126,7 +138,9 @@ type Heartbeat struct {
 	TasksDone    int64
 }
 
-const wireVersion = 1
+// wireVersion 2 added MapSource.Prefix and the membership messages
+// (JoinRequest, Retire, HandoffDescriptor).
+const wireVersion = 2
 
 // appendString appends a length-prefixed string.
 func appendString(b []byte, s string) []byte {
@@ -196,6 +210,7 @@ func EncodeTask(d *TaskDescriptor) []byte {
 		b = binary.AppendVarint(b, int64(src.MapTask))
 		b = binary.AppendUvarint(b, src.Worker)
 		b = appendString(b, src.Addr)
+		b = appendString(b, src.Prefix)
 		b = binary.AppendUvarint(b, uint64(len(src.Segments)))
 		for j := range src.Segments {
 			b = appendSegment(b, &src.Segments[j])
@@ -209,6 +224,7 @@ func EncodeHeartbeat(h *Heartbeat) []byte {
 	b := make([]byte, 0, 32)
 	b = append(b, wireVersion)
 	b = binary.AppendUvarint(b, h.Worker)
+	b = binary.AppendUvarint(b, h.Instance)
 	b = binary.AppendUvarint(b, h.Seq)
 	b = binary.AppendVarint(b, h.Running)
 	b = binary.AppendVarint(b, h.StoreObjects)
@@ -383,6 +399,7 @@ func DecodeTask(data []byte) (*TaskDescriptor, error) {
 			src.MapTask = d.intv("source map task")
 			src.Worker = d.uvarint("source worker")
 			src.Addr = d.str("source addr")
+			src.Prefix = d.str("source prefix")
 			if m := d.count("source segments"); m > 0 {
 				src.Segments = make([]spill.Segment, m)
 				for j := range src.Segments {
@@ -400,6 +417,135 @@ func DecodeTask(data []byte) (*TaskDescriptor, error) {
 	return t, nil
 }
 
+// JoinRequest is a worker's membership announcement, carried inside
+// RegisterArgs. A mid-job join makes the worker immediately eligible for
+// pending leases and shuffle serving: the scheduler's next dispatch pass
+// sees it in pickWorker.
+type JoinRequest struct {
+	// Addr is the worker's own listen address, which the master dials
+	// back for task dispatch and which reducers dial for shuffle fetches.
+	Addr string
+	// Pid identifies the worker process (0 for in-process workers).
+	Pid int
+	// PrevWorker is the id this worker held before losing its identity
+	// (the master restarted, or expired it during a partition); 0 on a
+	// fresh join. The master logs the lineage but always assigns a new id
+	// — stale leases keyed to the old id must not resurrect.
+	PrevWorker uint64
+}
+
+// Retire asks the master to drain a worker: no new leases, running
+// attempts finish, completed map output is handed off through DFS, and
+// only then is the worker deregistered (told to exit via its next
+// heartbeat).
+type Retire struct {
+	Worker uint64
+	// Reason is free-form ("sigterm", "autoscaler", ...), for the log.
+	Reason string
+}
+
+// HandoffDescriptor lists the spill segments a draining worker must
+// surrender to the master before it may deregister, so its completed map
+// tasks are not re-executed.
+type HandoffDescriptor struct {
+	JobSeq   uint64
+	Segments []string
+}
+
+// EncodeJoin serializes a join request.
+func EncodeJoin(j *JoinRequest) []byte {
+	b := make([]byte, 0, 32+len(j.Addr))
+	b = append(b, wireVersion)
+	b = appendString(b, j.Addr)
+	b = binary.AppendVarint(b, int64(j.Pid))
+	b = binary.AppendUvarint(b, j.PrevWorker)
+	return b
+}
+
+// DecodeJoin parses an encoded join request. It never panics on
+// malformed input.
+func DecodeJoin(data []byte) (*JoinRequest, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown join wire version %d", v)
+	}
+	j := &JoinRequest{}
+	j.Addr = d.str("join addr")
+	j.Pid = d.intv("join pid")
+	j.PrevWorker = d.uvarint("join prev worker")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after join request", len(data)-d.off)
+	}
+	return j, nil
+}
+
+// EncodeRetire serializes a retire request.
+func EncodeRetire(r *Retire) []byte {
+	b := make([]byte, 0, 16+len(r.Reason))
+	b = append(b, wireVersion)
+	b = binary.AppendUvarint(b, r.Worker)
+	b = appendString(b, r.Reason)
+	return b
+}
+
+// DecodeRetire parses an encoded retire request. It never panics on
+// malformed input.
+func DecodeRetire(data []byte) (*Retire, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown retire wire version %d", v)
+	}
+	r := &Retire{}
+	r.Worker = d.uvarint("retire worker")
+	r.Reason = d.str("retire reason")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after retire request", len(data)-d.off)
+	}
+	return r, nil
+}
+
+// EncodeHandoff serializes a hand-off descriptor.
+func EncodeHandoff(h *HandoffDescriptor) []byte {
+	b := make([]byte, 0, 16)
+	b = append(b, wireVersion)
+	b = binary.AppendUvarint(b, h.JobSeq)
+	b = binary.AppendUvarint(b, uint64(len(h.Segments)))
+	for _, s := range h.Segments {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+// DecodeHandoff parses an encoded hand-off descriptor. It never panics
+// on malformed input.
+func DecodeHandoff(data []byte) (*HandoffDescriptor, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown handoff wire version %d", v)
+	}
+	h := &HandoffDescriptor{}
+	h.JobSeq = d.uvarint("handoff job seq")
+	if n := d.count("handoff segments"); n > 0 {
+		h.Segments = make([]string, n)
+		for i := range h.Segments {
+			h.Segments[i] = d.str("handoff segment")
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after handoff descriptor", len(data)-d.off)
+	}
+	return h, nil
+}
+
 // DecodeHeartbeat parses an encoded heartbeat. It never panics on
 // malformed input.
 func DecodeHeartbeat(data []byte) (*Heartbeat, error) {
@@ -409,6 +555,7 @@ func DecodeHeartbeat(data []byte) (*Heartbeat, error) {
 	}
 	h := &Heartbeat{}
 	h.Worker = d.uvarint("worker")
+	h.Instance = d.uvarint("instance")
 	h.Seq = d.uvarint("seq")
 	h.Running = d.varint("running")
 	h.StoreObjects = d.varint("store objects")

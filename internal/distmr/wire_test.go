@@ -40,6 +40,9 @@ func sampleTask() *TaskDescriptor {
 				{Name: "j42-m0-a0-p1-s1", Partition: 1, Records: 4, RawBytes: 128, StoredBytes: 128, Node: 1},
 			}},
 			{MapTask: 1, Worker: 5, Addr: "127.0.0.1:4002"},
+			{MapTask: 2, Prefix: "distmr-state/ff-round-3/seg/", Segments: []spill.Segment{
+				{Name: "j42-m2-a1-p1-s0", Partition: 1, Records: 6, RawBytes: 256, StoredBytes: 256, Node: 0},
+			}},
 		},
 	}
 }
@@ -67,7 +70,7 @@ func TestTaskDescriptorRoundTrip(t *testing.T) {
 }
 
 func TestHeartbeatRoundTrip(t *testing.T) {
-	want := &Heartbeat{Worker: 9, Seq: 1234, Running: 3, StoreObjects: 77, StoreBytes: 1 << 20}
+	want := &Heartbeat{Worker: 9, Instance: 1700000000123456789, Seq: 1234, Running: 3, StoreObjects: 77, StoreBytes: 1 << 20}
 	got, err := DecodeHeartbeat(EncodeHeartbeat(want))
 	if err != nil {
 		t.Fatalf("DecodeHeartbeat: %v", err)
@@ -106,6 +109,67 @@ func TestDecodeRejectsCorruptInput(t *testing.T) {
 	}
 	if _, err := DecodeHeartbeat(append(append([]byte(nil), hb...), 7)); err == nil {
 		t.Error("DecodeHeartbeat accepted trailing bytes")
+	}
+}
+
+// TestMembershipMessageRoundTrips covers the join/retire/hand-off wire
+// messages added for elastic membership.
+func TestMembershipMessageRoundTrips(t *testing.T) {
+	join := &JoinRequest{Addr: "127.0.0.1:5001", Pid: 4242, PrevWorker: 17}
+	if got, err := DecodeJoin(EncodeJoin(join)); err != nil || !reflect.DeepEqual(got, join) {
+		t.Errorf("join round trip: got %+v, %v; want %+v", got, err, join)
+	}
+	joinZero := &JoinRequest{}
+	if got, err := DecodeJoin(EncodeJoin(joinZero)); err != nil || !reflect.DeepEqual(got, joinZero) {
+		t.Errorf("zero join round trip: got %+v, %v", got, err)
+	}
+
+	retire := &Retire{Worker: 9, Reason: "autoscaler scale-down"}
+	if got, err := DecodeRetire(EncodeRetire(retire)); err != nil || !reflect.DeepEqual(got, retire) {
+		t.Errorf("retire round trip: got %+v, %v; want %+v", got, err, retire)
+	}
+
+	handoff := &HandoffDescriptor{JobSeq: 42, Segments: []string{"j42-m0-a0-p1-s0", "j42-m0-a0-p2-s0"}}
+	if got, err := DecodeHandoff(EncodeHandoff(handoff)); err != nil || !reflect.DeepEqual(got, handoff) {
+		t.Errorf("handoff round trip: got %+v, %v; want %+v", got, err, handoff)
+	}
+	empty := &HandoffDescriptor{JobSeq: 1}
+	if got, err := DecodeHandoff(EncodeHandoff(empty)); err != nil {
+		t.Errorf("empty handoff round trip: %v", err)
+	} else if got.JobSeq != 1 || len(got.Segments) != 0 {
+		t.Errorf("empty handoff round trip: got %+v", got)
+	}
+}
+
+// TestMembershipMessagesRejectCorruptInput mirrors the task/heartbeat
+// corruption coverage for the membership messages.
+func TestMembershipMessagesRejectCorruptInput(t *testing.T) {
+	join := EncodeJoin(&JoinRequest{Addr: "127.0.0.1:5001", Pid: 1, PrevWorker: 2})
+	retire := EncodeRetire(&Retire{Worker: 3, Reason: "r"})
+	handoff := EncodeHandoff(&HandoffDescriptor{JobSeq: 4, Segments: []string{"s"}})
+
+	for name, c := range map[string]struct {
+		enc    []byte
+		decode func([]byte) error
+	}{
+		"join":    {join, func(b []byte) error { _, err := DecodeJoin(b); return err }},
+		"retire":  {retire, func(b []byte) error { _, err := DecodeRetire(b); return err }},
+		"handoff": {handoff, func(b []byte) error { _, err := DecodeHandoff(b); return err }},
+	} {
+		for n := 0; n < len(c.enc); n++ {
+			if err := c.decode(c.enc[:n]); err == nil {
+				t.Fatalf("%s: accepted a %d-byte truncation of %d bytes", name, n, len(c.enc))
+			}
+		}
+		if err := c.decode(append(append([]byte(nil), c.enc...), 0)); err == nil ||
+			!strings.Contains(err.Error(), "trailing") {
+			t.Errorf("%s trailing byte: got %v, want trailing-bytes error", name, err)
+		}
+		bad := append([]byte(nil), c.enc...)
+		bad[0] = wireVersion + 1
+		if err := c.decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("%s bad version: got %v, want version error", name, err)
+		}
 	}
 }
 
@@ -152,6 +216,73 @@ func FuzzDecodeHeartbeat(f *testing.F) {
 			t.Fatalf("re-encode of accepted input does not decode: %v", err)
 		}
 		if re := EncodeHeartbeat(h2); string(re) != string(enc) {
+			t.Errorf("re-encode is not a fixed point:\n enc %x\n re  %x", enc, re)
+		}
+	})
+}
+
+// FuzzDecodeJoin applies the fixed-point property to the join request.
+func FuzzDecodeJoin(f *testing.F) {
+	f.Add(EncodeJoin(&JoinRequest{Addr: "127.0.0.1:5001", Pid: 4242, PrevWorker: 17}))
+	f.Add(EncodeJoin(&JoinRequest{}))
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := DecodeJoin(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeJoin(j)
+		j2, err := DecodeJoin(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input does not decode: %v", err)
+		}
+		if re := EncodeJoin(j2); string(re) != string(enc) {
+			t.Errorf("re-encode is not a fixed point:\n enc %x\n re  %x", enc, re)
+		}
+	})
+}
+
+// FuzzDecodeRetire applies the fixed-point property to the retire request.
+func FuzzDecodeRetire(f *testing.F) {
+	f.Add(EncodeRetire(&Retire{Worker: 9, Reason: "scale-down"}))
+	f.Add(EncodeRetire(&Retire{}))
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRetire(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeRetire(r)
+		r2, err := DecodeRetire(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input does not decode: %v", err)
+		}
+		if re := EncodeRetire(r2); string(re) != string(enc) {
+			t.Errorf("re-encode is not a fixed point:\n enc %x\n re  %x", enc, re)
+		}
+	})
+}
+
+// FuzzDecodeHandoff applies the fixed-point property to the hand-off
+// descriptor.
+func FuzzDecodeHandoff(f *testing.F) {
+	f.Add(EncodeHandoff(&HandoffDescriptor{JobSeq: 42, Segments: []string{"j42-m0-a0-p1-s0", "j42-m0-a0-p2-s0"}}))
+	f.Add(EncodeHandoff(&HandoffDescriptor{}))
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHandoff(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeHandoff(h)
+		h2, err := DecodeHandoff(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input does not decode: %v", err)
+		}
+		if re := EncodeHandoff(h2); string(re) != string(enc) {
 			t.Errorf("re-encode is not a fixed point:\n enc %x\n re  %x", enc, re)
 		}
 	})

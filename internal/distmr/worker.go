@@ -60,19 +60,30 @@ type WorkerConfig struct {
 // to other workers. Create with StartWorker; it registers itself and
 // heartbeats until Close, a master shutdown, or an injected crash.
 type Worker struct {
-	cfg    WorkerConfig
-	id     uint64
-	ln     net.Listener
-	master *rpc.Client
+	cfg WorkerConfig
+	id  atomic.Uint64 // master-assigned; changes on re-registration
+	// instance is the master-instance nonce from the last registration,
+	// echoed in every heartbeat so a restarted master can tell this
+	// worker's stale id from a re-registered worker's fresh one.
+	instance atomic.Uint64
+	ln       net.Listener
+	// master is the client to the master, swapped by the heartbeat loop
+	// when it redials after the master restarts.
+	master  atomic.Pointer[rpc.Client]
 	hbEvery time.Duration
-	log    *slog.Logger
-	flight *obsv.FlightRecorder
-	admin  *obsv.Admin
+	log     *slog.Logger
+	flight  *obsv.FlightRecorder
+	admin   *obsv.Admin
 
 	running   atomic.Int64
 	tasksDone atomic.Int64
 	dead      atomic.Bool
 	crashed   atomic.Bool
+	draining  atomic.Bool
+	// taskDelay is injected slow-node latency (nanoseconds) applied to
+	// every task attempt before it executes; chaos schedules use it to
+	// manufacture stragglers for the speculation machinery.
+	taskDelay atomic.Int64
 
 	closeOnce sync.Once
 	stop      chan struct{} // closed on death; stops the heartbeat loop
@@ -145,20 +156,16 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 		w.die(false)
 		return nil, err
 	}
-	w.master = master
-	var reply RegisterReply
-	args := &RegisterArgs{Addr: ln.Addr().String(), Pid: os.Getpid()}
-	if err := master.Call("Master.Register", args, &reply); err != nil {
+	w.master.Store(master)
+	if err := w.register(0); err != nil {
 		w.die(false)
-		return nil, fmt.Errorf("distmr: register with master: %w", err)
+		return nil, err
 	}
-	w.id = reply.Worker
-	w.hbEvery = time.Duration(reply.HeartbeatInterval)
 	if w.hbEvery <= 0 {
 		w.hbEvery = 100 * time.Millisecond
 	}
-	w.log = w.log.With("worker", w.id)
-	w.flight.SetSource(fmt.Sprintf("worker-%d", w.id))
+	w.log = w.log.With("worker", w.id.Load())
+	w.flight.SetSource(fmt.Sprintf("worker-%d", w.id.Load()))
 	if cfg.Obsv.AdminAddr != "" {
 		admin, err := obsv.StartAdmin(obsv.AdminConfig{
 			Addr:    cfg.Obsv.AdminAddr,
@@ -185,14 +192,78 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	return w, nil
 }
 
+// register announces the worker to the master and adopts the assigned
+// identity. prev is the worker's previous id when re-registering after
+// the master forgot it (expiry, or a master restart); 0 on first join.
+func (w *Worker) register(prev uint64) error {
+	args := &RegisterArgs{Data: EncodeJoin(&JoinRequest{
+		Addr:       w.ln.Addr().String(),
+		Pid:        os.Getpid(),
+		PrevWorker: prev,
+	})}
+	var reply RegisterReply
+	if err := w.master.Load().Call("Master.Register", args, &reply); err != nil {
+		return fmt.Errorf("distmr: register with master: %w", err)
+	}
+	w.id.Store(reply.Worker)
+	if old := w.instance.Swap(reply.Instance); old != 0 && old != reply.Instance {
+		// A new master generation: jobs of the dead generation will never
+		// send CleanJob, so their cached code would linger forever. Their
+		// job sequence numbers can never be reused (each generation seeds
+		// the counter from its instance nonce), so dropping every cached
+		// entry is safe — tasks of the new generation rebuild on receipt.
+		w.mu.Lock()
+		w.jobs = make(map[uint64]*workerJob)
+		w.mu.Unlock()
+	}
+	if hb := time.Duration(reply.HeartbeatInterval); hb > 0 {
+		w.hbEvery = hb
+	}
+	return nil
+}
+
 // Addr returns the worker's listen address.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
 
 // ID returns the master-assigned worker id.
-func (w *Worker) ID() uint64 { return w.id }
+func (w *Worker) ID() uint64 { return w.id.Load() }
+
+// TasksDone returns how many task attempts this worker has completed.
+func (w *Worker) TasksDone() int64 { return w.tasksDone.Load() }
+
+// Draining reports whether a drain has been requested on this worker.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+// SetTaskDelay injects slow-node latency: every subsequent task attempt
+// sleeps d before executing, making this worker a straggler without
+// changing any task outcome. Zero removes the delay.
+func (w *Worker) SetTaskDelay(d time.Duration) { w.taskDelay.Store(int64(d)) }
+
+// Kill terminates the worker the way an injected crash does: flight
+// recorder dumped, OnDeath fired, no goodbye to the master. Chaos
+// schedules use it to fell a specific worker at a specific moment.
+func (w *Worker) Kill() { w.die(true) }
+
+// Drain asks the master to retire this worker gracefully: no new leases
+// are granted, running attempts finish, and completed map output is
+// handed off through the DFS before the master tells the worker (via a
+// heartbeat reply) that it may exit. Idempotent.
+func (w *Worker) Drain() {
+	if w.dead.Load() || !w.draining.CompareAndSwap(false, true) {
+		return
+	}
+	w.log.Info("drain requested")
+	args := &RetireArgs{Data: EncodeRetire(&Retire{Worker: w.id.Load(), Reason: "worker-requested"})}
+	if err := w.master.Load().Call("Master.Retire", args, &RetireReply{}); err != nil {
+		w.log.Warn("drain request failed", "err", err)
+	}
+}
 
 // Crashed reports whether the worker died from injected WorkerCrashRate.
 func (w *Worker) Crashed() bool { return w.crashed.Load() }
+
+// Dead reports whether the worker is down, whatever the cause.
+func (w *Worker) Dead() bool { return w.dead.Load() }
 
 // AdminAddr returns the worker's admin HTTP address, or "" when no admin
 // server was configured.
@@ -207,12 +278,20 @@ func (w *Worker) AdminAddr() string {
 func (w *Worker) Status() *obsv.ClusterStatus {
 	st := &obsv.ClusterStatus{Role: "worker", Addr: w.Addr()}
 	ws := obsv.WorkerStatus{
-		ID:         w.id,
+		ID:         w.id.Load(),
 		Addr:       w.Addr(),
 		Running:    w.running.Load(),
 		TasksDone:  w.tasksDone.Load(),
 		StoreBytes: w.cfg.Store.Bytes(),
 		Dead:       w.dead.Load(),
+	}
+	switch {
+	case ws.Dead:
+		ws.State = "dead"
+	case w.draining.Load():
+		ws.State = "draining"
+	default:
+		ws.State = "live"
 	}
 	if !ws.Dead {
 		st.WorkersAlive = 1
@@ -276,8 +355,8 @@ func (w *Worker) die(crash bool) {
 				j.code.Close() //nolint:errcheck // best-effort service teardown
 			}
 		}
-		if w.master != nil {
-			w.master.Close()
+		if c := w.master.Load(); c != nil {
+			c.Close()
 		}
 		// The store is wiped even on a crash: a dead tasktracker's local
 		// disk is unreachable either way, and the listener is already
@@ -328,7 +407,8 @@ func (w *Worker) heartbeatLoop() {
 		}
 		seq++
 		hb := &Heartbeat{
-			Worker:       w.id,
+			Worker:       w.id.Load(),
+			Instance:     w.instance.Load(),
 			Seq:          seq,
 			Running:      w.running.Load(),
 			StoreObjects: int64(w.cfg.Store.Objects()),
@@ -336,31 +416,93 @@ func (w *Worker) heartbeatLoop() {
 			TasksDone:    w.tasksDone.Load(),
 		}
 		var reply HeartbeatReply
-		err := w.master.Call("Master.Heartbeat", &HeartbeatArgs{Data: EncodeHeartbeat(hb)}, &reply)
+		err := w.master.Load().Call("Master.Heartbeat", &HeartbeatArgs{Data: EncodeHeartbeat(hb)}, &reply)
 		if err != nil {
 			misses++
 			if misses >= w.cfg.HeartbeatMisses {
 				w.die(false)
 				return
 			}
+			// The client may be permanently shut (master crashed, its conns
+			// closed). Redial fast; a restarted master on the same address
+			// will answer the next beat with Unknown and we re-register.
+			if c, derr := rpcutil.DialRPC(w.cfg.MasterAddr, rpcutil.Policy{
+				Attempts: 1, DialTimeout: time.Second,
+			}); derr == nil {
+				if old := w.master.Swap(c); old != nil {
+					old.Close()
+				}
+				w.log.Debug("redialed master", "misses", misses)
+			}
 		} else {
 			misses = 0
-			if reply.Shutdown {
+			switch {
+			case reply.Shutdown:
 				w.die(false)
 				return
+			case reply.Retired:
+				// Drain complete: the master holds (or handed off) all our
+				// winning output, so exiting loses nothing.
+				w.log.Info("drain complete, exiting")
+				w.die(false)
+				return
+			case reply.Unknown:
+				// The master has no record of us — it expired us or it
+				// restarted. A draining worker just exits (its drain intent
+				// died with the old record); otherwise rejoin under a fresh
+				// identity so queued work can land here again.
+				if w.draining.Load() {
+					w.log.Info("master forgot draining worker, exiting")
+					w.die(false)
+					return
+				}
+				prev := w.id.Load()
+				if rerr := w.register(prev); rerr != nil {
+					misses++
+					if misses >= w.cfg.HeartbeatMisses {
+						w.die(false)
+						return
+					}
+				} else {
+					w.log.Info("re-registered with master", "was", prev, "now", w.id.Load())
+				}
 			}
 		}
 		timer.Reset(w.hbEvery)
 	}
 }
 
-// readMasterFile fetches a file from the master's DFS.
+// readMasterFile fetches a file from the master's DFS. Reads are
+// idempotent, so call failures are retried with a fresh dial for a
+// bounded window: the cached master client goes stale when the master
+// restarts, and waiting for the heartbeat loop's redial would burn the
+// running attempt on what is only a transient gap.
 func (w *Worker) readMasterFile(name string) ([]byte, error) {
-	var reply ReadFileReply
-	if err := w.master.Call("Master.ReadFile", &ReadFileArgs{Name: name}, &reply); err != nil {
-		return nil, fmt.Errorf("distmr: read %q from master: %w", name, err)
+	var lastErr error
+	for deadline := time.Now().Add(3 * time.Second); ; {
+		var reply ReadFileReply
+		err := w.master.Load().Call("Master.ReadFile", &ReadFileArgs{Name: name}, &reply)
+		if err == nil {
+			return reply.Data, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			break
+		}
+		if c, derr := rpcutil.DialRPC(w.cfg.MasterAddr, rpcutil.Policy{
+			Attempts: 1, DialTimeout: time.Second,
+		}); derr == nil {
+			if old := w.master.Swap(c); old != nil {
+				old.Close()
+			}
+		}
+		select {
+		case <-w.stop:
+			return nil, fmt.Errorf("distmr: read %q from master: %w", name, lastErr)
+		case <-time.After(50 * time.Millisecond):
+		}
 	}
-	return reply.Data, nil
+	return nil, fmt.Errorf("distmr: read %q from master: %w", name, lastErr)
 }
 
 // jobState returns the cached per-job code and side files, building them
@@ -444,7 +586,7 @@ func (w *Worker) dropFetchClient(addr string) {
 func (s *workerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
 	w := s.w
 	if w.dead.Load() {
-		return fmt.Errorf("distmr: worker %d is dead", w.id)
+		return fmt.Errorf("distmr: worker %d is dead", w.id.Load())
 	}
 	desc, err := DecodeTask(args.Desc)
 	if err != nil {
@@ -463,7 +605,17 @@ func (s *workerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
 	if desc.CrashRate > 0 &&
 		mapreduce.InjectHash(desc.Seed, desc.JobName, desc.Phase.String()+"-crash", desc.Task, desc.Assign) < desc.CrashRate {
 		w.die(true)
-		return fmt.Errorf("distmr: worker %d crashed", w.id)
+		return fmt.Errorf("distmr: worker %d crashed", w.id.Load())
+	}
+	// Injected slow-node latency, applied after the crash draw so the
+	// fault coordinates are unchanged: the attempt runs late but runs the
+	// same. Interruptible by death so a killed straggler's handler exits.
+	if d := time.Duration(w.taskDelay.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-w.stop:
+			return fmt.Errorf("distmr: worker %d is dead", w.id.Load())
+		}
 	}
 	w.running.Add(1)
 	defer w.running.Add(-1)
@@ -612,7 +764,16 @@ func (w *Worker) runReduce(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *
 		if len(src.Segments) == 0 {
 			continue
 		}
-		if src.Worker != w.id {
+		if src.Prefix != "" {
+			// Handed-off source: the segments live in the master's DFS, not
+			// on any worker. Same names, same metadata — only the transport
+			// differs, so the shuffle statistics are unchanged.
+			if err := w.fetchStateSegments(src); err != nil {
+				res.LostMaps = append(res.LostMaps, src.MapTask)
+				res.LostFrom = append(res.LostFrom, src.Worker)
+				continue
+			}
+		} else if src.Worker != w.id.Load() {
 			if err := w.fetchSegments(src); err != nil {
 				res.LostMaps = append(res.LostMaps, src.MapTask)
 				res.LostFrom = append(res.LostFrom, src.Worker)
@@ -715,11 +876,36 @@ func (w *Worker) fetchSegments(src *MapSource) error {
 	return nil
 }
 
+// fetchStateSegments pulls a handed-off map source's segments from the
+// master's DFS into the local store, mirroring fetchSegments for
+// worker-held sources: same names, so the merge path is identical.
+func (w *Worker) fetchStateSegments(src *MapSource) error {
+	for i := range src.Segments {
+		seg := &src.Segments[i]
+		data, err := w.readMasterFile(src.Prefix + seg.Name)
+		if err != nil {
+			return err
+		}
+		wc, err := w.cfg.Store.Create(seg.Name)
+		if err != nil {
+			return err
+		}
+		if _, err := wc.Write(data); err != nil {
+			wc.Close()
+			return err
+		}
+		if err := wc.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FetchSegment serves one locally stored spill segment to a fetching
 // reducer (the network shuffle).
 func (s *workerService) FetchSegment(args *FetchSegmentArgs, reply *FetchSegmentReply) error {
 	if s.w.dead.Load() {
-		return fmt.Errorf("distmr: worker %d is dead", s.w.id)
+		return fmt.Errorf("distmr: worker %d is dead", s.w.id.Load())
 	}
 	rc, err := s.w.cfg.Store.Open(args.Name)
 	if err != nil {
@@ -734,6 +920,35 @@ func (s *workerService) FetchSegment(args *FetchSegmentArgs, reply *FetchSegment
 	return nil
 }
 
+// Handoff serves the stored bytes of the listed segments to the master,
+// which copies them into the job's DFS so this worker's winning map
+// output survives its departure (graceful drain, winner persistence).
+func (s *workerService) Handoff(args *HandoffArgs, reply *HandoffReply) error {
+	w := s.w
+	if w.dead.Load() {
+		return fmt.Errorf("distmr: worker %d is dead", w.id.Load())
+	}
+	desc, err := DecodeHandoff(args.Desc)
+	if err != nil {
+		return err
+	}
+	reply.Data = make([][]byte, 0, len(desc.Segments))
+	for _, name := range desc.Segments {
+		rc, err := w.cfg.Store.Open(name)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return err
+		}
+		reply.Data = append(reply.Data, data)
+	}
+	w.log.Debug("handed off segments", "job", desc.JobSeq, "segments", len(desc.Segments))
+	return nil
+}
+
 // CleanJob retires a job: close its service connections and delete its
 // spill segments (local map outputs and fetched shuffle data).
 func (s *workerService) CleanJob(args *CleanJobArgs, _ *CleanJobReply) error {
@@ -742,8 +957,15 @@ func (s *workerService) CleanJob(args *CleanJobArgs, _ *CleanJobReply) error {
 	j := w.jobs[args.JobSeq]
 	delete(w.jobs, args.JobSeq)
 	w.mu.Unlock()
-	if j != nil && j.code != nil && j.code.Close != nil {
-		j.code.Close() //nolint:errcheck // best-effort service teardown
+	if j != nil {
+		// An attempt the master abandoned (reassigned lease, late backup)
+		// can still be building this entry. Once.Do blocks until any
+		// in-flight build finishes — and marks a never-built entry retired
+		// — so reading j.code below is ordered after the build.
+		j.once.Do(func() { j.err = fmt.Errorf("distmr: job %d retired", args.JobSeq) })
+		if j.code != nil && j.code.Close != nil {
+			j.code.Close() //nolint:errcheck // best-effort service teardown
+		}
 	}
 	w.cfg.Store.RemovePrefix(fmt.Sprintf("j%05d/", args.JobSeq))
 	return nil

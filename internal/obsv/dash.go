@@ -148,13 +148,28 @@ func RenderDash(w io.Writer, s DashSnapshot) {
 			ws := append([]WorkerStatus(nil), st.Workers...)
 			sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
 			for _, wk := range ws {
+				// One mark per membership state, so a drain in progress is
+				// visible at a glance: live " ", draining "~", drained "-",
+				// dead "x".
 				mark := " "
-				if wk.Dead {
+				switch {
+				case wk.Dead:
 					mark = "x"
+				case wk.State == "draining":
+					mark = "~"
+				case wk.State == "drained":
+					mark = "-"
 				}
-				fmt.Fprintf(bw, "  [%s] w%-3d %-21s running %-3d done %-5d store %s  beat %dms ago\n",
+				fmt.Fprintf(bw, "  [%s] w%-3d %-21s running %-3d done %-5d store %s  beat %dms ago",
 					mark, wk.ID, wk.Addr, wk.Running, wk.TasksDone, sizeStr(wk.StoreBytes), wk.LastBeatMS)
+				if wk.State != "" && wk.State != "live" {
+					fmt.Fprintf(bw, "  %s", wk.State)
+				}
+				fmt.Fprintln(bw)
 			}
+		}
+		if h := st.Hints; h != nil && (h.QueueDepth > 0 || h.StragglerRatio > 0) {
+			fmt.Fprintf(bw, "scaling: queue %d  stragglers %.2f\n", h.QueueDepth, h.StragglerRatio)
 		}
 	}
 

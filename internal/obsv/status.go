@@ -16,6 +16,25 @@ type ClusterStatus struct {
 	Workers []WorkerStatus `json:"workers,omitempty"`
 	// Job is the currently running job, nil between jobs.
 	Job *JobStatus `json:"job,omitempty"`
+	// Hints is the master's autoscaling signal (master only).
+	Hints *ScalingHints `json:"hints,omitempty"`
+}
+
+// ScalingHints is the master's published autoscaling signal: enough for
+// an external supervisor to decide whether the cluster wants more
+// workers (deep queue) or fewer (idle), without scraping internals.
+type ScalingHints struct {
+	// QueueDepth counts runnable tasks waiting for a worker slot;
+	// InFlight counts leased tasks currently executing.
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+	// WorkersLive counts schedulable workers; WorkersDraining counts
+	// workers finishing up before retirement.
+	WorkersLive     int `json:"workers_live"`
+	WorkersDraining int `json:"workers_draining"`
+	// StragglerRatio is speculative backups launched per completed task —
+	// a high ratio means slow nodes are dragging rounds out.
+	StragglerRatio float64 `json:"straggler_ratio"`
 }
 
 // WorkerStatus is the master's live view of one registered worker.
@@ -31,7 +50,10 @@ type WorkerStatus struct {
 	StoreBytes int64 `json:"store_bytes"`
 	// LastBeatMS is milliseconds since the last heartbeat arrived.
 	LastBeatMS int64 `json:"last_beat_ms"`
-	Dead       bool  `json:"dead,omitempty"`
+	// State is the membership state: "live", "draining", "drained" or
+	// "dead". Dead stays as the coarse boolean for old consumers.
+	State string `json:"state,omitempty"`
+	Dead  bool   `json:"dead,omitempty"`
 }
 
 // JobStatus is the scheduler's live view of the running job.
@@ -43,8 +65,10 @@ type JobStatus struct {
 	MapsDone    int `json:"maps_done"`
 	Reduces     int `json:"reduces"`
 	ReducesDone int `json:"reduces_done"`
-	// InFlight counts outstanding leases; Parked counts reduces waiting
-	// for lost map outputs to be re-created.
+	// InFlight counts outstanding leases; Queued counts runnable tasks
+	// still waiting for a slot; Parked counts reduces waiting for lost
+	// map outputs to be re-created.
 	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued,omitempty"`
 	Parked   int `json:"parked,omitempty"`
 }

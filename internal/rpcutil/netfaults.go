@@ -1,0 +1,105 @@
+package rpcutil
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// NetFaults injects network partitions into every connection dialed
+// through this package. Faults are keyed by target address: partitioning
+// an address blackholes traffic *toward* it — new dials fail and
+// established connections to it error on their next read or write — while
+// the victim's own outbound connections keep working unless their targets
+// are partitioned too. That asymmetry is deliberate: it reproduces the
+// one-way partitions (a worker that can heartbeat out but cannot be
+// reached) that symmetric kill-based fault injection cannot express.
+//
+// Install with InstallNetFaults; a nil installation (the default) costs
+// one atomic load per dial and nothing per byte.
+type NetFaults struct {
+	mu      sync.Mutex
+	blocked map[string]struct{}
+}
+
+// NewNetFaults returns an empty fault set.
+func NewNetFaults() *NetFaults {
+	return &NetFaults{blocked: make(map[string]struct{})}
+}
+
+// Partition blackholes all traffic toward addr.
+func (f *NetFaults) Partition(addr string) {
+	f.mu.Lock()
+	f.blocked[addr] = struct{}{}
+	f.mu.Unlock()
+}
+
+// Heal removes the partition toward addr.
+func (f *NetFaults) Heal(addr string) {
+	f.mu.Lock()
+	delete(f.blocked, addr)
+	f.mu.Unlock()
+}
+
+// HealAll removes every partition.
+func (f *NetFaults) HealAll() {
+	f.mu.Lock()
+	f.blocked = make(map[string]struct{})
+	f.mu.Unlock()
+}
+
+// Partitioned reports whether traffic toward addr is blackholed. Safe on
+// a nil receiver (reports false), so callers can hold the installed
+// pointer without a nil check.
+func (f *NetFaults) Partitioned(addr string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	_, ok := f.blocked[addr]
+	f.mu.Unlock()
+	return ok
+}
+
+// netFaults is the process-wide installation; nil means no injection.
+var netFaults atomic.Pointer[NetFaults]
+
+// InstallNetFaults makes f the process-wide fault set consulted by Dial
+// and by every connection it has wrapped. It returns a restore function
+// that reinstates the previous installation; tests defer it so fault
+// state cannot leak across test boundaries.
+func InstallNetFaults(f *NetFaults) (restore func()) {
+	prev := netFaults.Swap(f)
+	return func() { netFaults.Store(prev) }
+}
+
+// faultConn wraps a dialed connection and errors it out (closing the
+// underlying conn so any blocked peer goroutine unsticks) as soon as its
+// target address is partitioned.
+type faultConn struct {
+	net.Conn
+	addr string
+}
+
+func (c *faultConn) check() error {
+	if netFaults.Load().Partitioned(c.addr) {
+		c.Conn.Close()
+		return fmt.Errorf("rpcutil: injected partition toward %s", c.addr)
+	}
+	return nil
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.check(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.check(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,162 @@
+package rpcutil
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes bytes back until closed.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						c.Close()
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln
+}
+
+func TestNetFaultsBlockNewDials(t *testing.T) {
+	ln := echoListener(t)
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	f := NewNetFaults()
+	defer InstallNetFaults(f)()
+
+	f.Partition(addr)
+	_, err := Dial(addr, Policy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})
+	if err == nil {
+		t.Fatal("Dial succeeded through a partition")
+	}
+	if !strings.Contains(err.Error(), "injected partition") {
+		t.Errorf("error does not name the partition: %v", err)
+	}
+
+	f.Heal(addr)
+	conn, err := Dial(addr, Policy{Attempts: 2, BaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatalf("Dial after heal: %v", err)
+	}
+	conn.Close()
+}
+
+func TestNetFaultsErrorEstablishedConns(t *testing.T) {
+	ln := echoListener(t)
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	f := NewNetFaults()
+	defer InstallNetFaults(f)()
+
+	conn, err := Dial(addr, Policy{Attempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Healthy round-trip first.
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatalf("write before partition: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read before partition: %v", err)
+	}
+
+	f.Partition(addr)
+	if _, err := conn.Write([]byte("ping")); err == nil {
+		t.Fatal("write succeeded through a partition")
+	}
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read succeeded through a partition")
+	}
+}
+
+func TestNetFaultsOneWay(t *testing.T) {
+	lnA := echoListener(t)
+	defer lnA.Close()
+	lnB := echoListener(t)
+	defer lnB.Close()
+
+	f := NewNetFaults()
+	defer InstallNetFaults(f)()
+
+	// Partition toward A only: B stays reachable.
+	f.Partition(lnA.Addr().String())
+	if _, err := Dial(lnA.Addr().String(), Policy{Attempts: 1}); err == nil {
+		t.Fatal("dial toward partitioned A succeeded")
+	}
+	conn, err := Dial(lnB.Addr().String(), Policy{Attempts: 2})
+	if err != nil {
+		t.Fatalf("dial toward healthy B failed: %v", err)
+	}
+	conn.Close()
+
+	f.HealAll()
+	conn, err = Dial(lnA.Addr().String(), Policy{Attempts: 2})
+	if err != nil {
+		t.Fatalf("dial toward A after HealAll: %v", err)
+	}
+	conn.Close()
+}
+
+func TestNetFaultsNilSafe(t *testing.T) {
+	var f *NetFaults
+	if f.Partitioned("anywhere") {
+		t.Error("nil NetFaults reported a partition")
+	}
+	// With nothing installed, Dial must return an unwrapped conn and
+	// behave exactly as before.
+	ln := echoListener(t)
+	defer ln.Close()
+	conn, err := Dial(ln.Addr().String(), Policy{Attempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := conn.(*faultConn); ok {
+		t.Error("conn wrapped although no faults are installed")
+	}
+	conn.Close()
+}
+
+func TestInstallNetFaultsRestores(t *testing.T) {
+	f1 := NewNetFaults()
+	restore1 := InstallNetFaults(f1)
+	f2 := NewNetFaults()
+	restore2 := InstallNetFaults(f2)
+	if netFaults.Load() != f2 {
+		t.Fatal("second install not active")
+	}
+	restore2()
+	if netFaults.Load() != f1 {
+		t.Fatal("restore did not reinstate previous installation")
+	}
+	restore1()
+	if netFaults.Load() != nil {
+		t.Fatal("restore did not clear installation")
+	}
+}

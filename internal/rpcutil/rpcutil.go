@@ -94,13 +94,23 @@ func (p *Policy) backoff(i int) time.Duration {
 func Dial(addr string, policy Policy) (net.Conn, error) {
 	policy.applyDefaults()
 	log := obsv.Or(policy.Logger)
+	faults := netFaults.Load()
 	var lastErr error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(policy.backoff(attempt - 1))
 		}
+		// Injected partition: fails like a dead host, and is re-checked
+		// each attempt so a partition that heals mid-dial recovers.
+		if faults.Partitioned(addr) {
+			lastErr = fmt.Errorf("rpcutil: injected partition toward %s", addr)
+			continue
+		}
 		conn, err := net.DialTimeout("tcp", addr, policy.DialTimeout)
 		if err == nil {
+			if faults != nil {
+				return &faultConn{Conn: conn, addr: addr}, nil
+			}
 			return conn, nil
 		}
 		lastErr = err
