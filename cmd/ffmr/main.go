@@ -100,6 +100,11 @@ func run() error {
 		distVerify = flag.Bool("dist-verify", false, "also run the simulated engine and require identical per-round counters")
 		crash      = flag.Float64("worker-crash", 0, "injected probability a worker dies at task start (distributed only)")
 
+		submitTo = flag.String("submit", "", "submit the job to a running ffmr-service at this address instead of solving locally")
+		tenant   = flag.String("tenant", "default", "tenant ID for -submit")
+		priority = flag.Int("priority", 0, "job priority for -submit (higher dispatches first within the tenant)")
+		handle   = flag.String("handle", "graph", "resident snapshot handle for -submit")
+
 		logFmt    = flag.String("log", "", "emit structured logs to stderr: text|json (default: off)")
 		logLevel  = flag.String("log-level", "info", "log level for -log: debug|info|warn|error")
 		admin     = flag.String("admin", "", "serve /metrics, /healthz, /status and /debug/pprof on this HTTP address")
@@ -135,6 +140,12 @@ func run() error {
 	}
 	fmt.Printf("graph: %d vertices, %d edges, s=%d, t=%d\n",
 		in.NumVertices, len(in.Edges), in.Source, in.Sink)
+
+	// Client mode: hand the job to a resident flow service and verify
+	// its answers instead of running a cluster in this process.
+	if *submitTo != "" {
+		return submitRun(*submitTo, *tenant, *handle, *priority, *variant, in, *check)
+	}
 
 	tracer := trace.New()
 	// Deferred immediately so the trace survives run errors and early

@@ -1,0 +1,107 @@
+package dynamic
+
+import (
+	"testing"
+
+	"ffmr/internal/core"
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+)
+
+// buildViewChecked materializes a snapshot's view and asserts the
+// whole-view invariants that hold for any converged strict-termination
+// run: the flow value matches the snapshot, every edge respects its
+// capacity in both residual directions, the source and sink land on
+// their own cut sides, and — the max-flow min-cut theorem — the cut's
+// crossing capacity equals the flow value.
+func buildViewChecked(t *testing.T, fsys interface {
+	List(prefix string) []string
+	ReadFile(name string) ([]byte, error)
+}, snap *Snapshot) *View {
+	t.Helper()
+	v, err := BuildView(fsys, snap)
+	if err != nil {
+		t.Fatalf("BuildView: %v", err)
+	}
+	if v.FlowValue != snap.Result.MaxFlow {
+		t.Fatalf("view flow = %d, snapshot says %d", v.FlowValue, snap.Result.MaxFlow)
+	}
+	if v.Gen != snap.Gen {
+		t.Fatalf("view gen = %d, snapshot gen %d", v.Gen, snap.Gen)
+	}
+	for i := 0; i < v.NumEdges(); i++ {
+		e, ok := v.Edge(graph.EdgeID(i))
+		if !ok {
+			t.Fatalf("edge %d missing", i)
+		}
+		if e.ResidualFwd < 0 || e.ResidualRev < 0 {
+			t.Fatalf("edge %d has negative residual: fwd %d rev %d (flow %d, cap %d)",
+				i, e.ResidualFwd, e.ResidualRev, e.Flow, e.Cap)
+		}
+	}
+	if s, ok := v.SourceSide(v.Source); !ok || !s {
+		t.Fatal("source is not on the source side of the cut")
+	}
+	if s, ok := v.SourceSide(v.Sink); !ok || s {
+		t.Fatal("sink is on the source side of the cut (run not converged?)")
+	}
+	if _, cap := v.MinCut(); cap != v.FlowValue {
+		t.Fatalf("min-cut capacity %d != max flow %d", cap, v.FlowValue)
+	}
+	return v
+}
+
+func TestViewPathGraph(t *testing.T) {
+	cluster := testCluster(2)
+	snap := solveSnap(t, cluster, pathGraph(3, 5), core.Options{})
+	v := buildViewChecked(t, cluster.FS, snap)
+
+	// A saturated path: every edge carries 5 of 5.
+	for i := 0; i < v.NumEdges(); i++ {
+		e, _ := v.Edge(graph.EdgeID(i))
+		if e.Flow != 5 || e.ResidualFwd != 0 {
+			t.Errorf("edge %d: flow %d residual %d, want 5/0", i, e.Flow, e.ResidualFwd)
+		}
+	}
+	cut, _ := v.MinCut()
+	if len(cut) != 1 {
+		t.Errorf("path min cut has %d edges, want 1", len(cut))
+	}
+	if _, ok := v.Edge(graph.EdgeID(v.NumEdges())); ok {
+		t.Error("out-of-range edge lookup reported ok")
+	}
+	if _, ok := v.SourceSide(graph.VertexID(v.NumVertices)); ok {
+		t.Error("out-of-range vertex lookup reported ok")
+	}
+}
+
+func TestViewSmallWorldAndAcrossGenerations(t *testing.T) {
+	base, err := graphgen.BarabasiAlbert(300, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 4, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := testCluster(2)
+	snap := solveSnap(t, cluster, in, core.Options{})
+	buildViewChecked(t, cluster.FS, snap)
+
+	// Views must stay correct across warm generations: apply randomized
+	// batches and re-verify the cut invariants each time.
+	profile := graphgen.DefaultUpdateProfile()
+	cur := snap
+	for g := 1; g <= 3; g++ {
+		batch, err := graphgen.GenerateUpdates(cur.Input, 12, profile, int64(100*g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := applyChecked(t, cluster, cur, batch)
+		cur = out.Snapshot
+		v := buildViewChecked(t, cluster.FS, cur)
+		if v.Gen != g {
+			t.Fatalf("generation %d view reports gen %d", g, v.Gen)
+		}
+	}
+}

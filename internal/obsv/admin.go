@@ -1,15 +1,13 @@
 package obsv
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
-	"net"
 	"net/http"
 	"net/http/pprof"
-	"time"
 
+	"ffmr/internal/rpcutil"
 	"ffmr/internal/trace"
 )
 
@@ -34,23 +32,15 @@ type AdminConfig struct {
 // Admin is a running admin HTTP server. Create with StartAdmin; Close
 // shuts it down and releases every connection.
 type Admin struct {
-	ln  net.Listener
-	srv *http.Server
-	log *slog.Logger
+	srv *rpcutil.HTTPServer
 }
 
 // StartAdmin binds the admin address and serves the observability
 // endpoints: /metrics, /healthz, /status, /flight and /debug/pprof/*.
+// The server lifecycle (bind-before-return, header timeouts, graceful
+// drain then hard close) is the shared rpcutil HTTP harness.
 func StartAdmin(cfg AdminConfig) (*Admin, error) {
-	addr := cfg.Addr
-	if addr == "" {
-		addr = "127.0.0.1:0"
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obsv: admin listen %s: %w", addr, err)
-	}
-	a := &Admin{ln: ln, log: Or(cfg.Logger)}
+	log := Or(cfg.Logger)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -64,7 +54,7 @@ func StartAdmin(cfg AdminConfig) (*Admin, error) {
 			reg = cfg.Metrics()
 		}
 		if err := WriteMetrics(w, reg); err != nil {
-			a.log.Warn("metrics write failed", "err", err)
+			log.Warn("metrics write failed", "err", err)
 		}
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
@@ -78,13 +68,13 @@ func StartAdmin(cfg AdminConfig) (*Admin, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(st); err != nil {
-			a.log.Warn("status write failed", "err", err)
+			log.Warn("status write failed", "err", err)
 		}
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/jsonl")
 		if err := cfg.Flight.WriteDump(w); err != nil {
-			a.log.Warn("flight write failed", "err", err)
+			log.Warn("flight write failed", "err", err)
 		}
 	})
 	// The pprof handlers, on the explicit mux (the server must not use
@@ -96,13 +86,15 @@ func StartAdmin(cfg AdminConfig) (*Admin, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() {
-		if err := a.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			a.log.Warn("admin server exited", "err", err)
-		}
-	}()
-	return a, nil
+	srv, err := rpcutil.ServeHTTP(rpcutil.HTTPConfig{
+		Addr:    cfg.Addr,
+		Handler: mux,
+		Logger:  cfg.Logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("obsv: admin server: %w", err)
+	}
+	return &Admin{srv: srv}, nil
 }
 
 // Addr returns the server's bound address (for curl and tests).
@@ -110,7 +102,7 @@ func (a *Admin) Addr() string {
 	if a == nil {
 		return ""
 	}
-	return a.ln.Addr().String()
+	return a.srv.Addr()
 }
 
 // URL returns the server's base URL ("http://host:port").
@@ -118,7 +110,7 @@ func (a *Admin) URL() string {
 	if a == nil {
 		return ""
 	}
-	return "http://" + a.Addr()
+	return a.srv.URL()
 }
 
 // Close shuts the server down: a short graceful drain for in-flight
@@ -128,9 +120,5 @@ func (a *Admin) Close() error {
 	if a == nil {
 		return nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-	defer cancel()
-	err := a.srv.Shutdown(ctx)
-	a.srv.Close()
-	return err
+	return a.srv.Close()
 }

@@ -18,6 +18,61 @@ type ClusterStatus struct {
 	Job *JobStatus `json:"job,omitempty"`
 	// Hints is the master's autoscaling signal (master only).
 	Hints *ScalingHints `json:"hints,omitempty"`
+	// Service is the resident flow service's section (Role "service"): the
+	// scheduler's per-tenant queues and the resident snapshot handles.
+	Service *ServiceStatus `json:"service,omitempty"`
+}
+
+// ServiceStatus is a point-in-time view of the resident flow service,
+// published under ClusterStatus.Service by the service's admin server.
+// Like JobStatus it is assembled as an immutable snapshot and handed
+// over whole, so scrapes never read scheduler internals.
+type ServiceStatus struct {
+	// Queued/Running/Done/Failed are service-wide job totals;
+	// MaxConcurrent is the scheduler's global running bound.
+	Queued        int `json:"queued"`
+	Running       int `json:"running"`
+	Done          int `json:"done"`
+	Failed        int `json:"failed"`
+	MaxConcurrent int `json:"max_concurrent"`
+	// Tenants breaks the totals down per tenant (the queue-depth signal
+	// an operator or autoscaler watches), sorted by tenant ID.
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+	// Handles lists the resident solved snapshots the query API serves.
+	Handles []HandleStatus `json:"handles,omitempty"`
+}
+
+// TenantStatus is one tenant's scheduler accounting.
+type TenantStatus struct {
+	Tenant string `json:"tenant"`
+	// Queued counts admitted jobs waiting for dispatch (bounded by
+	// QuotaQueued); Running counts dispatched jobs (bounded by
+	// QuotaRunning); Done/Failed are lifetime completion totals.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	// QuotaQueued and QuotaRunning are the admission and fair-share
+	// bounds in force for this tenant.
+	QuotaQueued  int `json:"quota_queued"`
+	QuotaRunning int `json:"quota_running"`
+	// VTime is the tenant's weighted fair-queueing virtual time; the
+	// dispatcher always serves the eligible tenant with the lowest.
+	VTime float64 `json:"vtime"`
+}
+
+// HandleStatus describes one resident snapshot the query API serves.
+type HandleStatus struct {
+	Handle string `json:"handle"`
+	Tenant string `json:"tenant"`
+	// Gen is the store's monotonic generation; every query answer about
+	// this handle is tagged with the generation it was served from.
+	Gen int64 `json:"gen"`
+	// Flow is the generation's maximum-flow value; Vertices/Edges size
+	// its graph.
+	Flow     int64 `json:"flow"`
+	Vertices int   `json:"vertices"`
+	Edges    int   `json:"edges"`
 }
 
 // ScalingHints is the master's published autoscaling signal: enough for

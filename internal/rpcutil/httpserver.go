@@ -1,0 +1,112 @@
+package rpcutil
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+)
+
+// This file is the HTTP-server harness shared by every HTTP surface in
+// the repo: the obsv admin servers (master, workers, CLI) and the flow
+// service's API server. They all need the same skeleton — bind a
+// listener so the bound address is known before any request can be
+// missed, serve with a header-read timeout, and tear down with a short
+// graceful drain followed by a hard close so no goroutine or connection
+// outlives the owner (the leak checks depend on that). Duplicating that
+// skeleton is how servers drift; it lives here once.
+
+// HTTPConfig configures one HTTP server. Handler is the only required
+// field.
+type HTTPConfig struct {
+	// Addr is the listen address (default 127.0.0.1:0, an ephemeral
+	// loopback port).
+	Addr string
+	// Handler serves every request (typically an *http.ServeMux; never
+	// http.DefaultServeMux, which other packages can pollute).
+	Handler http.Handler
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request header (default 5s) — slow-loris protection for servers
+	// that outlive any single job.
+	ReadHeaderTimeout time.Duration
+	// ShutdownGrace is how long Close waits for in-flight requests
+	// before hard-closing connections (default 1s).
+	ShutdownGrace time.Duration
+	// Logger logs serve errors (nil: silent).
+	Logger *slog.Logger
+}
+
+// HTTPServer is a running HTTP server. Create with ServeHTTP; Close
+// shuts it down and releases every connection. All methods are nil-safe.
+type HTTPServer struct {
+	ln    net.Listener
+	srv   *http.Server
+	log   *slog.Logger
+	grace time.Duration
+}
+
+// ServeHTTP binds the address and serves cfg.Handler on it. The listener
+// is bound synchronously, so Addr is valid as soon as the call returns.
+func ServeHTTP(cfg HTTPConfig) (*HTTPServer, error) {
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("rpcutil: http server without a handler")
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 5 * time.Second
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcutil: http listen %s: %w", addr, err)
+	}
+	s := &HTTPServer{
+		ln:    ln,
+		srv:   &http.Server{Handler: cfg.Handler, ReadHeaderTimeout: cfg.ReadHeaderTimeout},
+		log:   orLog(cfg.Logger),
+		grace: cfg.ShutdownGrace,
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.log.Warn("http server exited", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address (for curl and tests).
+func (s *HTTPServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL ("http://host:port").
+func (s *HTTPServer) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close shuts the server down: a graceful drain bounded by
+// ShutdownGrace for in-flight requests, then a hard close so nothing
+// outlives the owner.
+func (s *HTTPServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.grace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	s.srv.Close()
+	return err
+}

@@ -1,0 +1,80 @@
+package rpcutil
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"ffmr/internal/leakcheck"
+)
+
+func TestHTTPServerServesAndCloses(t *testing.T) {
+	defer leakcheck.Check(t)()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "pong")
+	})
+	s, err := ServeHTTP(HTTPConfig{Handler: mux})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(s.URL() + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "pong\n" {
+		t.Fatalf("GET /ping = %d %q", resp.StatusCode, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The port must actually be released: a second server can bind it.
+	if _, err := http.Get(s.URL() + "/ping"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestHTTPServerNilSafe(t *testing.T) {
+	var s *HTTPServer
+	if s.Addr() != "" || s.URL() != "" || s.Close() != nil {
+		t.Fatal("nil HTTPServer methods must be no-ops")
+	}
+}
+
+func TestHTTPServerRequiresHandler(t *testing.T) {
+	if _, err := ServeHTTP(HTTPConfig{}); err == nil {
+		t.Fatal("expected an error for a handler-less server")
+	}
+}
+
+func TestHTTPServerShutdownGrace(t *testing.T) {
+	defer leakcheck.Check(t)()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-block
+		fmt.Fprintln(w, "done")
+	})
+	s, err := ServeHTTP(HTTPConfig{Handler: mux, ShutdownGrace: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get(s.URL() + "/slow") //nolint:errcheck // the handler is force-closed
+	<-started
+	// Close must return despite the stuck handler (grace expires, hard
+	// close follows), not hang forever.
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an in-flight request")
+	}
+	close(block)
+}

@@ -1,13 +1,17 @@
-// Package rpcutil provides the dial policy shared by every TCP client in
-// the repo: the aug_proc client, the distributed master/worker clients,
-// and the worker-to-worker shuffle fetchers. A single dial attempt
-// against a service that is still binding its listener (worker processes
-// racing the master at startup, or a loopback accept queue momentarily
-// full) fails spuriously; the fix everywhere is the same bounded
-// retry with exponential backoff and jitter, so it lives here once.
+// Package rpcutil provides the transport plumbing shared by every TCP
+// endpoint in the repo. On the client side that is the dial policy used
+// by the aug_proc client, the distributed master/worker clients, and the
+// worker-to-worker shuffle fetchers: a single dial attempt against a
+// service that is still binding its listener (worker processes racing
+// the master at startup, or a loopback accept queue momentarily full)
+// fails spuriously; the fix everywhere is the same bounded retry with
+// exponential backoff and jitter, so it lives here once. On the server
+// side it is the HTTP harness (see ServeHTTP) behind the obsv admin
+// servers and the flow service's API server.
 package rpcutil
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math/rand"
@@ -15,9 +19,27 @@ import (
 	"net/rpc"
 	"sync"
 	"time"
-
-	"ffmr/internal/obsv"
 )
+
+// nopLogger mirrors obsv.Nop without importing obsv: rpcutil sits below
+// the observability layer (obsv's admin server is built on this
+// package's HTTP harness), so the dependency must point obsv → rpcutil.
+var nopLogger = slog.New(nopHandler{})
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// orLog returns l, or the shared no-op logger when l is nil.
+func orLog(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l
+}
 
 // Policy bounds a retried dial. The zero value is completed by
 // applyDefaults; DefaultPolicy returns the completed defaults.
@@ -93,7 +115,7 @@ func (p *Policy) backoff(i int) time.Duration {
 // Dial connects to a TCP address with retry/backoff/jitter.
 func Dial(addr string, policy Policy) (net.Conn, error) {
 	policy.applyDefaults()
-	log := obsv.Or(policy.Logger)
+	log := orLog(policy.Logger)
 	faults := netFaults.Load()
 	var lastErr error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {

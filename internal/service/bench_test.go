@@ -1,0 +1,139 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ffmr/internal/graphgen"
+)
+
+// BenchmarkServiceQuery measures read-path QPS: parallel clients
+// querying flow value, cut membership and residual capacity against a
+// resident FB5-scale snapshot (10,000-vertex Barabási–Albert body with
+// super source/sink taps) while the scheduler sits idle. Queries are
+// whole HTTP round trips against the real API server, so ns/op is
+// end-to-end client latency; 1e9/ns_per_op is the QPS one benchmark
+// process extracts. BENCH_service.json records the numbers.
+func BenchmarkServiceQuery(b *testing.B) {
+	base, err := graphgen.BarabasiAlbert(10_000, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 8, 8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := startService(b, testCluster(4), Quotas{MaxConcurrent: 2})
+	defer svc.Close()
+	c := NewClient(svc.Addr())
+	defer c.Close()
+
+	ji, err := c.Submit(&SubmitRequest{Tenant: "bench", Handle: "fb5", Graph: graphSpec(in)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := c.Wait(ji.ID, 10*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if want := oracle(b, in); res.Flow != want {
+		b.Fatalf("resident flow = %d, oracle says %d", res.Flow, want)
+	}
+
+	b.Run("flow", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			cl := NewClient(svc.Addr())
+			defer cl.Close()
+			for pb.Next() {
+				fr, err := cl.Flow("fb5")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fr.Flow != res.Flow {
+					b.Fatalf("flow = %d, want %d", fr.Flow, res.Flow)
+				}
+			}
+		})
+	})
+	b.Run("cut-membership", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			cl := NewClient(svc.Addr())
+			defer cl.Close()
+			v := int64(0)
+			for pb.Next() {
+				if _, err := cl.CutSide("fb5", v%int64(in.NumVertices)); err != nil {
+					b.Fatal(err)
+				}
+				v++
+			}
+		})
+	})
+	b.Run("residual", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			cl := NewClient(svc.Addr())
+			defer cl.Close()
+			e := int64(0)
+			for pb.Next() {
+				if _, err := cl.Residual("fb5", e%int64(len(in.Edges))); err != nil {
+					b.Fatal(err)
+				}
+				e++
+			}
+		})
+	})
+}
+
+// BenchmarkServiceSubmitLatency measures the write path: submit-to-
+// result latency with 4 solve jobs in flight at once (4 tenants, 4
+// scheduler slots, one shared cluster). One op is a full batch of 4
+// concurrent jobs; the reported per-job metric is mean wall-clock from
+// Submit to Wait returning.
+func BenchmarkServiceSubmitLatency(b *testing.B) {
+	svc := startService(b, testCluster(4), Quotas{MaxConcurrent: 4})
+	defer svc.Close()
+	c := NewClient(svc.Addr())
+	defer c.Close()
+
+	const fanout = 4
+	var inputs []*GraphSpec
+	for i := 0; i < fanout; i++ {
+		inputs = append(inputs, graphSpec(smallWorld(b, 400, 3, int64(50+i))))
+	}
+
+	var totalJobNS int64
+	var mu sync.Mutex
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for t := 0; t < fanout; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				ji, err := c.Submit(&SubmitRequest{
+					Tenant: fmt.Sprintf("tenant-%d", t),
+					Handle: fmt.Sprintf("h-%d-%d", t, i),
+					Graph:  inputs[t],
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := c.Wait(ji.ID, 5*time.Minute); err != nil {
+					b.Error(err)
+					return
+				}
+				mu.Lock()
+				totalJobNS += time.Since(start).Nanoseconds()
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(totalJobNS)/float64(b.N*fanout), "job-ns")
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the Go client for a running flow service. It is a thin,
+// dependency-free wrapper over the /v1 JSON API, safe for concurrent
+// use; cmd/ffmr -submit and the benchmarks are its consumers.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a service at addr ("host:port" or a full URL).
+func NewClient(addr string) *Client {
+	base := addr
+	if len(base) > 0 && base[0] != 'h' {
+		base = "http://" + base
+	}
+	return &Client{base: base, http: &http.Client{
+		Timeout: 2 * time.Minute,
+		// A private transport, so Close tears down this client's
+		// keep-alive connections without touching the process default.
+		Transport: &http.Transport{},
+	}}
+}
+
+// Close releases the client's idle keep-alive connections.
+func (c *Client) Close() {
+	c.http.CloseIdleConnections()
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit enqueues a job and returns its accepted record (state
+// "queued" or already "running").
+func (c *Client) Submit(req *SubmitRequest) (*JobInfo, error) {
+	var ji JobInfo
+	if err := c.do(http.MethodPost, "/v1/submit", req, &ji); err != nil {
+		return nil, err
+	}
+	return &ji, nil
+}
+
+// Job fetches a job's current state.
+func (c *Client) Job(id string) (*JobInfo, error) {
+	var ji JobInfo
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &ji); err != nil {
+		return nil, err
+	}
+	return &ji, nil
+}
+
+// Wait polls until the job reaches a terminal state or the timeout
+// elapses. A failed job returns its error; a done job its result.
+func (c *Client) Wait(id string, timeout time.Duration) (*JobResult, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		ji, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		switch ji.State {
+		case JobDone:
+			return ji.Result, nil
+		case JobFailed:
+			return nil, fmt.Errorf("service client: job %s failed: %s", id, ji.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("service client: job %s still %s after %v", id, ji.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Handles lists the resident snapshots the query API serves.
+func (c *Client) Handles() ([]HandleInfo, error) {
+	var hs []HandleInfo
+	if err := c.do(http.MethodGet, "/v1/handles", nil, &hs); err != nil {
+		return nil, err
+	}
+	return hs, nil
+}
+
+// HandleInfo mirrors obsv.HandleStatus on the client side (redeclared so
+// client users don't need the obsv types).
+type HandleInfo struct {
+	Handle   string `json:"handle"`
+	Tenant   string `json:"tenant"`
+	Gen      int64  `json:"gen"`
+	Flow     int64  `json:"flow"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+// Flow queries a handle's flow value at its latest generation.
+func (c *Client) Flow(handle string) (*FlowReply, error) {
+	var fr FlowReply
+	if err := c.do(http.MethodGet, "/v1/query/flow?handle="+handle, nil, &fr); err != nil {
+		return nil, err
+	}
+	return &fr, nil
+}
+
+// CutSide queries which side of the minimum cut a vertex lies on.
+func (c *Client) CutSide(handle string, vertex int64) (*CutReply, error) {
+	var cr CutReply
+	path := "/v1/query/cut?handle=" + handle + "&vertex=" + strconv.FormatInt(vertex, 10)
+	if err := c.do(http.MethodGet, path, nil, &cr); err != nil {
+		return nil, err
+	}
+	return &cr, nil
+}
+
+// Cut queries the minimum cut summary (edge count and crossing
+// capacity) at the handle's latest generation.
+func (c *Client) Cut(handle string) (*CutReply, error) {
+	var cr CutReply
+	if err := c.do(http.MethodGet, "/v1/query/cut?handle="+handle, nil, &cr); err != nil {
+		return nil, err
+	}
+	return &cr, nil
+}
+
+// Residual queries one edge's committed flow and residual capacities.
+func (c *Client) Residual(handle string, edge int64) (*ResidualReply, error) {
+	var rr ResidualReply
+	path := "/v1/query/residual?handle=" + handle + "&edge=" + strconv.FormatInt(edge, 10)
+	if err := c.do(http.MethodGet, path, nil, &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}

@@ -1,0 +1,481 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/distmr"
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+	"ffmr/internal/leakcheck"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/maxflow"
+	"ffmr/internal/obsv"
+	"ffmr/internal/trace"
+)
+
+func testCluster(nodes int) *mapreduce.Cluster {
+	fs := dfs.New(dfs.Config{Nodes: nodes, BlockSize: 16 << 10, Replication: 2})
+	c := mapreduce.NewCluster(nodes, 4, fs)
+	c.Cost = mapreduce.ZeroCostModel()
+	return c
+}
+
+func oracle(t testing.TB, in *graph.Input) int64 {
+	t.Helper()
+	net, err := maxflow.FromInput(in)
+	if err != nil {
+		t.Fatalf("FromInput: %v", err)
+	}
+	return maxflow.Dinic(net, int(in.Source), int(in.Sink))
+}
+
+// smallWorld builds an FB-style test graph: a Barabási–Albert body with
+// a super source/sink tapped in, per the paper's evaluation setup.
+func smallWorld(t testing.TB, n, m int, seed int64) *graph.Input {
+	t.Helper()
+	base, err := graphgen.BarabasiAlbert(n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 4, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func graphSpec(in *graph.Input) *GraphSpec {
+	g := &GraphSpec{
+		NumVertices: in.NumVertices,
+		Source:      int64(in.Source),
+		Sink:        int64(in.Sink),
+	}
+	for _, e := range in.Edges {
+		row := []int64{int64(e.U), int64(e.V), e.Cap, 0}
+		if e.Directed {
+			row[3] = 1
+		}
+		g.Edges = append(g.Edges, row)
+	}
+	return g
+}
+
+// startService boots a service; callers must Close it before their
+// deferred leak check fires.
+func startService(t testing.TB, cluster *mapreduce.Cluster, q Quotas) *Service {
+	t.Helper()
+	svc, err := Start(Config{
+		Cluster:   cluster,
+		Quotas:    q,
+		AdminAddr: "127.0.0.1:0",
+		Tracer:    trace.New(),
+		Seed:      1, // deterministic namespaces in tests
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return svc
+}
+
+// TestServiceAcceptance is the PR's acceptance scenario: one service,
+// two tenants submitting concurrent FFMR jobs whose results must match
+// the Dinic oracle, and generation-tagged queries served from resident
+// snapshots while a third job is still solving.
+func TestServiceAcceptance(t *testing.T) {
+	defer leakcheck.Check(t)()
+	svc := startService(t, testCluster(3), Quotas{MaxConcurrent: 2})
+	defer svc.Close()
+	c := NewClient(svc.Addr())
+	defer c.Close()
+
+	inA := smallWorld(t, 200, 3, 11)
+	inB := smallWorld(t, 250, 3, 22)
+	wantA, wantB := oracle(t, inA), oracle(t, inB)
+
+	// Two tenants submit concurrently.
+	var wg sync.WaitGroup
+	results := make(map[string]*JobResult)
+	var mu sync.Mutex
+	for _, tc := range []struct {
+		tenant, handle string
+		in             *graph.Input
+	}{
+		{"acme", "social-a", inA},
+		{"bravo", "social-b", inB},
+	} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ji, err := c.Submit(&SubmitRequest{
+				Tenant: tc.tenant, Handle: tc.handle, Graph: graphSpec(tc.in),
+			})
+			if err != nil {
+				t.Errorf("%s submit: %v", tc.tenant, err)
+				return
+			}
+			res, err := c.Wait(ji.ID, time.Minute)
+			if err != nil {
+				t.Errorf("%s wait: %v", tc.tenant, err)
+				return
+			}
+			mu.Lock()
+			results[tc.handle] = res
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if results["social-a"] == nil || results["social-b"] == nil {
+		t.Fatal("missing results")
+	}
+	if got := results["social-a"].Flow; got != wantA {
+		t.Fatalf("tenant acme flow = %d, oracle says %d", got, wantA)
+	}
+	if got := results["social-b"].Flow; got != wantB {
+		t.Fatalf("tenant bravo flow = %d, oracle says %d", got, wantB)
+	}
+
+	// Kick off a third, larger job and query the resident handles while
+	// it solves: the read path must answer from the store, tagged with
+	// the generation that answered, regardless of scheduler load.
+	inC := smallWorld(t, 1500, 4, 33)
+	ji, err := c.Submit(&SubmitRequest{Tenant: "acme", Handle: "social-c", Graph: graphSpec(inC)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := c.Flow("social-a")
+	if err != nil {
+		t.Fatalf("mid-solve flow query: %v", err)
+	}
+	if fr.Gen != 1 || fr.Flow != wantA {
+		t.Fatalf("mid-solve flow = %+v, want gen 1 flow %d", fr, wantA)
+	}
+	cs, err := c.CutSide("social-b", int64(inB.Source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Gen != 1 || cs.SourceSide == nil || !*cs.SourceSide {
+		t.Fatalf("source cut side = %+v, want gen 1 source_side true", cs)
+	}
+	cut, err := c.Cut("social-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.CutCapacity != wantB {
+		t.Fatalf("min-cut capacity %d != max flow %d", cut.CutCapacity, wantB)
+	}
+	rr, err := c.Residual("social-a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.ResidualFwd != rr.Cap-rr.Flow {
+		t.Fatalf("residual reply inconsistent: %+v", rr)
+	}
+
+	// The admin /status page must expose the scheduler and the handles.
+	st := scrapeStatus(t, svc.AdminAddr())
+	if st.Role != "service" || st.Service == nil {
+		t.Fatalf("status role=%q service=%v", st.Role, st.Service)
+	}
+	if len(st.Service.Handles) < 2 {
+		t.Fatalf("status lists %d handles, want >= 2", len(st.Service.Handles))
+	}
+
+	res, err := c.Wait(ji.ID, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracle(t, inC); res.Flow != want {
+		t.Fatalf("third job flow = %d, oracle says %d", res.Flow, want)
+	}
+}
+
+func scrapeStatus(t testing.TB, addr string) *obsv.ClusterStatus {
+	t.Helper()
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	hc := &http.Client{Transport: tr}
+	resp, err := hc.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatalf("status scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	var st obsv.ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	return &st
+}
+
+// TestServiceUpdateJobs walks one handle through update generations via
+// the API and checks queries reflect each new generation.
+func TestServiceUpdateJobs(t *testing.T) {
+	defer leakcheck.Check(t)()
+	svc := startService(t, testCluster(2), Quotas{})
+	defer svc.Close()
+	c := NewClient(svc.Addr())
+	defer c.Close()
+
+	// A 3-hop path of capacity 5: flow 5, every edge saturated.
+	spec := &GraphSpec{
+		NumVertices: 4, Source: 0, Sink: 3,
+		Edges: [][]int64{{0, 1, 5}, {1, 2, 5}, {2, 3, 5}},
+	}
+	ji, err := c.Submit(&SubmitRequest{Tenant: "acme", Handle: "path", Graph: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Wait(ji.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 5 || res.Gen != 1 {
+		t.Fatalf("base solve = %+v, want flow 5 gen 1", res)
+	}
+
+	// Squeeze the middle edge to 2: a flow-breaking update the repair
+	// pipeline must drain.
+	ji, err = c.Submit(&SubmitRequest{
+		Tenant: "acme", Handle: "path", Kind: KindUpdate,
+		Updates: []UpdateSpec{{Op: "set-cap", ID: 1, Cap: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Wait(ji.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 || res.Gen != 2 || res.Violations != 1 {
+		t.Fatalf("update result = %+v, want flow 2 gen 2 violations 1", res)
+	}
+	fr, err := c.Flow("path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Gen != 2 || fr.Flow != 2 {
+		t.Fatalf("post-update flow query = %+v, want gen 2 flow 2", fr)
+	}
+	rr, err := c.Residual("path", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cap != 2 || rr.Flow != 2 || rr.ResidualFwd != 0 {
+		t.Fatalf("squeezed edge residual = %+v, want cap 2 flow 2 residual 0", rr)
+	}
+
+	// A widening insert restores capacity; residual-monotone, no drain.
+	ji, err = c.Submit(&SubmitRequest{
+		Tenant: "acme", Handle: "path", Kind: KindUpdate,
+		Updates: []UpdateSpec{{Op: "insert", U: 1, V: 2, Cap: 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Wait(ji.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 5 || res.Gen != 3 {
+		t.Fatalf("insert result = %+v, want flow 5 gen 3", res)
+	}
+
+	// Ownership: another tenant may read but not write the handle.
+	if _, err := c.Flow("path"); err != nil {
+		t.Fatalf("cross-tenant read refused: %v", err)
+	}
+	ji, err = c.Submit(&SubmitRequest{
+		Tenant: "bravo", Handle: "path", Kind: KindUpdate,
+		Updates: []UpdateSpec{{Op: "delete", ID: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = c.Wait(ji.ID, time.Minute); err == nil {
+		t.Fatal("cross-tenant update succeeded, want ownership error")
+	}
+}
+
+// TestServiceQueryVsUpdateRace hammers the query path from concurrent
+// readers while update jobs advance the handle through generations.
+// Every answer must be internally consistent — the flow value matching
+// the generation that tagged it — and each reader must observe
+// generations monotonically. Run with -race this also proves the
+// store's publish/load discipline.
+func TestServiceQueryVsUpdateRace(t *testing.T) {
+	defer leakcheck.Check(t)()
+	svc := startService(t, testCluster(2), Quotas{MaxConcurrent: 2})
+	defer svc.Close()
+	c := NewClient(svc.Addr())
+	defer c.Close()
+
+	in := smallWorld(t, 200, 3, 77)
+	// Precompute the ground truth per generation offline: gen 1 is the
+	// base graph, each further generation applies one seeded batch.
+	const gens = 3
+	expect := map[int64]int64{1: oracle(t, in)}
+	batches := make([][]UpdateSpec, 0, gens)
+	profile := graphgen.DefaultUpdateProfile()
+	cur := in
+	for g := 2; g <= gens+1; g++ {
+		batch, err := graphgen.GenerateUpdates(cur, 8, profile, int64(g)*31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := graph.ApplyUpdates(cur, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expect[int64(g)] = oracle(t, next)
+		batches = append(batches, updateSpecs(batch))
+		cur = next
+	}
+
+	ji, err := c.Submit(&SubmitRequest{Tenant: "acme", Handle: "live", Graph: graphSpec(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ji.ID, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			lastGen := int64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fr, err := c.Flow("live")
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if fr.Gen < lastGen {
+					t.Errorf("generation went backward: %d after %d", fr.Gen, lastGen)
+					return
+				}
+				lastGen = fr.Gen
+				if want, ok := expect[fr.Gen]; !ok || fr.Flow != want {
+					t.Errorf("gen %d served flow %d, want %d", fr.Gen, fr.Flow, expect[fr.Gen])
+					return
+				}
+			}
+		}()
+	}
+
+	for i, batch := range batches {
+		ji, err := c.Submit(&SubmitRequest{
+			Tenant: "acme", Handle: "live", Kind: KindUpdate, Updates: batch,
+		})
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		res, err := c.Wait(ji.ID, time.Minute)
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if want := expect[res.Gen]; res.Flow != want {
+			t.Fatalf("update %d published gen %d flow %d, oracle says %d", i, res.Gen, res.Flow, want)
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	fr, err := c.Flow("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Gen != gens+1 || fr.Flow != expect[int64(gens+1)] {
+		t.Fatalf("final state = %+v, want gen %d flow %d", fr, gens+1, expect[int64(gens+1)])
+	}
+}
+
+func updateSpecs(batch []graph.Update) []UpdateSpec {
+	specs := make([]UpdateSpec, 0, len(batch))
+	for _, u := range batch {
+		switch u.Op {
+		case graph.UpdateInsert:
+			specs = append(specs, UpdateSpec{
+				Op: "insert", U: int64(u.Edge.U), V: int64(u.Edge.V),
+				Cap: u.Edge.Cap, Directed: u.Edge.Directed,
+			})
+		case graph.UpdateSetCap:
+			specs = append(specs, UpdateSpec{
+				Op: "set-cap", ID: int64(u.ID), Cap: u.Cap, Directed: u.Directed,
+			})
+		}
+	}
+	return specs
+}
+
+// TestServiceOnDistributedBackend runs the same multiplexing against a
+// real distmr master with in-process TCP workers: the shared pool the
+// tentpole is about.
+func TestServiceOnDistributedBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed harness in -short")
+	}
+	defer leakcheck.Check(t)()
+	tr := trace.New()
+	h, err := distmr.StartHarness(distmr.HarnessConfig{Workers: 3, Tracer: tr})
+	if err != nil {
+		t.Fatalf("StartHarness: %v", err)
+	}
+	defer h.Close()
+
+	cluster := testCluster(3)
+	cluster.Distributed = h.Master
+	svc, err := Start(Config{
+		Cluster:      cluster,
+		Quotas:       Quotas{MaxConcurrent: 2},
+		Tracer:       tr,
+		MasterStatus: h.Master.Status,
+		AdminAddr:    "127.0.0.1:0",
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer svc.Close()
+	c := NewClient(svc.Addr())
+	defer c.Close()
+
+	inA := smallWorld(t, 150, 3, 5)
+	inB := smallWorld(t, 180, 3, 6)
+	var ids [2]string
+	for i, tc := range []struct {
+		tenant, handle string
+		in             *graph.Input
+	}{{"acme", "da", inA}, {"bravo", "db", inB}} {
+		ji, err := c.Submit(&SubmitRequest{Tenant: tc.tenant, Handle: tc.handle, Graph: graphSpec(tc.in)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = ji.ID
+	}
+	for i, in := range []*graph.Input{inA, inB} {
+		res, err := c.Wait(ids[i], 2*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracle(t, in); res.Flow != want {
+			t.Fatalf("job %d flow = %d, oracle says %d", i, res.Flow, want)
+		}
+	}
+	// The merged status shows both the worker pool and the scheduler.
+	st := scrapeStatus(t, svc.AdminAddr())
+	if st.Service == nil || st.WorkersAlive != 3 {
+		t.Fatalf("merged status: workers_alive=%d service=%v", st.WorkersAlive, st.Service)
+	}
+}

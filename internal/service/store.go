@@ -1,0 +1,139 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ffmr/internal/dynamic"
+	"ffmr/internal/obsv"
+)
+
+// This file is the resident snapshot store: the generation-tagged shelf
+// of solved graphs the query API serves from. Each client-named handle
+// owns a chain of generations; publishing a new one is a single atomic
+// pointer swap, so readers load the latest generation lock-free and
+// never observe a torn update or a generation moving backward. Writers
+// (the base solve and every update job) serialize per handle on
+// updateMu, which is what makes the store generation strictly monotonic.
+
+// Generation is one immutable published state of a handle: the snapshot
+// (the warm-restartable DFS residue) plus its materialized query view.
+type Generation struct {
+	// Gen is the store's generation tag, strictly increasing per handle
+	// from 1. It counts publishes — including re-solves that reset the
+	// underlying snapshot chain — so it is the tag query answers carry,
+	// not the snapshot's own warm-generation counter.
+	Gen  int64
+	Snap *dynamic.Snapshot
+	View *dynamic.View
+}
+
+// resident is one handle's slot in the store.
+type resident struct {
+	handle string
+	tenant string
+
+	// updateMu serializes the jobs that advance this handle (the base
+	// solve, re-solves, and update batches): each reads the current
+	// generation and publishes its successor under this lock, so chains
+	// never fork. Queries never touch it.
+	updateMu sync.Mutex
+
+	// cur is the latest published generation, nil until the base solve
+	// lands. Readers load it atomically and keep the pointer — the
+	// Generation behind it is immutable forever.
+	cur atomic.Pointer[Generation]
+	gen atomic.Int64 // last published Gen
+}
+
+// latest returns the newest published generation, or nil before the
+// base solve completes.
+func (r *resident) latest() *Generation { return r.cur.Load() }
+
+// publish installs the next generation and returns its tag plus the
+// generation it superseded (nil for the first publish). Callers must
+// hold updateMu.
+func (r *resident) publish(snap *dynamic.Snapshot, view *dynamic.View) (int64, *Generation) {
+	old := r.cur.Load()
+	g := &Generation{Gen: r.gen.Add(1), Snap: snap, View: view}
+	r.cur.Store(g)
+	return g.Gen, old
+}
+
+// store maps handle → resident. The map itself only grows (handles are
+// never deleted; a re-solve reuses the slot), guarded by a plain RWMutex
+// that queries hold only for the map lookup.
+type store struct {
+	mu      sync.RWMutex
+	handles map[string]*resident
+}
+
+func newStore() *store {
+	return &store{handles: make(map[string]*resident)}
+}
+
+// get returns the handle's resident, or nil if it was never created.
+func (st *store) get(handle string) *resident {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.handles[handle]
+}
+
+// ensure returns the handle's resident, creating it owned by tenant on
+// first use. A handle is tenant-private for writes: a different tenant
+// solving or updating it is an error (reads are unrestricted).
+func (st *store) ensure(handle, tenant string) (*resident, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := st.handles[handle]
+	if r == nil {
+		r = &resident{handle: handle, tenant: tenant}
+		st.handles[handle] = r
+		return r, nil
+	}
+	if r.tenant != tenant {
+		return nil, fmt.Errorf("service: handle %q is owned by tenant %q", handle, r.tenant)
+	}
+	return r, nil
+}
+
+// owned returns the handle's resident, enforcing write ownership.
+func (st *store) owned(handle, tenant string) (*resident, error) {
+	r := st.get(handle)
+	if r == nil {
+		return nil, fmt.Errorf("service: unknown handle %q", handle)
+	}
+	if r.tenant != tenant {
+		return nil, fmt.Errorf("service: handle %q is owned by tenant %q", handle, r.tenant)
+	}
+	return r, nil
+}
+
+// status lists the resident handles for /status, sorted by handle.
+func (st *store) status() []obsv.HandleStatus {
+	st.mu.RLock()
+	residents := make([]*resident, 0, len(st.handles))
+	for _, r := range st.handles {
+		residents = append(residents, r)
+	}
+	st.mu.RUnlock()
+	var out []obsv.HandleStatus
+	for _, r := range residents {
+		g := r.latest()
+		if g == nil {
+			continue // base solve still in flight
+		}
+		out = append(out, obsv.HandleStatus{
+			Handle:   r.handle,
+			Tenant:   r.tenant,
+			Gen:      g.Gen,
+			Flow:     g.View.FlowValue,
+			Vertices: g.View.NumVertices,
+			Edges:    g.View.NumEdges(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Handle < out[j].Handle })
+	return out
+}
