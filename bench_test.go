@@ -480,6 +480,36 @@ func BenchmarkDistributed(b *testing.B) {
 	})
 }
 
+// BenchmarkPortfolio measures the solver portfolio off the small-world
+// regime: plain FFMR versus the core-reduced and push-relabel
+// configurations the auto engine picks on a power-law graph with a
+// thick peelable fringe and on a high-diameter grid. Every
+// configuration is differential-checked inside experiments.Portfolio
+// (all flows per instance must agree). Recorded in
+// BENCH_portfolio.json; the headline: prflow beats plain FFMR on wall
+// time on the grid, and the core reduction shrinks the shuffled volume
+// on the power-law instance.
+func BenchmarkPortfolio(b *testing.B) {
+	sc := benchScale()
+	// One chain entry sizes both instances: a 16,000-vertex power-law
+	// graph and a 63x63 lattice (side = sqrt(n)/2).
+	sc.Chain = []graphgen.FBSpec{{Name: "PL", Vertices: 16_000}}
+	var last []experiments.PortfolioRow
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Portfolio(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	for _, r := range last {
+		name := r.Graph + "/" + r.Config
+		b.ReportMetric(float64(r.Rounds), name+"-rounds")
+		b.ReportMetric(float64(r.WallTime.Milliseconds()), name+"-wall-ms")
+		b.ReportMetric(float64(r.ShuffleBytes), name+"-shuffle-bytes")
+	}
+}
+
 // BenchmarkDynamic compares incremental (warm-restart) max-flow against
 // cold recomputation over randomized update batches of growing size, on
 // the FB1-scale graph under the realistic cost model. The headline

@@ -38,7 +38,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: graphs|fig5|fig6|table1|fig7|fig8|ablation|mrbsp|warmcold|all")
+		exp      = fs.String("exp", "all", "experiment: graphs|fig5|fig6|table1|fig7|fig8|ablation|mrbsp|warmcold|portfolio|all")
 		scale    = fs.String("scale", "tiny", "scale: tiny (10000x down) or default (1000x down)")
 		w        = fs.Int("w", 0, "override super source/sink tap count")
 		seed     = fs.Int64("seed", 0, "override generation seed")
@@ -236,6 +236,14 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout, tbl)
 			return saveCSV("warmcold", tbl)
 		}},
+		{"portfolio", func() error {
+			_, tbl, err := experiments.Portfolio(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, tbl)
+			return saveCSV("portfolio", tbl)
+		}},
 	}
 	if *exp != "all" {
 		known := false
@@ -243,7 +251,7 @@ func run(args []string, stdout io.Writer) error {
 			known = known || s.name == *exp
 		}
 		if !known {
-			return fmt.Errorf("unknown experiment %q (want graphs, fig5, fig6, table1, fig7, fig8, ablation, mrbsp, warmcold or all)", *exp)
+			return fmt.Errorf("unknown experiment %q (want graphs, fig5, fig6, table1, fig7, fig8, ablation, mrbsp, warmcold, portfolio or all)", *exp)
 		}
 	}
 	for _, s := range steps {

@@ -10,6 +10,11 @@
 //	# Load an edge list, run FF2, cross-check against sequential Dinic.
 //	ffmr -input graph.txt -variant 2 -check
 //
+//	# Let the portfolio probe the instance and pick the solver, or force
+//	# the synchronous push-relabel engine on a high-diameter lattice.
+//	ffmr -gen ba -n 20000 -m 2 -engine auto -check
+//	ffmr -gen grid -n 64 -engine prflow -check
+//
 //	# Compare against the MR-BFS baseline.
 //	ffmr -gen ws -n 5000 -k 6 -beta 0.1 -bfs
 //
@@ -48,6 +53,7 @@ import (
 	"ffmr/internal/mapreduce"
 	"ffmr/internal/maxflow"
 	"ffmr/internal/obsv"
+	_ "ffmr/internal/portfolio" // registers the "prflow" and "auto" engines
 	"ffmr/internal/stats"
 	"ffmr/internal/trace"
 )
@@ -62,17 +68,18 @@ func main() {
 
 func run() error {
 	var (
-		gen     = flag.String("gen", "", "generate a graph: ba|ws|rmat|er (mutually exclusive with -input)")
+		gen     = flag.String("gen", "", "generate a graph: ba|ws|rmat|er|grid|bip (mutually exclusive with -input)")
 		input   = flag.String("input", "", "read an edge-list file instead of generating")
-		n       = flag.Int("n", 10000, "vertices (ba, ws, er)")
+		n       = flag.Int("n", 10000, "vertices (ba, ws, er) / side length (grid) / per-side vertices (bip)")
 		m       = flag.Int("m", 4, "attachment count (ba) / edges factor (rmat) / edges (er, absolute)")
 		k       = flag.Int("k", 6, "ring neighbours (ws)")
-		beta    = flag.Float64("beta", 0.1, "rewire probability (ws)")
+		beta    = flag.Float64("beta", 0.1, "rewire probability (ws) / edge density (bip)")
 		scale   = flag.Int("rmat-scale", 12, "log2 vertices (rmat)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		w       = flag.Int("w", 0, "attach a super source/sink with w taps (0 = use highest-degree endpoints)")
 		minDeg  = flag.Int("min-degree", 8, "tap eligibility threshold for -w")
 		variant = flag.Int("variant", 5, "algorithm variant 1..5 (FF1..FF5)")
+		engine  = flag.String("engine", "", "solver engine: ffmr|prflow|auto (empty: ffmr)")
 		nodes   = flag.Int("nodes", 4, "simulated cluster nodes")
 		slots   = flag.Int("slots", 4, "worker slots per node")
 		kPaths  = flag.Int("excess-paths", 4, "per-vertex excess path limit (FF1..FF4)")
@@ -144,7 +151,7 @@ func run() error {
 	// Client mode: hand the job to a resident flow service and verify
 	// its answers instead of running a cluster in this process.
 	if *submitTo != "" {
-		return submitRun(*submitTo, *tenant, *handle, *priority, *variant, in, *check)
+		return submitRun(*submitTo, *tenant, *handle, *priority, *variant, *engine, in, *check)
 	}
 
 	tracer := trace.New()
@@ -215,6 +222,7 @@ func run() error {
 
 	opts := core.Options{
 		Variant:   core.Variant(*variant),
+		Engine:    *engine,
 		K:         *kPaths,
 		MaxRounds: *maxR,
 		Tracer:    tracer,
@@ -512,8 +520,20 @@ func buildGraph(gen, input string, n, m, k int, beta float64, scale int, seed in
 		in, err = graphgen.RMAT(scale, m, seed)
 	case "er":
 		in, err = graphgen.ErdosRenyi(n, m, seed)
+	case "grid":
+		// Grid and bip pick their own corner/super endpoints: rerouting
+		// them through PickEndpoints (or tapping a super source/sink with
+		// -w) would collapse the diameter these families exist to provide.
+		in, err = graphgen.Grid(n, n)
+		if err != nil {
+			return nil, err
+		}
+		graphgen.RandomCapacities(in, 16, seed)
+		return in, nil
+	case "bip":
+		return graphgen.DenseBipartite(n, n, beta, seed)
 	default:
-		return nil, fmt.Errorf("unknown generator %q (want ba, ws, rmat or er)", gen)
+		return nil, fmt.Errorf("unknown generator %q (want ba, ws, rmat, er, grid or bip)", gen)
 	}
 	if err != nil {
 		return nil, err

@@ -13,7 +13,7 @@ import (
 // the graph to a running ffmr-service, wait for the result, and verify
 // the query API answers about the now-resident snapshot are consistent
 // with it.
-func submitRun(addr, tenant, handle string, priority, variant int, in *graph.Input, check bool) error {
+func submitRun(addr, tenant, handle string, priority, variant int, engine string, in *graph.Input, check bool) error {
 	c := service.NewClient(addr)
 	defer c.Close()
 
@@ -22,6 +22,7 @@ func submitRun(addr, tenant, handle string, priority, variant int, in *graph.Inp
 		Handle:   handle,
 		Priority: priority,
 		Variant:  variant,
+		Engine:   engine,
 		Graph:    toGraphSpec(in),
 	})
 	if err != nil {

@@ -101,6 +101,9 @@ func Run(cluster *mapreduce.Cluster, in *graph.Input, opts Options) (*Result, er
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	if res, handled, err := dispatchEngine(cluster, in, opts); handled {
+		return res, err
+	}
 	feat := opts.Variant.features()
 	fs := cluster.FS
 	prefix := opts.PathPrefix

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ffmr/internal/dfs"
+	"ffmr/internal/graph"
+	"ffmr/internal/mapreduce"
+)
+
+// This file lets alternative engines (internal/prflow, the portfolio's
+// core-reduced runs) persist and read back the same on-DFS state the
+// FFMR driver produces: canonical vertex records under a round-NNNNN
+// prefix plus an AugmentedEdges pending-deltas file. Keeping the state
+// shape identical is what makes Validate, dynamic.Solve/Apply snapshots
+// and the service's query views engine-agnostic.
+
+// WriteEngineState persists a per-edge flow assignment as the final
+// state of a completed run: partition-aligned vertex record files under
+// roundPrefix(opts.PathPrefix, rounds) and an empty pending-deltas file
+// at PendingDeltasFile(opts, rounds) — exactly what the FFMR driver
+// leaves behind after a strict-termination run. flows[i] is the flow on
+// in.Edges[i] in canonical (U -> V) orientation.
+//
+// opts must have defaults resolved (Run resolves them before engine
+// dispatch): Reducers fixes the partition alignment of the output files,
+// which schimmy rounds and the dynamic-update pipeline rely on. Records
+// carry the usual source/sink excess-path seeds and (for FF5) zeroed
+// sent-flag arrays, so a later warm restart can re-augment from them.
+func WriteEngineState(fs *dfs.FS, in *graph.Input, opts Options, rounds int, flows []int64) error {
+	if opts.Reducers <= 0 {
+		return fmt.Errorf("core: WriteEngineState needs resolved options (Reducers=%d)", opts.Reducers)
+	}
+	if len(flows) != len(in.Edges) {
+		return fmt.Errorf("core: WriteEngineState: %d flows for %d edges", len(flows), len(in.Edges))
+	}
+	feat := opts.Variant.features()
+
+	adj := make(map[graph.VertexID][]graph.Edge)
+	for i := range in.Edges {
+		e := &in.Edges[i]
+		revCap := e.Cap
+		if e.Directed {
+			revCap = 0
+		}
+		id := graph.EdgeID(i)
+		f := flows[i]
+		adj[e.U] = append(adj[e.U], graph.Edge{To: e.V, ID: id, Flow: f, Cap: e.Cap, RevCap: revCap, Fwd: true})
+		adj[e.V] = append(adj[e.V], graph.Edge{To: e.U, ID: id, Flow: -f, Cap: revCap, RevCap: e.Cap, Fwd: false})
+	}
+
+	// One writer per partition; vertices appended in key order so each
+	// file is sorted like a reducer's output.
+	ids := make([]graph.VertexID, 0, len(adj))
+	for u := range adj {
+		ids = append(ids, u)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	writers := make([]dfs.RecordWriter, opts.Reducers)
+	for _, u := range ids {
+		edges := adj[u]
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].To != edges[j].To {
+				return edges[i].To < edges[j].To
+			}
+			return edges[i].ID < edges[j].ID
+		})
+		val := &graph.VertexValue{Eu: edges}
+		if u == in.Source {
+			val.Su = []graph.ExcessPath{{}}
+		}
+		if u == in.Sink && !opts.DisableBidirectional {
+			val.Tu = []graph.ExcessPath{{}}
+		}
+		if feat.sentTracking {
+			val.SentS = make([]uint64, len(edges))
+			val.SentT = make([]uint64, len(edges))
+		}
+		key := graph.KeyBytes(u)
+		writers[mapreduce.Partition(key, opts.Reducers)].Append(key, graph.EncodeValue(val))
+	}
+
+	prefix := roundPrefix(opts.PathPrefix, rounds)
+	for p := range writers {
+		name := fmt.Sprintf("%spart-%05d", prefix, p)
+		if err := fs.WriteFile(name, writers[p].Bytes()); err != nil {
+			return err
+		}
+	}
+	return fs.WriteFile(deltaName(opts.PathPrefix, rounds+1), EncodeDeltas(nil))
+}
+
+// ExtractFlows reads a completed run's persisted residual state and
+// returns the canonical per-edge flow assignment, applying the pending
+// AugmentedEdges file first if one exists (it is empty after a strict
+// run). It verifies that every input edge appears with exactly two
+// skew-symmetric halves, so the result is trustworthy enough to feed
+// prep.Uncontract or CheckAssignment.
+func ExtractFlows(fs *dfs.FS, in *graph.Input, opts Options, res *Result) ([]int64, error) {
+	opts.applyDefaults(1)
+	verts, err := ReadVertices(fs, roundPrefix(opts.PathPrefix, res.Rounds))
+	if err != nil {
+		return nil, fmt.Errorf("core: extract flows: %w", err)
+	}
+	if len(verts) == 0 && len(in.Edges) > 0 {
+		return nil, fmt.Errorf("core: extract flows: no vertex records under %q (run with KeepIntermediate)",
+			roundPrefix(opts.PathPrefix, res.Rounds))
+	}
+	deltaFile := deltaName(opts.PathPrefix, res.Rounds+1)
+	if fs.Exists(deltaFile) {
+		data, err := fs.ReadFile(deltaFile)
+		if err != nil {
+			return nil, err
+		}
+		deltas, err := DecodeDeltas(data)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range verts {
+			updateVertex(v, deltas)
+		}
+	}
+
+	flows := make([]int64, len(in.Edges))
+	halves := make([]int, len(in.Edges))
+	for _, v := range verts {
+		for i := range v.Eu {
+			e := &v.Eu[i]
+			if int(e.ID) >= len(flows) {
+				return nil, fmt.Errorf("core: extract flows: edge %d out of range (m=%d)", e.ID, len(flows))
+			}
+			canonical := e.Flow
+			if !e.Fwd {
+				canonical = -canonical
+			}
+			if halves[e.ID] > 0 && flows[e.ID] != canonical {
+				return nil, fmt.Errorf("core: extract flows: edge %d violates skew symmetry: %d vs %d",
+					e.ID, flows[e.ID], canonical)
+			}
+			flows[e.ID] = canonical
+			halves[e.ID]++
+		}
+	}
+	for id, n := range halves {
+		if n != 2 {
+			return nil, fmt.Errorf("core: extract flows: edge %d has %d halves", id, n)
+		}
+	}
+	return flows, nil
+}

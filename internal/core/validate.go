@@ -106,3 +106,51 @@ func Validate(fs *dfs.FS, in *graph.Input, opts Options, res *Result) error {
 	}
 	return nil
 }
+
+// CheckAssignment verifies that flows is a feasible s-t flow of the
+// given value on in: flows[i] is the flow on in.Edges[i] in canonical
+// (U -> V) orientation, negative for reverse flow on an undirected edge.
+// It checks the same axioms as Validate — capacity in both directions,
+// conservation at every vertex except source and sink, and net source
+// outflow (and sink inflow) equal to value — but against an in-memory
+// assignment instead of persisted records. Alternative engines and the
+// prep reduction use it as their proof-carrying check: a flow that
+// passes is feasible, and one whose value matches a known maximum is
+// itself maximum.
+func CheckAssignment(in *graph.Input, flows []int64, value int64) error {
+	if len(flows) != len(in.Edges) {
+		return fmt.Errorf("core: check: %d flows for %d edges", len(flows), len(in.Edges))
+	}
+	net := make(map[graph.VertexID]int64)
+	for i := range in.Edges {
+		e := &in.Edges[i]
+		f := flows[i]
+		rev := e.Cap
+		if e.Directed {
+			rev = 0
+		}
+		if f > e.Cap {
+			return fmt.Errorf("core: check: edge %d flow %d exceeds capacity %d", i, f, e.Cap)
+		}
+		if -f > rev {
+			return fmt.Errorf("core: check: edge %d reverse flow %d exceeds reverse capacity %d", i, -f, rev)
+		}
+		net[e.U] += f
+		net[e.V] -= f
+	}
+	for u, out := range net {
+		if u == in.Source || u == in.Sink {
+			continue
+		}
+		if out != 0 {
+			return fmt.Errorf("core: check: vertex %d violates conservation by %d", u, out)
+		}
+	}
+	if net[in.Source] != value {
+		return fmt.Errorf("core: check: source net flow %d != claimed value %d", net[in.Source], value)
+	}
+	if net[in.Sink] != -value {
+		return fmt.Errorf("core: check: sink net flow %d != -value %d", net[in.Sink], value)
+	}
+	return nil
+}

@@ -101,6 +101,16 @@ func (m TerminationMode) String() string {
 // Options configures an FFMR run. The zero value is completed by
 // applyDefaults; use the ffmr facade package for a friendlier surface.
 type Options struct {
+	// Engine selects the solver. "" and "ffmr" run the paper's multi-round
+	// MapReduce Ford-Fulkerson; any other value is resolved through
+	// RegisterEngine ("prflow" — the synchronous parallel push-relabel
+	// engine from internal/prflow — and "auto" — the instance-probing
+	// portfolio driver from internal/portfolio; import those packages to
+	// register them). Every engine persists the same final residual state
+	// (round-NNNNN vertex records plus a pending-deltas file), so
+	// Validate, dynamic snapshots and the service work with any of them.
+	// Resume and checkpointing are FFMR-only.
+	Engine string
 	// Variant selects FF1..FF5 (default FF5).
 	Variant Variant
 	// K is the maximum number of source (and sink) excess paths stored

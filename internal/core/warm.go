@@ -36,7 +36,10 @@ type WarmStart struct {
 // Unlike Run, the caller must pass the same explicit Reducers count the
 // state was produced with (a zero value is resolved from the cluster,
 // which is only correct when the state came from the same cluster
-// shape), and Resume is not supported.
+// shape), and Resume is not supported. Options.Engine is ignored: a
+// warm restart always re-augments with FFMR, which is valid from any
+// engine's persisted state because every engine writes the same
+// partition-aligned residual records (see WriteEngineState).
 func RunWarm(cluster *mapreduce.Cluster, in *graph.Input, opts Options, warm WarmStart) (*Result, error) {
 	opts.applyDefaults(cluster.Nodes * cluster.SlotsPerNode)
 	if err := opts.validate(); err != nil {

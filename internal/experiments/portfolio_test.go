@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"ffmr/internal/graphgen"
+)
+
+func TestPortfolioShape(t *testing.T) {
+	sc := micro()
+	sc.Chain = sc.Chain[:1]
+	rows, tbl, err := Portfolio(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (2 instances x 3 configurations)", len(rows))
+	}
+	flows := map[string]int64{}
+	for _, r := range rows {
+		if r.MaxFlow <= 0 {
+			t.Errorf("%s/%s: non-positive flow %d", r.Graph, r.Config, r.MaxFlow)
+		}
+		if r.Rounds <= 0 {
+			t.Errorf("%s/%s: non-positive rounds %d", r.Graph, r.Config, r.Rounds)
+		}
+		if prev, ok := flows[r.Graph]; ok && prev != r.MaxFlow {
+			t.Errorf("%s: configurations disagree on flow (%d vs %d)", r.Graph, prev, r.MaxFlow)
+		}
+		flows[r.Graph] = r.MaxFlow
+		// Portfolio itself errors when any configuration's flow diverges
+		// or the uncontracted flow fails CheckAssignment, so reaching
+		// here means every differential passed.
+		if r.Config == "reduce+ffmr" && r.Note == "" {
+			t.Errorf("%s: reduce row missing its peel note", r.Graph)
+		}
+		if r.Config == "prflow" && r.ShuffleBytes != 0 {
+			t.Errorf("prflow row reports %d MR shuffle bytes, want 0", r.ShuffleBytes)
+		}
+	}
+	if got, want := len(flows), 2; got != want {
+		t.Fatalf("saw %d instances, want %d", got, want)
+	}
+	if tbl == nil || tbl.String() == "" {
+		t.Error("empty rendered table")
+	}
+}
+
+// TestPortfolioReductionWins pins the power-law headline: the core
+// reduction must shrink the shuffled volume below plain FFMR's (the
+// peeled fringe never reaches the DFS). The effect needs a fringe big
+// enough to outweigh per-round fixed records, hence the larger scale
+// than TestPortfolioShape.
+func TestPortfolioReductionWins(t *testing.T) {
+	sc := micro()
+	sc.Chain = []graphgen.FBSpec{{Name: "PL", Vertices: 4000}}
+	rows, _, err := Portfolio(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, reduced int64 = -1, -1
+	for _, r := range rows {
+		if r.Graph != "power-law" {
+			continue
+		}
+		switch r.Config {
+		case "ffmr":
+			plain = r.ShuffleBytes
+		case "reduce+ffmr":
+			reduced = r.ShuffleBytes
+		}
+	}
+	if plain < 0 || reduced < 0 {
+		t.Fatalf("missing power-law rows (plain %d, reduced %d)", plain, reduced)
+	}
+	if reduced >= plain {
+		t.Errorf("core reduction did not shrink shuffle: reduced %d >= plain %d", reduced, plain)
+	}
+}

@@ -1,0 +1,128 @@
+package graphgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ffmr/internal/graph"
+)
+
+// Non-small-world test families and a degree-distribution fit. The
+// portfolio driver (internal/portfolio) probes instances for exactly
+// the properties these generators control: Grid produces the
+// high-diameter regime where FFMR's round count degrades, DenseBipartite
+// the low-diameter/high-arc-count regime, and PowerLawFit quantifies the
+// scale-free tail that makes the prep core reduction worthwhile.
+
+// Grid generates a rows x cols 4-neighbour lattice with unit
+// capacities, source at one corner (vertex 0) and sink at the opposite
+// corner. Unlike the small-world generators it sets Source and Sink
+// itself: attaching a super source/sink would destroy the property the
+// family exists to provide, a diameter of rows+cols-2.
+func Grid(rows, cols int) (*graph.Input, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("graphgen: invalid grid dimensions %dx%d", rows, cols)
+	}
+	n := rows * cols
+	at := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	in := &graph.Input{NumVertices: n, Source: 0, Sink: graph.VertexID(n - 1)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				in.Edges = append(in.Edges, graph.InputEdge{U: at(r, c), V: at(r, c+1), Cap: 1})
+			}
+			if r+1 < rows {
+				in.Edges = append(in.Edges, graph.InputEdge{U: at(r, c), V: at(r+1, c), Cap: 1})
+			}
+		}
+	}
+	return in, nil
+}
+
+// DenseBipartite generates a directed flow instance s -> L -> R -> t:
+// left vertices 0..left-1, right vertices left..left+right-1, each
+// left-right pair connected with probability p, and a dedicated source
+// and sink wired to every left (respectively right) vertex. All edges
+// are directed with unit capacity (use RandomCapacities to vary them).
+// The family has diameter 3 but, at high p, far more arcs per vertex
+// than a small-world graph — the regime where FFMR's per-round shuffle
+// dominates.
+func DenseBipartite(left, right int, p float64, seed int64) (*graph.Input, error) {
+	if left < 1 || right < 1 || p <= 0 || p > 1 {
+		return nil, fmt.Errorf("graphgen: invalid bipartite parameters left=%d right=%d p=%g", left, right, p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := graph.VertexID(left + right)
+	t := graph.VertexID(left + right + 1)
+	in := &graph.Input{NumVertices: left + right + 2, Source: s, Sink: t}
+	for l := 0; l < left; l++ {
+		in.Edges = append(in.Edges, graph.InputEdge{U: s, V: graph.VertexID(l), Cap: 1, Directed: true})
+	}
+	for l := 0; l < left; l++ {
+		for r := 0; r < right; r++ {
+			if rng.Float64() < p {
+				in.Edges = append(in.Edges, graph.InputEdge{
+					U: graph.VertexID(l), V: graph.VertexID(left + r), Cap: 1, Directed: true,
+				})
+			}
+		}
+	}
+	for r := 0; r < right; r++ {
+		in.Edges = append(in.Edges, graph.InputEdge{U: graph.VertexID(left + r), V: t, Cap: 1, Directed: true})
+	}
+	return in, nil
+}
+
+// DegreeFit summarizes a graph's degree distribution for engine
+// selection.
+type DegreeFit struct {
+	// Alpha is the continuous maximum-likelihood power-law exponent
+	// fitted to degrees >= XMin (Clauset-Shalizi-Newman estimator);
+	// scale-free graphs land in roughly [2, 3.5], while lattices and
+	// near-regular graphs produce large values (a degenerate tail).
+	Alpha float64
+	// XMin is the fixed lower cutoff of the fitted tail.
+	XMin int
+	// TailFraction is the fraction of vertices with degree >= XMin.
+	TailFraction float64
+	// FracLowDegree is the fraction of vertices with degree <= 2 — the
+	// vertices the prep core reduction can peel.
+	FracLowDegree float64
+	MaxDegree     int
+	AvgDegree     float64
+}
+
+// PowerLawFit fits a power law to the degree distribution with the
+// standard MLE alpha = 1 + n / sum(ln(d_i / (xmin - 1/2))) over
+// degrees >= xmin. Isolated vertices are ignored for the average.
+func PowerLawFit(in *graph.Input) DegreeFit {
+	const xmin = 3
+	fit := DegreeFit{Alpha: math.Inf(1), XMin: xmin}
+	deg := Degrees(in)
+	if len(deg) == 0 {
+		return fit
+	}
+	var logSum float64
+	var tail, low, degSum int
+	for _, d := range deg {
+		degSum += d
+		if d > fit.MaxDegree {
+			fit.MaxDegree = d
+		}
+		if d <= 2 {
+			low++
+		}
+		if d >= xmin {
+			tail++
+			logSum += math.Log(float64(d) / (xmin - 0.5))
+		}
+	}
+	fit.AvgDegree = float64(degSum) / float64(len(deg))
+	fit.FracLowDegree = float64(low) / float64(len(deg))
+	fit.TailFraction = float64(tail) / float64(len(deg))
+	if tail > 0 && logSum > 0 {
+		fit.Alpha = 1 + float64(tail)/logSum
+	}
+	return fit
+}

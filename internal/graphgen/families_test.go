@@ -1,0 +1,122 @@
+package graphgen
+
+import (
+	"testing"
+
+	"ffmr/internal/graph"
+	"ffmr/internal/maxflow"
+)
+
+func TestGrid(t *testing.T) {
+	in, err := Grid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Edges) != 2*8*7 {
+		t.Fatalf("8x8 grid has %d edges, want %d", len(in.Edges), 2*8*7)
+	}
+	m := Measure(in, 16, 1)
+	if m.EstimatedDiameter < 14 {
+		t.Fatalf("8x8 grid diameter estimate %d, want >= 14", m.EstimatedDiameter)
+	}
+	if m.LargestComponent != 1.0 {
+		t.Fatalf("grid should be connected, got component fraction %g", m.LargestComponent)
+	}
+	// Corner-to-corner unit-capacity max flow on a grid equals the
+	// corner degree.
+	net, err := maxflow.FromInput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxflow.Dinic(net, int(in.Source), int(in.Sink)); got != 2 {
+		t.Fatalf("grid corner max flow = %d, want 2", got)
+	}
+
+	if _, err := Grid(1, 5); err == nil {
+		t.Fatal("expected error for 1-row grid")
+	}
+}
+
+func TestDenseBipartite(t *testing.T) {
+	in, err := DenseBipartite(10, 12, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Edges) != 10+10*12+12 {
+		t.Fatalf("complete bipartite edge count %d, want %d", len(in.Edges), 10+10*12+12)
+	}
+	// With p=1 and unit caps everywhere the value is min(left, right).
+	net, err := maxflow.FromInput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxflow.Dinic(net, int(in.Source), int(in.Sink)); got != 10 {
+		t.Fatalf("complete bipartite max flow = %d, want 10", got)
+	}
+
+	// Determinism across identical seeds, variation across seeds.
+	a, _ := DenseBipartite(20, 20, 0.3, 7)
+	b, _ := DenseBipartite(20, 20, 0.3, 7)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed produced different graphs")
+	}
+
+	if _, err := DenseBipartite(0, 5, 0.5, 1); err == nil {
+		t.Fatal("expected error for empty side")
+	}
+	if _, err := DenseBipartite(5, 5, 0, 1); err == nil {
+		t.Fatal("expected error for p=0")
+	}
+}
+
+func TestPowerLawFit(t *testing.T) {
+	// Scale-free: BA should fit a finite alpha in the usual range with
+	// a heavy low-degree fringe.
+	ba, err := BarabasiAlbert(4000, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitBA := PowerLawFit(ba)
+	if fitBA.Alpha < 2 || fitBA.Alpha > 4 {
+		t.Fatalf("BA alpha = %g, want in [2, 4]", fitBA.Alpha)
+	}
+	if fitBA.FracLowDegree < 0.25 {
+		t.Fatalf("BA(m=2) low-degree fraction = %g, want >= 0.25", fitBA.FracLowDegree)
+	}
+	if fitBA.MaxDegree < 20 {
+		t.Fatalf("BA should have hubs, max degree %d", fitBA.MaxDegree)
+	}
+
+	// Near-regular: a grid has almost no peelable fringe, which is the
+	// signal the portfolio driver actually keys on.
+	grid, err := Grid(40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitGrid := PowerLawFit(grid)
+	if fitGrid.FracLowDegree > 0.15 {
+		t.Fatalf("grid low-degree fraction = %g, want small", fitGrid.FracLowDegree)
+	}
+
+	// Watts-Strogatz is small-world but not scale-free: no peelable
+	// fringe either.
+	ws, err := WattsStrogatz(2000, 4, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitWS := PowerLawFit(ws)
+	if fitWS.FracLowDegree > 0.2 {
+		t.Fatalf("WS low-degree fraction = %g, want small", fitWS.FracLowDegree)
+	}
+
+	empty := PowerLawFit(&graph.Input{NumVertices: 3})
+	if empty.FracLowDegree != 1 {
+		t.Fatalf("edgeless graph low-degree fraction = %g, want 1", empty.FracLowDegree)
+	}
+}

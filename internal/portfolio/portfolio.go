@@ -1,0 +1,281 @@
+// Package portfolio is an instance-probing solver portfolio for the
+// max-flow engines in this repository. The source paper's FFMR
+// algorithm is designed for small-world graphs: its round count is
+// bounded below by the source-sink distance, and its per-round cost by
+// the shuffle volume. Both assumptions fail off the small-world regime
+// — high-diameter graphs (lattices, road-like networks) blow up the
+// round count, and scale-free graphs carry a large low-degree fringe
+// that inflates every round's shuffle for no flow. This package probes
+// an instance cheaply, then composes the right pipeline:
+//
+//   - a double-sweep MR-BFS diameter estimate (two RunBFS runs: one
+//     from the source, one from the farthest vertex found) and a
+//     degree-distribution fit (graphgen.PowerLawFit);
+//   - Choose turns the probe into a Decision: solve with FFMR or the
+//     synchronous push-relabel engine (internal/prflow), optionally
+//     after the scale-free core reduction (internal/prep);
+//   - the "auto" engine registered with core.RegisterEngine executes
+//     the decision, lifts reduced flows back with prep.Uncontract,
+//     verifies the lift with core.CheckAssignment, and persists the
+//     standard final residual state under the caller's path prefix, so
+//     downstream consumers (Validate, dynamic snapshots, the service)
+//     cannot tell which pipeline ran.
+package portfolio
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ffmr/internal/core"
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/obsv"
+	"ffmr/internal/prep"
+	_ "ffmr/internal/prflow" // register the "prflow" engine for decisions
+)
+
+// EngineName is the core.Options.Engine value this package registers.
+const EngineName = "auto"
+
+func init() {
+	core.RegisterEngine(EngineName, run)
+}
+
+// Probe is what the portfolio knows about an instance before solving
+// it.
+type Probe struct {
+	Vertices int
+	Edges    int
+	// DiameterEstimate is the double-sweep BFS lower bound on the
+	// graph's diameter (exactly the MR-BFS the paper uses to estimate
+	// D, run twice).
+	DiameterEstimate int
+	// SinkDistance is the source-sink hop distance (-1 if unreachable).
+	SinkDistance int
+	// Fit summarizes the degree distribution.
+	Fit graphgen.DegreeFit
+	// BFSSimTime and BFSWallTime are the probe's own cost.
+	BFSSimTime  time.Duration
+	BFSWallTime time.Duration
+}
+
+// Decision is the portfolio's plan for an instance.
+type Decision struct {
+	// Engine is "ffmr" or "prflow" (never "auto").
+	Engine string
+	// Reduce applies the prep core reduction before solving.
+	Reduce bool
+	// Reason is a human-readable justification, logged and used in
+	// benchmark reports.
+	Reason string
+}
+
+// Thresholds for Choose, exported for tests and experiments.
+const (
+	// ReduceLowDegreeFrac: reduce when at least this fraction of
+	// vertices is peelable (degree <= 2). Barabási-Albert graphs with
+	// m=2 sit near 0.5; Watts-Strogatz and grids near 0.
+	ReduceLowDegreeFrac = 0.25
+	// PRFlowDiameterFactor and PRFlowMinDiameter: use push-relabel when
+	// the diameter estimate is at least factor*log2(n) and at least the
+	// minimum — i.e. the instance is decisively not small-world, so
+	// FFMR would pay at least diameter rounds.
+	PRFlowDiameterFactor = 3.0
+	PRFlowMinDiameter    = 12
+)
+
+// ProbeInstance measures the instance with two MR-BFS sweeps plus an
+// in-memory degree fit. The sweeps run under pathPrefix and are cleaned
+// up unless keep is set.
+func ProbeInstance(cluster *mapreduce.Cluster, in *graph.Input, reducers int, pathPrefix string, keep bool) (*Probe, error) {
+	fs := cluster.FS
+	p := &Probe{
+		Vertices: in.NumVertices,
+		Edges:    len(in.Edges),
+		Fit:      graphgen.PowerLawFit(in),
+	}
+
+	sweep1 := pathPrefix + "sweep1/"
+	res1, err := core.RunBFS(cluster, in, reducers, sweep1)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: probe sweep 1: %w", err)
+	}
+	p.SinkDistance = res1.SinkDist
+	p.BFSSimTime += res1.TotalSimTime
+	p.BFSWallTime += res1.TotalWallTime
+	dist, err := core.BFSDistances(fs, sweep1, res1)
+	if err != nil {
+		return nil, err
+	}
+	if !keep {
+		fs.DeletePrefix(sweep1)
+	}
+	far := in.Source
+	var farDist int64
+	for u, d := range dist {
+		if d > farDist || (d == farDist && u < far) {
+			far, farDist = u, d
+		}
+	}
+	p.DiameterEstimate = int(farDist)
+
+	// Second sweep from the eccentric vertex of the first.
+	if far != in.Source {
+		sweep2 := pathPrefix + "sweep2/"
+		in2 := &graph.Input{NumVertices: in.NumVertices, Edges: in.Edges, Source: far, Sink: in.Source}
+		res2, err := core.RunBFS(cluster, in2, reducers, sweep2)
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: probe sweep 2: %w", err)
+		}
+		p.BFSSimTime += res2.TotalSimTime
+		p.BFSWallTime += res2.TotalWallTime
+		dist2, err := core.BFSDistances(fs, sweep2, res2)
+		if err != nil {
+			return nil, err
+		}
+		if !keep {
+			fs.DeletePrefix(sweep2)
+		}
+		for _, d := range dist2 {
+			if int(d) > p.DiameterEstimate {
+				p.DiameterEstimate = int(d)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Choose maps a probe to a plan. The rules are deliberately coarse —
+// the probe separates the generator families cleanly (see the package
+// tests), and a misclassification costs performance, never
+// correctness, because every pipeline is exact.
+func Choose(p *Probe) Decision {
+	d := Decision{Engine: "ffmr"}
+	if p.Fit.FracLowDegree >= ReduceLowDegreeFrac {
+		d.Reduce = true
+		d.Reason = fmt.Sprintf("scale-free fringe: %.0f%% of vertices peelable (alpha %.2f); ",
+			100*p.Fit.FracLowDegree, p.Fit.Alpha)
+	}
+	logN := math.Log2(float64(p.Vertices) + 1)
+	if p.DiameterEstimate >= PRFlowMinDiameter &&
+		float64(p.DiameterEstimate) >= PRFlowDiameterFactor*logN {
+		d.Engine = "prflow"
+		d.Reason += fmt.Sprintf("high diameter ~%d >= %.0f (3*log2 n): push-relabel over FFMR",
+			p.DiameterEstimate, PRFlowDiameterFactor*logN)
+	} else {
+		d.Reason += fmt.Sprintf("small-world diameter ~%d (sink at %d): FFMR",
+			p.DiameterEstimate, p.SinkDistance)
+	}
+	return d
+}
+
+// run is the "auto" core.EngineFunc: probe, choose, execute, and leave
+// behind the same persisted state as any other engine.
+func run(cluster *mapreduce.Cluster, in *graph.Input, opts core.Options) (*core.Result, error) {
+	fs := cluster.FS
+	log := obsv.Or(opts.Log).With("run", EngineName)
+	start := time.Now()
+
+	probePrefix := opts.PathPrefix + "probe/"
+	probe, err := ProbeInstance(cluster, in, opts.Reducers, probePrefix, opts.KeepIntermediate)
+	if err != nil {
+		return nil, err
+	}
+	dec := Choose(probe)
+	log.Info("portfolio decision",
+		"engine", dec.Engine,
+		"reduce", dec.Reduce,
+		"reason", dec.Reason,
+		"diameter", probe.DiameterEstimate,
+		"sink_dist", probe.SinkDistance,
+		"low_degree_frac", probe.Fit.FracLowDegree)
+
+	var red *prep.Reduction
+	if dec.Reduce {
+		red, err = prep.Reduce(in)
+		if err != nil {
+			return nil, err
+		}
+		if red.Stats.EdgesRemovedFrac() < 0.10 {
+			// The fringe did not materialize; reduction overhead is not
+			// worth a sub-10% edge saving.
+			log.Info("portfolio reduction skipped",
+				"removed_frac", red.Stats.EdgesRemovedFrac())
+			red = nil
+		} else {
+			log.Info("portfolio reduction",
+				"vertices_peeled", red.Stats.VerticesPeeled,
+				"edges_before", red.Stats.OriginalEdges,
+				"edges_after", red.Stats.CoreEdges,
+				"gadgets", red.Stats.Gadgets)
+		}
+	}
+
+	if red == nil {
+		// Direct: run the chosen engine in place, under the caller's own
+		// prefix, so its persisted state is already where it belongs.
+		direct := opts
+		direct.Engine = dec.Engine
+		res, err := core.Run(cluster, in, direct)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalSimTime += probe.BFSSimTime
+		res.TotalWallTime = time.Since(start)
+		return res, nil
+	}
+
+	// Reduced: solve the core under a sub-prefix (keeping its state so
+	// flows can be extracted), lift the flow back to the original
+	// instance, verify, and persist the lifted state under the caller's
+	// prefix.
+	coreOpts := opts
+	coreOpts.Engine = dec.Engine
+	coreOpts.PathPrefix = opts.PathPrefix + "core/"
+	coreOpts.KeepIntermediate = true
+	coreRes, err := core.Run(cluster, red.Core, coreOpts)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: core solve: %w", err)
+	}
+	resolved := coreOpts.WithDefaults(cluster.Nodes * cluster.SlotsPerNode)
+	coreFlows, err := core.ExtractFlows(fs, red.Core, resolved, coreRes)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: core flows: %w", err)
+	}
+	flows, err := red.Uncontract(coreFlows)
+	if err != nil {
+		return nil, err
+	}
+	// Proof-carrying check of the whole reduce/solve/lift pipeline.
+	if err := core.CheckAssignment(in, flows, coreRes.MaxFlow); err != nil {
+		return nil, fmt.Errorf("portfolio: lifted flow failed verification: %w", err)
+	}
+	if err := core.WriteEngineState(fs, in, opts, coreRes.Rounds, flows); err != nil {
+		return nil, err
+	}
+	if !opts.KeepIntermediate {
+		fs.DeletePrefix(coreOpts.PathPrefix)
+	}
+
+	res := &core.Result{
+		Variant:         coreRes.Variant,
+		MaxFlow:         coreRes.MaxFlow,
+		Rounds:          coreRes.Rounds,
+		Converged:       coreRes.Converged,
+		RoundStats:      coreRes.RoundStats,
+		TotalSimTime:    coreRes.TotalSimTime + probe.BFSSimTime,
+		TotalWallTime:   time.Since(start),
+		InputGraphBytes: coreRes.InputGraphBytes,
+		MaxGraphBytes:   coreRes.MaxGraphBytes,
+		RunSpan:         coreRes.RunSpan,
+	}
+	log.Info("portfolio done",
+		"max_flow", res.MaxFlow,
+		"rounds", res.Rounds,
+		"engine", dec.Engine,
+		"reduced", true,
+		"wall", res.TotalWallTime)
+	return res, nil
+}

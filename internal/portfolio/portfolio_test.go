@@ -1,0 +1,166 @@
+package portfolio
+
+import (
+	"testing"
+
+	"ffmr/internal/core"
+	"ffmr/internal/dfs"
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+	"ffmr/internal/mapreduce"
+	"ffmr/internal/maxflow"
+)
+
+func testCluster(nodes int) *mapreduce.Cluster {
+	fs := dfs.New(dfs.Config{Nodes: nodes, BlockSize: 16 << 10, Replication: 2})
+	c := mapreduce.NewCluster(nodes, 4, fs)
+	c.Cost = mapreduce.ZeroCostModel()
+	return c
+}
+
+func dinicValue(t *testing.T, in *graph.Input) int64 {
+	t.Helper()
+	net, err := maxflow.FromInput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return maxflow.Dinic(net, int(in.Source), int(in.Sink))
+}
+
+func probe(t *testing.T, in *graph.Input) *Probe {
+	t.Helper()
+	cluster := testCluster(3)
+	p, err := ProbeInstance(cluster, in, 0, "probe/", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestChoosePerFamily(t *testing.T) {
+	t.Run("watts-strogatz-ffmr", func(t *testing.T) {
+		base, err := graphgen.WattsStrogatz(300, 4, 0.1, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := graphgen.AttachSuperSourceSink(base, 3, 3, 22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Choose(probe(t, in))
+		if d.Engine != "ffmr" || d.Reduce {
+			t.Fatalf("WS should run plain FFMR, got %+v", d)
+		}
+	})
+	t.Run("barabasi-albert-reduce", func(t *testing.T) {
+		base, err := graphgen.BarabasiAlbert(800, 2, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := graphgen.AttachSuperSourceSink(base, 4, 4, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Choose(probe(t, in))
+		if d.Engine != "ffmr" || !d.Reduce {
+			t.Fatalf("BA(m=2) should run core-reduced FFMR, got %+v", d)
+		}
+	})
+	t.Run("grid-prflow", func(t *testing.T) {
+		in, err := graphgen.Grid(16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := probe(t, in)
+		if p.DiameterEstimate < 30 {
+			t.Fatalf("16x16 grid diameter estimate %d, want 30", p.DiameterEstimate)
+		}
+		d := Choose(p)
+		if d.Engine != "prflow" {
+			t.Fatalf("grid should choose prflow, got %+v", d)
+		}
+	})
+	t.Run("bipartite-ffmr", func(t *testing.T) {
+		in, err := graphgen.DenseBipartite(30, 30, 0.4, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Choose(probe(t, in))
+		if d.Engine != "prflow" && d.Engine != "ffmr" {
+			t.Fatalf("unexpected engine %q", d.Engine)
+		}
+		if d.Engine != "ffmr" {
+			t.Fatalf("diameter-3 bipartite should stay on ffmr, got %+v", d)
+		}
+	})
+}
+
+// TestAutoEndToEnd runs the full auto engine on each family and checks
+// value parity with Dinic plus validity of the persisted state.
+func TestAutoEndToEnd(t *testing.T) {
+	families := []struct {
+		name string
+		in   func(t *testing.T) *graph.Input
+	}{
+		{"ws", func(t *testing.T) *graph.Input {
+			base, err := graphgen.WattsStrogatz(120, 4, 0.2, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := graphgen.AttachSuperSourceSink(base, 3, 3, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphgen.RandomCapacities(in, 15, 33)
+			return in
+		}},
+		{"ba-reduced", func(t *testing.T) *graph.Input {
+			base, err := graphgen.BarabasiAlbert(200, 2, 34)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, err := graphgen.AttachSuperSourceSink(base, 3, 3, 35)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphgen.RandomCapacities(in, 15, 36)
+			return in
+		}},
+		{"grid-prflow", func(t *testing.T) *graph.Input {
+			in, err := graphgen.Grid(12, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphgen.RandomCapacities(in, 9, 37)
+			return in
+		}},
+		{"bipartite", func(t *testing.T) *graph.Input {
+			in, err := graphgen.DenseBipartite(20, 25, 0.3, 38)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphgen.RandomCapacities(in, 7, 39)
+			return in
+		}},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			in := fam.in(t)
+			want := dinicValue(t, in)
+			cluster := testCluster(3)
+			opts := core.Options{Engine: EngineName, KeepIntermediate: true}
+			res, err := core.Run(cluster, in, opts)
+			if err != nil {
+				t.Fatalf("auto run: %v", err)
+			}
+			if res.MaxFlow != want {
+				t.Fatalf("auto max flow = %d, Dinic = %d", res.MaxFlow, want)
+			}
+			resolved := opts.WithDefaults(cluster.Nodes * cluster.SlotsPerNode)
+			if err := core.Validate(cluster.FS, in, resolved, res); err != nil {
+				t.Fatalf("persisted state invalid: %v", err)
+			}
+		})
+	}
+}

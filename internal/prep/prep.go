@@ -1,0 +1,288 @@
+// Package prep implements a capacity-preserving low-degree core
+// reduction for max-flow instances, after the core-decomposition
+// preprocessing of Bläsius, Friedrich and Weyand ("Efficiently
+// computing maximum flows in scale-free networks"). Scale-free graphs
+// have a large periphery of degree-1 and degree-2 vertices that can
+// never carry interesting flow structure: a degree-1 vertex (other
+// than the source or sink) carries no flow at all by conservation, and
+// a degree-2 vertex only relays flow between its two neighbours, which
+// a single "gadget" edge of capacity min(c1, c2) models exactly.
+//
+// Reduce peels such vertices repeatedly (peeling can cascade — a
+// gadget edge is itself peelable) and returns a smaller core instance
+// over the same vertex ID space; peeled vertices simply become
+// isolated. Uncontract lifts any feasible flow on the core back to a
+// feasible flow of identical value on the original instance by
+// replaying the peel operations in reverse. The lift is proof-carrying
+// in the sense that callers can (and the portfolio driver does) verify
+// the result with core.CheckAssignment: feasibility plus an unchanged
+// value certifies the reduction end to end at run time.
+//
+// Only vertices with no incident directed edge are peeled; directed
+// edges break the symmetric relay argument and are rare in this
+// repository's inputs (the generators produce undirected graphs).
+package prep
+
+import (
+	"fmt"
+
+	"ffmr/internal/graph"
+)
+
+// Stats summarizes what a reduction removed.
+type Stats struct {
+	VerticesPeeled int
+	OriginalEdges  int
+	// CoreEdges counts the edges of the reduced instance, gadgets
+	// included.
+	CoreEdges int
+	// Gadgets is the number of relay edges introduced for degree-2
+	// peels.
+	Gadgets int
+
+	Deg0, Deg1, Deg2, TwoCycles int
+}
+
+// EdgesRemovedFrac is the fraction of the original edge count the
+// reduction eliminated (gadget edges count against it). The portfolio
+// driver uses it to decide whether the reduction pays for itself.
+func (s Stats) EdgesRemovedFrac() float64 {
+	if s.OriginalEdges == 0 {
+		return 0
+	}
+	return 1 - float64(s.CoreEdges)/float64(s.OriginalEdges)
+}
+
+// workEdge is an edge of the working graph: the original edges at
+// indices 0..m-1 in input order and orientation, then gadgets.
+type workEdge struct {
+	u, v     graph.VertexID
+	cap      int64
+	directed bool
+	alive    bool
+}
+
+// op kinds, replayed in reverse by Uncontract.
+const (
+	opDeg1   = iota // kill a pendant edge; lifted flow is 0
+	opDeg2          // replace a relay pair with a gadget
+	op2Cycle        // kill a parallel pair to one neighbour; lifted flows are 0
+)
+
+type op struct {
+	kind int
+	// e1, e2 are work-edge indices (only e1 for opDeg1). For opDeg2,
+	// e1 touches a, e2 touches b, and g is the gadget (a, b).
+	e1, e2, g int
+	v, a, b   graph.VertexID
+}
+
+// Reduction holds a reduced instance and everything needed to lift a
+// core flow back to the original.
+type Reduction struct {
+	// Original is the input Reduce was given (aliased, not copied).
+	Original *graph.Input
+	// Core is the reduced instance over the same vertex ID space;
+	// peeled vertices are isolated (no incident edges, no record).
+	Core  *graph.Input
+	Stats Stats
+
+	work   []workEdge
+	ops    []op
+	workOf []int // Core.Edges index -> work index
+}
+
+// Reduce peels degree-0, degree-1 and degree-2 vertices (excluding the
+// source, the sink, and any endpoint of a directed edge) until none
+// remain, and returns the reduced instance plus the replay log needed
+// to lift flows back.
+func Reduce(in *graph.Input) (*Reduction, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.NumVertices
+	r := &Reduction{Original: in}
+	r.Stats.OriginalEdges = len(in.Edges)
+
+	work := make([]workEdge, len(in.Edges), len(in.Edges)+n)
+	deg := make([]int, n)
+	unpeelable := make([]bool, n)
+	inc := make([][]int, n) // incidence lists of work-edge indices
+	unpeelable[in.Source] = true
+	unpeelable[in.Sink] = true
+	for i := range in.Edges {
+		e := &in.Edges[i]
+		work[i] = workEdge{u: e.U, v: e.V, cap: e.Cap, directed: e.Directed, alive: true}
+		deg[e.U]++
+		deg[e.V]++
+		inc[e.U] = append(inc[e.U], i)
+		inc[e.V] = append(inc[e.V], i)
+		if e.Directed {
+			unpeelable[e.U] = true
+			unpeelable[e.V] = true
+		}
+	}
+
+	kill := func(i int) {
+		work[i].alive = false
+		deg[work[i].u]--
+		deg[work[i].v]--
+	}
+	other := func(i int, v graph.VertexID) graph.VertexID {
+		if work[i].u == v {
+			return work[i].v
+		}
+		return work[i].u
+	}
+
+	peeled := make([]bool, n)
+	queue := make([]graph.VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if deg[v] <= 2 {
+			queue = append(queue, graph.VertexID(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if peeled[v] || unpeelable[v] || deg[v] > 2 {
+			continue
+		}
+		// Collect the live incident edges (lazy: the incidence list may
+		// hold dead entries).
+		live := live2(inc[v], work)
+		switch len(live) {
+		case 0:
+			peeled[v] = true
+			r.Stats.VerticesPeeled++
+			r.Stats.Deg0++
+		case 1:
+			e := live[0]
+			a := other(e, v)
+			kill(e)
+			peeled[v] = true
+			r.ops = append(r.ops, op{kind: opDeg1, e1: e, v: v, a: a})
+			r.Stats.VerticesPeeled++
+			r.Stats.Deg1++
+			if deg[a] <= 2 {
+				queue = append(queue, a)
+			}
+		case 2:
+			e1, e2 := live[0], live[1]
+			a, b := other(e1, v), other(e2, v)
+			if a == b {
+				// A parallel pair v=a: any flow around it is a cycle
+				// with zero net transfer, so both edges lift to zero.
+				kill(e1)
+				kill(e2)
+				peeled[v] = true
+				r.ops = append(r.ops, op{kind: op2Cycle, e1: e1, e2: e2, v: v, a: a})
+				r.Stats.VerticesPeeled++
+				r.Stats.TwoCycles++
+				if deg[a] <= 2 {
+					queue = append(queue, a)
+				}
+				continue
+			}
+			// Relay: a -- v -- b becomes a gadget a -- b with the
+			// bottleneck capacity. The gadget is itself peelable later.
+			capG := work[e1].cap
+			if work[e2].cap < capG {
+				capG = work[e2].cap
+			}
+			g := len(work)
+			work = append(work, workEdge{u: a, v: b, cap: capG, alive: true})
+			deg[a]++
+			deg[b]++
+			inc[a] = append(inc[a], g)
+			inc[b] = append(inc[b], g)
+			kill(e1)
+			kill(e2)
+			peeled[v] = true
+			r.ops = append(r.ops, op{kind: opDeg2, e1: e1, e2: e2, g: g, v: v, a: a, b: b})
+			r.Stats.VerticesPeeled++
+			r.Stats.Deg2++
+			r.Stats.Gadgets++
+		}
+	}
+
+	core := &graph.Input{NumVertices: n, Source: in.Source, Sink: in.Sink}
+	for i := range work {
+		if !work[i].alive {
+			continue
+		}
+		core.Edges = append(core.Edges, graph.InputEdge{
+			U: work[i].u, V: work[i].v, Cap: work[i].cap, Directed: work[i].directed,
+		})
+		r.workOf = append(r.workOf, i)
+	}
+	r.work = work
+	r.Core = core
+	r.Stats.CoreEdges = len(core.Edges)
+	return r, nil
+}
+
+// live2 returns up to three live edge indices (three is enough to know
+// the vertex is not peelable).
+func live2(indices []int, work []workEdge) []int {
+	var out []int
+	for _, i := range indices {
+		if work[i].alive {
+			out = append(out, i)
+			if len(out) > 2 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Uncontract lifts a feasible flow on the core back to a flow on the
+// original instance with the same value. coreFlows[j] is the flow on
+// Core.Edges[j] in canonical (U -> V) orientation; the result uses the
+// same convention over Original.Edges. The lift replays the peel log
+// in reverse: a gadget's flow becomes the relay flow through the
+// peeled vertex, pendant and parallel-pair edges lift to zero.
+func (r *Reduction) Uncontract(coreFlows []int64) ([]int64, error) {
+	if len(coreFlows) != len(r.Core.Edges) {
+		return nil, fmt.Errorf("prep: uncontract: %d flows for %d core edges", len(coreFlows), len(r.Core.Edges))
+	}
+	flow := make([]int64, len(r.work))
+	for j, w := range r.workOf {
+		flow[w] = coreFlows[j]
+	}
+	for i := len(r.ops) - 1; i >= 0; i-- {
+		o := &r.ops[i]
+		switch o.kind {
+		case opDeg1:
+			flow[o.e1] = 0
+		case op2Cycle:
+			flow[o.e1] = 0
+			flow[o.e2] = 0
+		case opDeg2:
+			// f is the gadget flow a -> b; route it a -> v -> b,
+			// respecting each work edge's canonical orientation.
+			f := flow[o.g]
+			if r.work[o.g].u != o.a {
+				f = -f
+			}
+			if r.work[o.e1].u == o.a {
+				flow[o.e1] = f
+			} else {
+				flow[o.e1] = -f
+			}
+			if r.work[o.e1].cap < f || r.work[o.e1].cap < -f {
+				return nil, fmt.Errorf("prep: uncontract: relay flow %d exceeds capacity %d on edge %d", f, r.work[o.e1].cap, o.e1)
+			}
+			if r.work[o.e2].u == o.v {
+				flow[o.e2] = f
+			} else {
+				flow[o.e2] = -f
+			}
+			if r.work[o.e2].cap < f || r.work[o.e2].cap < -f {
+				return nil, fmt.Errorf("prep: uncontract: relay flow %d exceeds capacity %d on edge %d", f, r.work[o.e2].cap, o.e2)
+			}
+		}
+	}
+	return flow[:len(r.Original.Edges)], nil
+}

@@ -1,0 +1,230 @@
+package prep
+
+import (
+	"math/rand"
+	"testing"
+
+	"ffmr/internal/core"
+	"ffmr/internal/graph"
+	"ffmr/internal/graphgen"
+	"ffmr/internal/maxflow"
+)
+
+func dinicFlows(t *testing.T, in *graph.Input) (int64, []int64) {
+	t.Helper()
+	net, err := maxflow.FromInput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := maxflow.Dinic(net, int(in.Source), int(in.Sink))
+	flows := make([]int64, len(in.Edges))
+	for i := range flows {
+		flows[i] = net.Flow(2 * i)
+	}
+	return val, flows
+}
+
+// roundTrip reduces in, solves the core with the Dinic oracle, lifts
+// the core flow back, and checks value preservation in both directions
+// plus feasibility of the lifted flow.
+func roundTrip(t *testing.T, in *graph.Input) *Reduction {
+	t.Helper()
+	wantVal, _ := dinicFlows(t, in)
+	red, err := Reduce(in)
+	if err != nil {
+		t.Fatalf("reduce: %v", err)
+	}
+	if err := red.Core.Validate(); err != nil {
+		t.Fatalf("core instance invalid: %v", err)
+	}
+	coreVal, coreFlows := dinicFlows(t, red.Core)
+	if coreVal != wantVal {
+		t.Fatalf("core max flow %d != original %d (stats %+v)", coreVal, wantVal, red.Stats)
+	}
+	lifted, err := red.Uncontract(coreFlows)
+	if err != nil {
+		t.Fatalf("uncontract: %v", err)
+	}
+	if err := core.CheckAssignment(in, lifted, coreVal); err != nil {
+		t.Fatalf("lifted flow infeasible: %v (stats %+v)", err, red.Stats)
+	}
+	return red
+}
+
+// TestQuickCheck runs 1000 seeded random instances across the
+// generator families through the full reduce / solve / lift cycle.
+func TestQuickCheck(t *testing.T) {
+	for seed := int64(0); seed < 1000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var base *graph.Input
+		var err error
+		switch seed % 4 {
+		case 0:
+			base, err = graphgen.BarabasiAlbert(20+rng.Intn(30), 1+rng.Intn(2), seed)
+		case 1:
+			base, err = graphgen.WattsStrogatz(20+rng.Intn(30), 4, 0.3, seed)
+		case 2:
+			base, err = graphgen.ErdosRenyi(15+rng.Intn(20), 20+rng.Intn(30), seed)
+		case 3:
+			// Sparse ER: lots of pendant and chain structure to peel.
+			base, err = graphgen.ErdosRenyi(20+rng.Intn(30), 15+rng.Intn(15), seed)
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		in, err := graphgen.AttachSuperSourceSink(base, 2, 2, seed+5000)
+		if err != nil {
+			// Very sparse instances may lack enough high-degree
+			// attachment points; a thinner attachment still exercises
+			// the reduction.
+			in, err = graphgen.AttachSuperSourceSink(base, 1, 1, seed+5000)
+			if err != nil {
+				continue
+			}
+		}
+		graphgen.RandomCapacities(in, int64(1+rng.Intn(20)), seed+9000)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: panic: %v", seed, r)
+				}
+			}()
+			roundTrip(t, in)
+		}()
+		if t.Failed() {
+			t.Fatalf("failing seed: %d", seed)
+		}
+	}
+}
+
+// TestAdversarialGadgets covers the tricky peel shapes directly:
+// cascading chains, parallel 2-cycles, pendant trees, bottleneck
+// gadgets, and directed edges blocking a peel.
+func TestAdversarialGadgets(t *testing.T) {
+	t.Run("chain-cascade", func(t *testing.T) {
+		// s - v1 - v2 - v3 - v4 - t with decreasing caps: the whole
+		// chain collapses into one gadget; bottleneck must survive.
+		in := &graph.Input{
+			NumVertices: 6, Source: 0, Sink: 5,
+			Edges: []graph.InputEdge{
+				{U: 0, V: 1, Cap: 9},
+				{U: 1, V: 2, Cap: 7},
+				{U: 2, V: 3, Cap: 3},
+				{U: 3, V: 4, Cap: 8},
+				{U: 4, V: 5, Cap: 6},
+			},
+		}
+		red := roundTrip(t, in)
+		if red.Stats.VerticesPeeled != 4 {
+			t.Fatalf("peeled %d vertices, want 4", red.Stats.VerticesPeeled)
+		}
+		if len(red.Core.Edges) != 1 || red.Core.Edges[0].Cap != 3 {
+			t.Fatalf("core should be one bottleneck edge of cap 3, got %+v", red.Core.Edges)
+		}
+	})
+	t.Run("two-cycle", func(t *testing.T) {
+		// v relays nothing: both its edges go to the same neighbour.
+		in := &graph.Input{
+			NumVertices: 4, Source: 0, Sink: 2,
+			Edges: []graph.InputEdge{
+				{U: 0, V: 1, Cap: 5},
+				{U: 1, V: 2, Cap: 5},
+				{U: 1, V: 3, Cap: 4},
+				{U: 3, V: 1, Cap: 4},
+			},
+		}
+		red := roundTrip(t, in)
+		if red.Stats.TwoCycles != 1 {
+			t.Fatalf("expected one 2-cycle peel, got %+v", red.Stats)
+		}
+	})
+	t.Run("pendant-tree", func(t *testing.T) {
+		// A tree hanging off the s-t path carries no flow and peels
+		// away entirely.
+		in := &graph.Input{
+			NumVertices: 7, Source: 0, Sink: 1,
+			Edges: []graph.InputEdge{
+				{U: 0, V: 1, Cap: 5},
+				{U: 1, V: 2, Cap: 3},
+				{U: 2, V: 3, Cap: 2},
+				{U: 2, V: 4, Cap: 2},
+				{U: 4, V: 5, Cap: 1},
+				{U: 4, V: 6, Cap: 1},
+			},
+		}
+		red := roundTrip(t, in)
+		if red.Stats.VerticesPeeled != 5 {
+			t.Fatalf("peeled %d vertices, want 5 (whole tree), got %+v", red.Stats.VerticesPeeled, red.Stats)
+		}
+		if len(red.Core.Edges) != 1 {
+			t.Fatalf("core should be the single s-t edge, got %+v", red.Core.Edges)
+		}
+	})
+	t.Run("directed-blocks-peel", func(t *testing.T) {
+		// v1 would be a degree-2 relay but one incident edge is
+		// directed, so it must not be peeled.
+		in := &graph.Input{
+			NumVertices: 3, Source: 0, Sink: 2,
+			Edges: []graph.InputEdge{
+				{U: 0, V: 1, Cap: 5, Directed: true},
+				{U: 1, V: 2, Cap: 3},
+			},
+		}
+		red := roundTrip(t, in)
+		if red.Stats.VerticesPeeled != 0 {
+			t.Fatalf("directed endpoint was peeled: %+v", red.Stats)
+		}
+	})
+	t.Run("gadget-on-gadget", func(t *testing.T) {
+		// A long cycle through s and t: every interior vertex is
+		// degree 2, so gadgets repeatedly replace gadgets.
+		n := 12
+		in := &graph.Input{NumVertices: n, Source: 0, Sink: graph.VertexID(n / 2)}
+		for i := 0; i < n; i++ {
+			in.Edges = append(in.Edges, graph.InputEdge{
+				U: graph.VertexID(i), V: graph.VertexID((i + 1) % n), Cap: int64(2 + i%3),
+			})
+		}
+		red := roundTrip(t, in)
+		if red.Stats.VerticesPeeled != n-2 {
+			t.Fatalf("peeled %d, want %d", red.Stats.VerticesPeeled, n-2)
+		}
+		if len(red.Core.Edges) != 2 {
+			t.Fatalf("core should be two parallel s-t gadgets, got %d edges", len(red.Core.Edges))
+		}
+	})
+	t.Run("zero-cap-gadget", func(t *testing.T) {
+		in := &graph.Input{
+			NumVertices: 4, Source: 0, Sink: 3,
+			Edges: []graph.InputEdge{
+				{U: 0, V: 1, Cap: 4},
+				{U: 1, V: 3, Cap: 4},
+				{U: 1, V: 2, Cap: 0},
+				{U: 2, V: 3, Cap: 7},
+			},
+		}
+		roundTrip(t, in)
+	})
+}
+
+// TestScaleFreeRemoval documents the reduction's reason to exist: on a
+// Barabási-Albert graph with m=2, a large fraction of vertices has
+// degree exactly 2 and the edge count drops substantially.
+func TestScaleFreeRemoval(t *testing.T) {
+	base, err := graphgen.BarabasiAlbert(2000, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := graphgen.AttachSuperSourceSink(base, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphgen.RandomCapacities(in, 50, 9)
+	red := roundTrip(t, in)
+	frac := red.Stats.EdgesRemovedFrac()
+	if frac < 0.10 {
+		t.Fatalf("expected >=10%% edge removal on BA(m=2), got %.1f%% (stats %+v)", 100*frac, red.Stats)
+	}
+	t.Logf("BA(2000, m=2): peeled %d vertices, edges %d -> %d (%.1f%% removed)",
+		red.Stats.VerticesPeeled, red.Stats.OriginalEdges, red.Stats.CoreEdges, 100*frac)
+}

@@ -101,6 +101,12 @@ type SubmitRequest struct {
 	// (0: the service default).
 	Graph   *GraphSpec `json:"graph,omitempty"`
 	Variant int        `json:"variant,omitempty"`
+	// Engine picks the solver for a solve job: "ffmr", "prflow", or
+	// "auto" (the instance-probing portfolio). Empty defaults to the
+	// service's configured engine, or "auto" when none is configured.
+	// Updates always warm-restart with FFMR regardless of the engine
+	// that produced the base solve.
+	Engine string `json:"engine,omitempty"`
 	// Updates is the update payload.
 	Updates []UpdateSpec `json:"updates,omitempty"`
 }

@@ -27,6 +27,7 @@ import (
 	"ffmr/internal/graph"
 	"ffmr/internal/mapreduce"
 	"ffmr/internal/obsv"
+	"ffmr/internal/portfolio" // also registers the "prflow" and "auto" engines
 	"ffmr/internal/rpcutil"
 	"ffmr/internal/trace"
 )
@@ -221,9 +222,13 @@ func (s *Service) submit(req *SubmitRequest) (*job, error) {
 		if err != nil {
 			return nil, err
 		}
-		variant := req.Variant
+		if req.Engine != "" && !knownEngine(req.Engine) {
+			return nil, fmt.Errorf("service: unknown engine %q (have %s)",
+				req.Engine, strings.Join(core.EngineNames(), ", "))
+		}
+		variant, engine := req.Variant, req.Engine
 		j.run = func() (*JobResult, error) {
-			return s.runSolve(j, in, variant, seq)
+			return s.runSolve(j, in, variant, engine, seq)
 		}
 	case KindUpdate:
 		j.kind = KindUpdate
@@ -253,7 +258,16 @@ func (s *Service) submit(req *SubmitRequest) (*job, error) {
 // namespace, materialize the query view, publish generation n+1 of the
 // handle (n=0 for a new handle), and retire the superseded chain's DFS
 // state.
-func (s *Service) runSolve(j *job, in *graph.Input, variant int, seq uint64) (*JobResult, error) {
+func knownEngine(name string) bool {
+	for _, n := range core.EngineNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Service) runSolve(j *job, in *graph.Input, variant int, engine string, seq uint64) (*JobResult, error) {
 	r, err := s.store.ensure(j.handle, j.tenant)
 	if err != nil {
 		return nil, err
@@ -267,6 +281,14 @@ func (s *Service) runSolve(j *job, in *graph.Input, variant int, seq uint64) (*J
 	opts := s.cfg.DefaultOpts
 	if variant != 0 {
 		opts.Variant = core.Variant(variant)
+	}
+	// Engine precedence: per-request, then service default, then the
+	// instance-probing portfolio — every pipeline persists the same
+	// state shape, so later updates warm-restart identically.
+	if engine != "" {
+		opts.Engine = engine
+	} else if opts.Engine == "" {
+		opts.Engine = portfolio.EngineName
 	}
 	opts.PathPrefix = fmt.Sprintf("svc/%s/%016x/", pathSafe(j.tenant), seq)
 	opts.Tracer = s.tracer

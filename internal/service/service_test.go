@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -297,6 +298,86 @@ func TestServiceUpdateJobs(t *testing.T) {
 	}
 	if _, err = c.Wait(ji.ID, time.Minute); err == nil {
 		t.Fatal("cross-tenant update succeeded, want ownership error")
+	}
+}
+
+// TestServiceEngineSelection exercises the submit-time engine field:
+// an explicit "prflow" solve must match the oracle, an unknown engine
+// is rejected before queueing with the registered list, and an update
+// against an engine-solved handle must warm-restart correctly from the
+// persisted state (updates always re-augment with FFMR).
+func TestServiceEngineSelection(t *testing.T) {
+	defer leakcheck.Check(t)()
+	svc := startService(t, testCluster(2), Quotas{})
+	defer svc.Close()
+	c := NewClient(svc.Addr())
+	defer c.Close()
+
+	// Unknown engines bounce at submit time, naming the known set.
+	_, err := c.Submit(&SubmitRequest{
+		Tenant: "acme", Handle: "eng", Engine: "bogus",
+		Graph: &GraphSpec{
+			NumVertices: 2, Source: 0, Sink: 1,
+			Edges: [][]int64{{0, 1, 1}},
+		},
+	})
+	if err == nil {
+		t.Fatal("submit with unknown engine succeeded, want rejection")
+	}
+	for _, name := range []string{"bogus", "ffmr", "prflow", "auto"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("rejection %q does not mention %q", err, name)
+		}
+	}
+
+	// An explicit prflow solve returns the oracle value.
+	in := smallWorld(t, 150, 3, 44)
+	want := oracle(t, in)
+	ji, err := c.Submit(&SubmitRequest{
+		Tenant: "acme", Handle: "eng", Engine: "prflow", Graph: graphSpec(in),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Wait(ji.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != want || res.Gen != 1 {
+		t.Fatalf("prflow solve = %+v, want flow %d gen 1", res, want)
+	}
+
+	// A capacity squeeze on a prflow-solved handle: the warm-restart
+	// update path must repair from the engine's persisted records.
+	ji, err = c.Submit(&SubmitRequest{
+		Tenant: "acme", Handle: "eng", Kind: KindUpdate,
+		Updates: []UpdateSpec{{Op: "set-cap", ID: 0, Cap: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Wait(ji.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := *in
+	upd.Edges = append([]graph.InputEdge(nil), in.Edges...)
+	upd.Edges[0].Cap = 0
+	if wantUpd := oracle(t, &upd); res.Flow != wantUpd || res.Gen != 2 {
+		t.Fatalf("post-update result = %+v, want flow %d gen 2", res, wantUpd)
+	}
+
+	// The auto engine is equally reachable through the API.
+	ji, err = c.Submit(&SubmitRequest{
+		Tenant: "acme", Handle: "eng-auto", Engine: "auto", Graph: graphSpec(in),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err = c.Wait(ji.ID, time.Minute); err != nil {
+		t.Fatal(err)
+	} else if res.Flow != want {
+		t.Fatalf("auto solve flow = %d, oracle says %d", res.Flow, want)
 	}
 }
 
