@@ -61,6 +61,52 @@ func TestPackageComments(t *testing.T) {
 	}
 }
 
+// TestCodecDocComments fails if any exported codec function — an
+// Encode*/Decode*/Append* across the module — lacks a doc comment. The
+// wire formats are spec'd in DESIGN.md §13 and the codecs are the
+// normative implementation; an undocumented one can't point a reader at
+// its framing rules, versioning policy, or buffer-aliasing contract.
+func TestCodecDocComments(t *testing.T) {
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			name := fd.Name.Name
+			if !strings.HasPrefix(name, "Encode") && !strings.HasPrefix(name, "Decode") &&
+				!strings.HasPrefix(name, "Append") {
+				continue
+			}
+			if fd.Doc == nil || strings.TrimSpace(fd.Doc.Text()) == "" {
+				t.Errorf("%s: exported codec func %s has no doc comment", path, name)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func packageHasDoc(pkg *ast.Package) bool {
 	for _, f := range pkg.Files {
 		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {

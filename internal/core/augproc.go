@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/rpc"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,11 +35,13 @@ const (
 // (paper Section IV-A): an external process, reachable from every reducer
 // over a persistent connection, that accepts candidate augmenting paths
 // as they are found. Candidates are enqueued and acknowledged
-// immediately so reducers are never delayed; a single consumer goroutine
-// drains the queue and decides acceptance with the accumulator. The
-// paper implements the connection with Java RMI; this implementation
-// uses net/rpc over TCP, which has the same persistent-connection,
-// request/response semantics.
+// immediately so reducers are never delayed; a small pool of consumer
+// goroutines drains the queue, decoding candidate batches in parallel
+// outside the accumulator lock and serializing only the acceptance
+// decision itself — the paper's single-consumer design kept FF2+ rounds
+// gated on one goroutine's decode throughput. The paper implements the
+// connection with Java RMI; this implementation uses net/rpc over TCP,
+// which has the same persistent-connection, request/response semantics.
 
 // SubmitArgs is the RPC request: a batch of wire-encoded candidate
 // augmenting paths (graph.EncodePath format), tagged with the reduce
@@ -59,6 +63,83 @@ type SubmitArgs struct {
 // as the batch is enqueued.
 type SubmitReply struct{}
 
+// AppendFrame implements rpcutil.Message: Submit is the hot RPC of
+// every FF2+ round, so its envelope frames itself rather than riding
+// the codec's gob fallback. DecodeFrame copies the path payloads out of
+// the codec's pooled buffer.
+func (a *SubmitArgs) AppendFrame(b []byte) []byte {
+	b = binary.AppendVarint(b, int64(a.Round))
+	b = binary.AppendVarint(b, int64(a.Task))
+	b = binary.AppendVarint(b, int64(a.Exec))
+	b = binary.AppendUvarint(b, uint64(len(a.Paths)))
+	for _, p := range a.Paths {
+		b = binary.AppendUvarint(b, uint64(len(p)))
+		b = append(b, p...)
+	}
+	return b
+}
+
+// DecodeFrame implements rpcutil.Message.
+func (a *SubmitArgs) DecodeFrame(b []byte) error {
+	next := func(what string) (int64, error) {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("core: corrupt submit %s", what)
+		}
+		b = b[n:]
+		return v, nil
+	}
+	var err error
+	var v int64
+	if v, err = next("round"); err != nil {
+		return err
+	}
+	a.Round = int(v)
+	if v, err = next("task"); err != nil {
+		return err
+	}
+	a.Task = int(v)
+	if v, err = next("exec"); err != nil {
+		return err
+	}
+	a.Exec = int(v)
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)) {
+		return fmt.Errorf("core: corrupt submit path count")
+	}
+	b = b[w:]
+	a.Paths = nil
+	if n > 0 {
+		a.Paths = make([][]byte, n)
+		for i := range a.Paths {
+			m, w := binary.Uvarint(b)
+			if w <= 0 || m > uint64(len(b)-w) {
+				return fmt.Errorf("core: corrupt submit path %d", i)
+			}
+			b = b[w:]
+			if m > 0 {
+				a.Paths[i] = append([]byte(nil), b[:m]...)
+			}
+			b = b[m:]
+		}
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after submit args", len(b))
+	}
+	return nil
+}
+
+// AppendFrame implements rpcutil.Message.
+func (*SubmitReply) AppendFrame(b []byte) []byte { return b }
+
+// DecodeFrame implements rpcutil.Message.
+func (*SubmitReply) DecodeFrame(b []byte) error {
+	if len(b) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after submit reply", len(b))
+	}
+	return nil
+}
+
 // AugProcStats reports one round of aug_proc activity: the columns
 // "A-Paths" and "MaxQ" of the paper's Table I.
 type AugProcStats struct {
@@ -78,7 +159,6 @@ type augItem struct {
 	task  int
 	exec  int
 	paths [][]byte
-	flush chan struct{} // non-nil for drain barriers
 }
 
 // pendingSub is one buffered deterministic-mode submission. Batches are
@@ -116,6 +196,16 @@ type AugProcServer struct {
 	// log, installed by SetLogger, receives per-round accept summaries
 	// (atomic for the same reason as the trace handles).
 	log atomic.Pointer[slog.Logger]
+
+	// drainMu/drainCond/inFlight form the drain barrier: Submit counts a
+	// batch in before enqueueing it, a consumer counts it out after
+	// deciding it, and drain waits for the count to reach zero. With
+	// multiple consumers a flush token through the queue would only
+	// prove one consumer passed it; the counter proves every batch
+	// enqueued before the barrier has been fully decided.
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
+	inFlight  int
 
 	mu      sync.Mutex
 	acc     Accumulator
@@ -197,6 +287,9 @@ func (svc *augProcService) Submit(args *SubmitArgs, _ *SubmitReply) error {
 		}
 	}
 	s.qGauge.Load().Set(q)
+	s.drainMu.Lock()
+	s.inFlight++
+	s.drainMu.Unlock()
 	s.queue <- augItem{task: args.Task, exec: args.Exec, paths: args.Paths}
 	return nil
 }
@@ -212,19 +305,22 @@ func NewAugProcServer() (*AugProcServer, error) {
 		queue:    make(chan augItem, 4096),
 		done:     make(chan struct{}),
 	}
+	s.drainCond = sync.NewCond(&s.drainMu)
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("AugProc", &augProcService{s: s}); err != nil {
 		ln.Close()
 		return nil, fmt.Errorf("core: aug_proc register: %w", err)
 	}
-	go s.consume()
+	for i := 0; i < augConsumers(); i++ {
+		go s.consume()
+	}
 	go func() {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			go srv.ServeCodec(rpcutil.NewServerCodec(conn))
 		}
 	}()
 	s.serving = true
@@ -234,32 +330,80 @@ func NewAugProcServer() (*AugProcServer, error) {
 // Addr returns the server's listen address for clients to dial.
 func (s *AugProcServer) Addr() string { return s.listener.Addr().String() }
 
-// consume is the single accumulator thread: it drains the processing
-// queue, deciding acceptance sequentially so there are no data races on
-// the accumulator (the paper's design).
+// augConsumers sizes the consumer pool. More than a few goroutines buys
+// nothing: decode parallelizes, but acceptance itself is serialized on
+// the accumulator lock.
+func augConsumers() int {
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		return n
+	}
+	return 4
+}
+
+// consume is one accumulator worker: it drains the processing queue,
+// decoding candidate batches outside the lock so consumers overlap, then
+// serializes only the acceptance decision on s.mu — there are still no
+// data races on the accumulator, but its lock hold time is the Accept
+// loop alone, not decode plus Accept (the paper's single-consumer design,
+// sharded). Acceptance remains first-come-first-served per batch; which
+// conflicting candidate wins already varied run to run with one consumer
+// (arrival order is scheduling-dependent), so sharding changes nothing
+// deterministic mode does not already fix.
 func (s *AugProcServer) consume() {
 	for {
 		select {
 		case item := <-s.queue:
-			if item.flush != nil {
-				close(item.flush)
-				continue
-			}
 			t0 := time.Now()
 			s.mu.Lock()
 			if s.deterministic {
+				// Mode flips mid-round are unsupported (SetDeterministic is
+				// pre-round configuration), so checking under the same lock
+				// the EndRound flush takes is sufficient.
 				s.pending = append(s.pending, pendingSub{task: item.task, exec: item.exec, paths: item.paths})
+				s.mu.Unlock()
 			} else {
-				s.acceptLocked(item.paths)
+				s.mu.Unlock()
+				decoded, errs := decodeBatch(item.paths)
+				s.mu.Lock()
+				s.stats.DecodeErrors += errs
+				for i := range decoded {
+					s.stats.Submitted++
+					if d := s.acc.Accept(&decoded[i], graph.CapInf); d > 0 {
+						s.stats.Accepted++
+						s.stats.TotalDelta += d
+					}
+				}
+				s.mu.Unlock()
 			}
-			s.mu.Unlock()
 			s.acceptNS.Load().Add(time.Since(t0).Nanoseconds())
 			s.batches.Load().Add(1)
 			s.qGauge.Load().Set(s.queued.Add(-int64(len(item.paths))))
+			s.drainMu.Lock()
+			s.inFlight--
+			if s.inFlight == 0 {
+				s.drainCond.Broadcast()
+			}
+			s.drainMu.Unlock()
 		case <-s.done:
 			return
 		}
 	}
+}
+
+// decodeBatch decodes a batch of wire-encoded candidates, returning the
+// survivors and the malformed count. Runs outside the accumulator lock.
+func decodeBatch(paths [][]byte) ([]graph.ExcessPath, int64) {
+	decoded := make([]graph.ExcessPath, 0, len(paths))
+	var errs int64
+	for _, pb := range paths {
+		p, err := graph.DecodePath(pb)
+		if err != nil {
+			errs++
+			continue
+		}
+		decoded = append(decoded, p)
+	}
+	return decoded, errs
 }
 
 // acceptLocked decodes a batch of wire-encoded candidates and runs them
@@ -293,11 +437,13 @@ func (s *AugProcServer) BeginRound(round int) {
 	s.maxQ.Store(0)
 }
 
-// drain blocks until every path enqueued so far has been processed.
+// drain blocks until every batch enqueued so far has been decided.
 func (s *AugProcServer) drain() {
-	flush := make(chan struct{})
-	s.queue <- augItem{flush: flush}
-	<-flush
+	s.drainMu.Lock()
+	for s.inFlight > 0 {
+		s.drainCond.Wait()
+	}
+	s.drainMu.Unlock()
 }
 
 // EndRound waits for the queue to drain ("aug_proc finishes immediately

@@ -193,6 +193,68 @@ func TestDistributedDifferentialWorkerCrash(t *testing.T) {
 	}
 }
 
+// TestDistributedPrefetchDifferential pins the pipelined-shuffle parity
+// invariant: with reduce-side prefetch on (the default) or off, under
+// injected worker crashes, every FF variant must reproduce the simulated
+// engine's per-round Table I counters exactly. Prefetch may only change
+// when shuffle bytes move, never how many are accounted — the fetch and
+// inter-node counters are computed from segment metadata on the reduce
+// path regardless of which transport actually landed the bytes.
+func TestDistributedPrefetchDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness is slow; skipped with -short")
+	}
+	tc := diffCase{name: "dist-prefetch-ws130", seed: 61}
+	in, err := graphgen.WattsStrogatz(130, 6, 0.1, tc.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Source, in.Sink = graphgen.PickEndpoints(in)
+	graphgen.RandomCapacities(in, 5, tc.seed+1)
+	want := oracleValue(t, tc, in)
+
+	for _, variant := range allVariants() {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			simRes, err := Run(testCluster(3), in, Options{Variant: variant, DeterministicAccept: true})
+			if err != nil {
+				t.Fatalf("simulated run: %v", err)
+			}
+			for _, disable := range []bool{false, true} {
+				name := "prefetch-on"
+				if disable {
+					name = "prefetch-off"
+				}
+				t.Run(name, func(t *testing.T) {
+					h := distHarness(t, distmr.HarnessConfig{
+						Workers: 3,
+						Replace: true,
+						Master:  distmr.Config{DisablePrefetch: disable},
+					})
+					distC := testCluster(3)
+					distC.Distributed = h.Master
+					distC.Fault.WorkerCrashRate = 0.02
+					distC.Fault.Seed = tc.seed
+					distRes, err := Run(distC, in, Options{Variant: variant, DeterministicAccept: true})
+					if err != nil {
+						t.Fatalf("distributed run: %v", err)
+					}
+					checkBackendParity(t, want, simRes, distRes)
+					if !disable {
+						var pre int64
+						for _, ws := range h.Master.Status().Workers {
+							pre += ws.Prefetched
+						}
+						if pre == 0 {
+							t.Error("prefetch enabled but no worker reported a prefetched segment")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestDistributedBFSDifferential runs the MR-BFS preprocessing pass on
 // both backends.
 func TestDistributedBFSDifferential(t *testing.T) {

@@ -207,7 +207,7 @@ func newFF1CollectorServer() (*ff1CollectorServer, error) {
 			if err != nil {
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			go srv.ServeCodec(rpcutil.NewServerCodec(conn))
 		}
 	}()
 	return s, nil

@@ -40,6 +40,13 @@ const (
 	// CounterRestoredTasks counts task winners rehydrated from
 	// DFS-persisted job state after a master restart.
 	CounterRestoredTasks = "distmr restored tasks"
+	// CounterPrefetchPushes counts shuffle-prefetch hints pushed to
+	// workers as map winners complete (the pipelined shuffle).
+	CounterPrefetchPushes = "distmr prefetch pushes"
+	// CounterCompletionBatches counts heartbeats that carried at least
+	// one task completion; comparing it against total completions shows
+	// how well the batching amortizes the per-completion RPC tax.
+	CounterCompletionBatches = "distmr completion batches"
 )
 
 // Config parameterizes a Master. The zero value gets usable defaults.
@@ -76,6 +83,12 @@ type Config struct {
 	// it (default 10 heartbeat intervals). Without expiry the snapshot
 	// would list dead workers until job end.
 	DeadRetention time.Duration
+	// DisablePrefetch turns off the pipelined shuffle: no prefetch hints
+	// are pushed as map winners complete, and reduces fetch all their
+	// segments on dispatch. Counters are identical either way (prefetch
+	// only changes wall-clock overlap, DESIGN.md §13); the knob exists
+	// for A/B measurement and as an escape hatch.
+	DisablePrefetch bool
 	// PersistState makes every job persist its task winners (manifests
 	// plus map output segments) to the cluster DFS as they complete, and
 	// rehydrate them at job start. A restarted master pointed at the same
@@ -174,6 +187,16 @@ type workerHandle struct {
 	hbRunning    int64
 	hbTasksDone  int64
 	hbStoreBytes int64
+	hbPrefetched int64
+
+	// Cached per-worker gauges, interned once per registry instead of a
+	// fmt.Sprintf + registry lookup on every beat (the beat is the
+	// steady-state hot path). gaugeReg remembers which registry the
+	// cache belongs to; a job installing the cluster's registry
+	// invalidates it. Guarded by the master's mu.
+	gaugeReg *trace.Registry
+	gRunning *trace.Gauge
+	gStoreB  *trace.Gauge
 }
 
 // alive reports whether the worker still participates in the cluster
@@ -219,7 +242,28 @@ type Master struct {
 	shutOnce sync.Once
 	shutCh   chan struct{}
 
+	// sinkMu guards the completion sink: the jobRun currently entitled to
+	// task completions arriving on heartbeats. Setting the sink after the
+	// job's pre-dispatch state (assignBase, task slices) is in place
+	// creates the happens-before edge heartbeat handlers rely on.
+	sinkMu sync.Mutex
+	sink   *jobRun
+
 	runMu sync.Mutex // serializes RunJob (the driver runs rounds in order)
+}
+
+// setSink installs (or, with nil, retires) the running job as the
+// destination for heartbeat-carried task completions.
+func (m *Master) setSink(jr *jobRun) {
+	m.sinkMu.Lock()
+	m.sink = jr
+	m.sinkMu.Unlock()
+}
+
+func (m *Master) getSink() *jobRun {
+	m.sinkMu.Lock()
+	defer m.sinkMu.Unlock()
+	return m.sink
 }
 
 // NewMaster starts a master listening for worker registrations.
@@ -331,7 +375,7 @@ func (m *Master) accept(srv *rpc.Server) {
 		m.conns[conn] = struct{}{}
 		m.mu.Unlock()
 		go func() {
-			srv.ServeConn(conn)
+			srv.ServeCodec(rpcutil.NewServerCodec(conn))
 			m.mu.Lock()
 			delete(m.conns, conn)
 			m.mu.Unlock()
@@ -452,6 +496,7 @@ func (m *Master) Status() *obsv.ClusterStatus {
 			Addr:       w.addr,
 			Running:    w.hbRunning,
 			TasksDone:  w.hbTasksDone,
+			Prefetched: w.hbPrefetched,
 			StoreBytes: w.hbStoreBytes,
 			LastBeatMS: time.Since(w.lastBeat).Milliseconds(),
 			Dead:       w.state == stateDead || w.state == stateDrained,
@@ -531,6 +576,15 @@ func (m *Master) markDead(w *workerHandle) {
 	reg.Gauge(GaugeWorkersAlive).Set(int64(m.LiveWorkers()))
 	m.log.Warn("worker declared dead", "worker", w.id, "addr", w.addr,
 		"alive", m.LiveWorkers())
+}
+
+// workerAlive reports, under the registry lock, whether w still
+// participates in the cluster. The scheduler's lease scan uses it so the
+// read of w.state is properly synchronized with state transitions.
+func (m *Master) workerAlive(w *workerHandle) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return w.alive()
 }
 
 // checkHeartbeats marks workers silent for longer than the grace period
@@ -680,6 +734,60 @@ func (m *Master) release(w *workerHandle) {
 	m.mu.Unlock()
 }
 
+// pickWorkerPreferring is pickWorker with a placement hint: among the
+// least-loaded eligible workers, the preferred one wins the tie, so
+// reduce tasks land where their prefetched shuffle segments already
+// sit. The hint never overrides load balance — a strictly less-loaded
+// worker (a late joiner, say) still gets the task, which keeps elastic
+// membership behavior identical with prefetch on or off.
+func (m *Master) pickWorkerPreferring(slots int, exclude, prefer *workerHandle) *workerHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best *workerHandle
+	ids := make([]uint64, 0, len(m.workers))
+	for id := range m.workers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := m.workers[id]
+		if w.state != stateLive || w == exclude || w.running >= slots {
+			continue
+		}
+		if best == nil || w.running < best.running {
+			best = w
+		}
+	}
+	if prefer != nil && prefer != exclude && prefer.state == stateLive &&
+		prefer.running < slots && best != nil && prefer.running <= best.running {
+		best = prefer
+	}
+	if best != nil {
+		best.running++
+	}
+	return best
+}
+
+// nthLiveWorker deterministically maps an index onto the live worker set
+// (sorted by id, wrapped modulo its size). The prefetch planner uses it
+// to predict reduce placement: the mapping is stable while membership
+// holds, and a wrong guess only costs the prefetched bytes.
+func (m *Master) nthLiveWorker(n int) *workerHandle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]uint64, 0, len(m.workers))
+	for id, w := range m.workers {
+		if w.state == stateLive {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return m.workers[ids[n%len(ids)]]
+}
+
 // masterService is the RPC wrapper exposing the worker-facing API.
 type masterService struct{ m *Master }
 
@@ -710,6 +818,7 @@ func (s *masterService) Register(args *RegisterArgs, reply *RegisterReply) error
 	w := &workerHandle{id: m.nextID, addr: join.Addr, client: client, lastBeat: time.Now()}
 	m.workers[w.id] = w
 	m.mu.Unlock()
+	go m.watchWorker(w)
 	reply.Worker = w.id
 	reply.Instance = m.instance
 	reply.HeartbeatInterval = int64(m.cfg.HeartbeatInterval)
@@ -724,17 +833,38 @@ func (s *masterService) Register(args *RegisterArgs, reply *RegisterReply) error
 	return nil
 }
 
-// Heartbeat records a worker's liveness report and publishes its gauges.
-// The reply doubles as the master→worker control channel: Shutdown on
-// master teardown, Retired when the worker's drain completed, Unknown
-// when the master has no live record of the id (expired entry or a
-// restarted master) so the worker re-registers.
+// watchWorker keeps one blocking Worker.Watch call pending against a
+// registered worker for the handle's whole life. The call only ever
+// returns when the worker dies or shuts down (or when the master closes
+// the client itself), so a crash surfaces here promptly instead of
+// waiting out the heartbeat grace period — the role the old blocking
+// per-task RunTask call used to play.
+func (m *Master) watchWorker(w *workerHandle) {
+	w.client.Call("Worker.Watch", &WatchArgs{}, &WatchReply{}) //nolint:errcheck // any return means the worker is gone
+	m.mu.Lock()
+	shut := m.shut
+	m.mu.Unlock()
+	if shut {
+		return // master teardown closed the client; not a worker death
+	}
+	m.markDead(w) // no-op if already dead, drained, or expired
+}
+
+// Heartbeat records a worker's liveness report, publishes its gauges,
+// and — since wire version 3 — routes the completions riding on the
+// beat to the running job's scheduler. The reply doubles as the
+// master→worker control channel: Shutdown on master teardown, Retired
+// when the worker's drain completed, Unknown when the master has no
+// live record of the id (expired entry or a restarted master) so the
+// worker re-registers.
 func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) error {
 	m := s.m
 	hb, err := DecodeHeartbeat(args.Data)
 	if err != nil {
 		return err
 	}
+	healthy := false
+	var gRunning, gStoreB *trace.Gauge
 	m.mu.Lock()
 	w := m.workers[hb.Worker]
 	switch {
@@ -743,17 +873,41 @@ func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) er
 	case w.state == stateDrained:
 		reply.Retired = true
 	default:
+		healthy = true
 		w.lastBeat = time.Now()
 		w.hbRunning = hb.Running
 		w.hbTasksDone = hb.TasksDone
 		w.hbStoreBytes = hb.StoreBytes
+		w.hbPrefetched = hb.Prefetched
+		if w.gaugeReg != m.reg {
+			w.gaugeReg = m.reg
+			w.gRunning = m.reg.Gauge(fmt.Sprintf("distmr worker %d running", w.id))
+			w.gStoreB = m.reg.Gauge(fmt.Sprintf("distmr worker %d store bytes", w.id))
+		}
+		gRunning, gStoreB = w.gRunning, w.gStoreB
 	}
 	shut := m.shut
 	reg := m.reg
 	m.mu.Unlock()
 	reply.Shutdown = shut
-	reg.Gauge(fmt.Sprintf("distmr worker %d running", hb.Worker)).Set(hb.Running)
-	reg.Gauge(fmt.Sprintf("distmr worker %d store bytes", hb.Worker)).Set(hb.StoreBytes)
+	if !healthy {
+		// Stale or unknown worker: its gauges are not refreshed and its
+		// completions are deliberately dropped — any lease it held has
+		// been (or will be) reassigned, and duplicates of already-settled
+		// assignments would be discarded by the scheduler anyway.
+		return nil
+	}
+	gRunning.Set(hb.Running)
+	gStoreB.Set(hb.StoreBytes)
+	if len(hb.Completions) > 0 {
+		reg.Counter(CounterCompletionBatches).Add(1)
+		// Deliver outside m.mu: the scheduler takes m.mu (pickWorker,
+		// release) while draining events, so holding it here could
+		// deadlock against a full events channel.
+		if jr := m.getSink(); jr != nil {
+			jr.acceptCompletions(w, hb.Completions)
+		}
+	}
 	return nil
 }
 
@@ -823,6 +977,7 @@ func (m *Master) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Re
 		cancel: make(chan struct{}),
 	}
 	res, err := jr.run()
+	m.setSink(nil)
 	jr.close()
 	m.mu.Lock()
 	m.jobActive = false
@@ -838,7 +993,12 @@ func (m *Master) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Re
 }
 
 // cleanJob tells every live worker to retire the job's cached code and
-// spill segments.
+// spill segments. The calls are fire-and-forget: worker job state is
+// keyed by sequence number, so a CleanJob landing after the next job
+// has started cannot touch that job's state, and a call lost to a
+// broken connection just leaves garbage the worker's own death or
+// restart reclaims. Waiting here would put one RTT per worker on the
+// inter-job critical path, which FF drivers cross hundreds of times.
 func (m *Master) cleanJob(seq uint64) {
 	m.mu.Lock()
 	workers := make([]*workerHandle, 0, len(m.workers))
@@ -849,10 +1009,6 @@ func (m *Master) cleanJob(seq uint64) {
 	}
 	m.mu.Unlock()
 	for _, w := range workers {
-		call := w.client.Go("Worker.CleanJob", &CleanJobArgs{JobSeq: seq}, &CleanJobReply{}, make(chan *rpc.Call, 1))
-		select {
-		case <-call.Done:
-		case <-time.After(2 * time.Second):
-		}
+		w.client.Go("Worker.CleanJob", &CleanJobArgs{JobSeq: seq}, &CleanJobReply{}, make(chan *rpc.Call, 1))
 	}
 }

@@ -3,9 +3,13 @@ package distmr
 import "ffmr/internal/spill"
 
 // This file defines the RPC envelopes exchanged between master and
-// workers. Task descriptors and heartbeats travel pre-encoded in the
-// custom wire format (wire.go) inside these envelopes; results and
-// bookkeeping use net/rpc's native gob encoding.
+// workers. Every payload — task descriptors, heartbeats, task results,
+// prefetch hints — travels pre-encoded in the custom wire format
+// (wire.go, spec in DESIGN.md §13) inside these thin []byte envelopes,
+// and the envelopes themselves frame onto the wire via rpcutil's frame
+// codec (wire_rpc.go holds the Message implementations), so the codec
+// tax on the task hot path is the cost of the hand-rolled framing —
+// no reflection-driven gob anywhere on the steady-state path.
 
 // RegisterArgs carries one wire-encoded JoinRequest.
 type RegisterArgs struct {
@@ -70,17 +74,38 @@ type ReadFileReply struct {
 	Data []byte
 }
 
-// RunTaskArgs carries one wire-encoded TaskDescriptor.
-type RunTaskArgs struct {
+// StartTaskArgs carries one wire-encoded TaskDescriptor. The call
+// returns as soon as the worker has accepted (or crashed on) the task;
+// the result arrives later as a Completion riding a heartbeat, so one
+// worker can run many attempts without holding an RPC open per task.
+type StartTaskArgs struct {
 	Desc []byte
 }
 
-// RunTaskReply carries the task's result. RPC-level errors mean the
-// worker died (the master reassigns without consuming an attempt); task
-// body failures travel in TaskResult.Err and consume Fault.MaxAttempts.
-type RunTaskReply struct {
-	Result TaskResult
+// StartTaskReply is empty: acceptance is the reply. An RPC-level error
+// means the worker died before accepting (the master reassigns without
+// consuming an attempt); task body failures travel in the eventual
+// completion's TaskResult.Err and consume Fault.MaxAttempts.
+type StartTaskReply struct{}
+
+// PrefetchArgs carries one wire-encoded PrefetchDescriptor, hinting a
+// worker to pull shuffle segments ahead of reduce dispatch.
+type PrefetchArgs struct {
+	Desc []byte
 }
+
+// PrefetchReply is empty; the hint is advisory and never fails.
+type PrefetchReply struct{}
+
+// WatchArgs subscribes the master to a worker's death: the call blocks
+// until the worker exits, so a crash surfaces to the master as the
+// pending call erroring out — the prompt-failure signal the old
+// blocking RunTask lease provided, without pinning a call per task.
+type WatchArgs struct{}
+
+// WatchReply is empty; Watch only ever returns when the worker dies or
+// shuts down.
+type WatchReply struct{}
 
 // TaskResult is what a completed task attempt reports. Only the winning
 // attempt's result is merged into the job's statistics, so retried and

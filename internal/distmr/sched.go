@@ -1,8 +1,6 @@
 package distmr
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"log/slog"
 	"net/rpc"
@@ -13,21 +11,26 @@ import (
 
 	"ffmr/internal/mapreduce"
 	"ffmr/internal/obsv"
+	"ffmr/internal/rpcutil"
 	"ffmr/internal/trace"
 )
 
-// event is one lease outcome delivered to the job's scheduler loop.
+// event is one lease outcome delivered to the job's scheduler loop:
+// either a completion routed off a heartbeat, or a StartTask dispatch
+// that failed at the transport level (worker death on acceptance).
 type event struct {
 	ph     Phase
 	task   int
 	assign int
 	w      *workerHandle
 	res    *TaskResult // nil when the lease failed at the transport level
-	err    error       // transport error or lease expiry (worker death)
+	err    error       // transport error (worker death on dispatch)
 }
 
-// dispatch is one in-flight lease: a Worker.RunTask call outstanding on a
-// worker, bounded by the lease timeout.
+// dispatch is one in-flight lease: a task accepted by a worker via
+// Worker.StartTask whose completion has not yet arrived on a heartbeat.
+// The lease is bounded by the lease timeout and by the worker's life
+// (checkLeases reclaims dispatches on dead workers).
 type dispatch struct {
 	w      *workerHandle
 	backup bool
@@ -102,6 +105,12 @@ type jobRun struct {
 	// segPrefix is where handed-off and persisted segments live in DFS.
 	segPrefix string
 
+	// prefetchPlan predicts, per reduce partition, the worker that will
+	// likely run it, so map winners' segments can be pushed there while
+	// the map phase is still running. A miss costs nothing but the
+	// prefetched bytes: the reduce's own fetch path is authoritative.
+	prefetchPlan []*workerHandle
+
 	lastLive time.Time
 }
 
@@ -110,8 +119,9 @@ type jobRun struct {
 // output segments. Keyed by job name (stable across master restarts).
 func statePrefix(jobName string) string { return "distmr-state/" + jobName + "/" }
 
-// taskManifest is the gob-encoded DFS record of one task winner, enough
-// to rehydrate the scheduler's view of that task after a master restart.
+// taskManifest is the DFS record of one task winner (wire-encoded by
+// encodeManifest), enough to rehydrate the scheduler's view of that task
+// after a master restart.
 type taskManifest struct {
 	Phase   Phase
 	Task    int
@@ -119,8 +129,25 @@ type taskManifest struct {
 	Result  TaskResult
 }
 
-// close releases every lease goroutine still in flight.
-func (jr *jobRun) close() { close(jr.cancel) }
+// close ends the job run: every dispatch goroutine still in flight is
+// released, and worker slots held by dispatches whose completions will
+// never be consumed (the job failed, or finished with a late backup
+// still out) are returned so the next job starts with clean slot
+// accounting. The caller must have retired the completion sink first.
+func (jr *jobRun) close() {
+	close(jr.cancel)
+	reclaim := func(tasks []taskState) {
+		for i := range tasks {
+			ts := &tasks[i]
+			for assign, d := range ts.outstanding {
+				delete(ts.outstanding, assign)
+				jr.m.release(d.w)
+			}
+		}
+	}
+	reclaim(jr.maps)
+	reclaim(jr.reduces)
+}
 
 func (jr *jobRun) run() (*mapreduce.Result, error) {
 	job, c := jr.job, jr.c
@@ -164,6 +191,11 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 	if jr.mapsDone == len(jr.maps) {
 		jr.openReduce()
 	}
+	// Open the completion sink only now: the sinkMu handover orders every
+	// write above (assignBase, task slices) before any heartbeat handler
+	// routes a completion into this run. RunJob retires the sink before
+	// close(), so no completion outlives the run's event loop.
+	jr.m.setSink(jr)
 
 	jr.log.Debug("job start", "maps", len(jr.maps), "reduces", len(jr.reduces))
 	jr.lastLive = time.Now()
@@ -182,6 +214,7 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 			}
 		case <-ticker.C:
 			jr.m.checkHeartbeats()
+			jr.checkLeases()
 			jr.checkDrains()
 			jr.checkSpeculation()
 			if err := jr.checkLiveness(); err != nil {
@@ -371,7 +404,15 @@ func (jr *jobRun) dispatchReady() error {
 			return fmt.Errorf("distmr: %s %s task %d abandoned after %d assignments (worker deaths): %v",
 				jr.job.Name, ts.ph, ts.task, ts.assigns, ts.lastErr)
 		}
-		w := jr.m.pickWorker(jr.slots(), nil)
+		var w *workerHandle
+		if ts.ph == PhaseReduce && !jr.m.cfg.DisablePrefetch {
+			// Prefer the prefetch-planned worker: its store likely already
+			// holds this partition's segments, turning the fetch into a
+			// local Has() hit instead of a cross-worker pull.
+			w = jr.m.pickWorkerPreferring(jr.slots(), nil, jr.planWorker(ts.task))
+		} else {
+			w = jr.m.pickWorker(jr.slots(), nil)
+		}
 		if w == nil {
 			jr.enqueue(ts)
 			return nil // no capacity; the ticker retries
@@ -403,10 +444,14 @@ func (jr *jobRun) admit(ts *taskState) error {
 	}
 }
 
-// launch starts one lease: the RunTask call is the lease body, bounded by
-// the lease timeout; its outcome (result, transport error, or expiry)
-// posts back to the scheduler as an event. The worker slot is released by
-// the lease goroutine itself so cancellation cannot leak slots.
+// launch starts one lease: the task descriptor is handed to the worker
+// via the non-blocking Worker.StartTask, and the lease lives as an
+// outstanding dispatch until its completion arrives on a heartbeat
+// (routed through acceptCompletions) or checkLeases reclaims it. Only a
+// failed StartTask posts an event from here — a prompt worker-death
+// signal (the injected crash draw happens inside the accepting handler).
+// The worker slot is held by the dispatch and released wherever the
+// dispatch is consumed: handle, checkLeases, or close.
 func (jr *jobRun) launch(ts *taskState, w *workerHandle, backup bool) {
 	assign := ts.assigns
 	ts.assigns++
@@ -417,33 +462,69 @@ func (jr *jobRun) launch(ts *taskState, w *workerHandle, backup bool) {
 		jr.log.Info("speculative backup launched",
 			"phase", ts.ph.String(), "task", ts.task, "assign", assign, "worker", w.id)
 	}
-	args := &RunTaskArgs{Desc: EncodeTask(jr.descriptor(ts, assign))}
+	buf := rpcutil.GetBuf()
+	*buf = AppendTask(*buf, jr.descriptor(ts, assign))
+	args := &StartTaskArgs{Desc: *buf}
 	ph, task := ts.ph, ts.task
 	go func() {
-		defer jr.m.release(w)
-		reply := &RunTaskReply{}
-		call := w.client.Go("Worker.RunTask", args, reply, make(chan *rpc.Call, 1))
-		timer := time.NewTimer(jr.m.cfg.LeaseTimeout)
-		defer timer.Stop()
-		var ev event
+		call := w.client.Go("Worker.StartTask", args, &StartTaskReply{}, make(chan *rpc.Call, 1))
 		select {
 		case <-call.Done:
-			if call.Error != nil {
-				ev = event{ph: ph, task: task, assign: assign, w: w, err: call.Error}
-			} else {
-				ev = event{ph: ph, task: task, assign: assign, w: w, res: &reply.Result}
+			rpcutil.PutBuf(buf) // the transport wrote (or abandoned) the bytes
+			if call.Error == nil {
+				return // accepted; the result will ride a heartbeat
 			}
-		case <-timer.C:
-			ev = event{ph: ph, task: task, assign: assign, w: w,
-				err: fmt.Errorf("distmr: lease expired after %v", jr.m.cfg.LeaseTimeout)}
+			ev := event{ph: ph, task: task, assign: assign, w: w, err: call.Error}
+			select {
+			case jr.events <- ev:
+			case <-jr.cancel:
+			}
 		case <-jr.cancel:
-			return
+			// The codec may still reference buf; let the GC take it.
 		}
+	}()
+}
+
+// acceptCompletions routes a heartbeat's completion batch into the
+// scheduler's event loop. It runs on the heartbeat handler's goroutine
+// (after the master's registry lock is released): stale entries — wrong
+// job, out-of-range task, undecodable result — are dropped here, and
+// already-settled assignments die in handle's outstanding lookup, so
+// the at-least-once resend discipline worker-side needs no master-side
+// acknowledgement protocol.
+func (jr *jobRun) acceptCompletions(w *workerHandle, comps []Completion) {
+	for i := range comps {
+		c := &comps[i]
+		if c.JobSeq != jr.seq {
+			continue // a previous job (or master generation); settled long ago
+		}
+		switch c.Phase {
+		case PhaseMap:
+			if c.Task < 0 || c.Task >= len(jr.maps) {
+				continue
+			}
+		case PhaseReduce:
+			if c.Task < 0 || c.Task >= len(jr.reduces) {
+				continue
+			}
+		default:
+			continue
+		}
+		res, err := DecodeResult(c.Result)
+		if err != nil {
+			// Same-binary framing should never corrupt; drop the entry and
+			// let the lease scan reassign if the worker really is wedged.
+			jr.log.Warn("undecodable completion dropped",
+				"worker", w.id, "phase", c.Phase.String(), "task", c.Task, "err", err)
+			continue
+		}
+		ev := event{ph: c.Phase, task: c.Task, assign: c.Assign - jr.assignBase, w: w, res: res}
 		select {
 		case jr.events <- ev:
 		case <-jr.cancel:
+			return
 		}
-	}()
+	}
 }
 
 // descriptor builds the wire task for one assignment. Everything a worker
@@ -512,7 +593,10 @@ func (jr *jobRun) sources(p int) []MapSource {
 	return srcs
 }
 
-// handle processes one lease outcome.
+// handle processes one lease outcome. Duplicate completions (a worker's
+// at-least-once resend, or a completion racing the lease scan) die on
+// the outstanding lookup: the first consumer deleted the dispatch, so
+// the duplicate finds nothing and is dropped without effect.
 func (jr *jobRun) handle(ev event) error {
 	var ts *taskState
 	if ev.ph == PhaseMap {
@@ -522,28 +606,17 @@ func (jr *jobRun) handle(ev event) error {
 	}
 	d := ts.outstanding[ev.assign]
 	if d == nil {
-		return nil // retired dispatch (task already concluded)
+		return nil // retired dispatch (task already concluded, or a resend)
 	}
 	delete(ts.outstanding, ev.assign)
+	jr.m.release(d.w)
 
 	if ev.err != nil {
-		// Transport failure or expired lease: the worker is gone. The
-		// task is reassigned on a fresh assignment without consuming a
-		// body attempt — a worker death is not a task failure.
+		// Transport failure on dispatch: the worker is gone. The task is
+		// reassigned on a fresh assignment without consuming a body
+		// attempt — a worker death is not a task failure.
 		jr.m.markDead(ev.w)
-		if ts.done {
-			return nil
-		}
-		ts.lastErr = ev.err
-		if d.backup {
-			ts.specDone = false
-			return nil
-		}
-		jr.m.registry().Counter(CounterReassigns).Add(1)
-		jr.log.Warn("lease failed, reassigning",
-			"phase", ts.ph.String(), "task", ts.task, "assign", ev.assign,
-			"worker", ev.w.id, "err", ev.err)
-		jr.enqueue(ts)
+		jr.leaseFailed(ts, d, ev.assign, ev.err)
 		return nil
 	}
 
@@ -600,6 +673,7 @@ func (jr *jobRun) handle(ev event) error {
 	}
 	if ev.ph == PhaseMap {
 		jr.mapsDone++
+		jr.pushPrefetch(ts)
 		if jr.mapsDone == len(jr.maps) {
 			if !jr.reducesOn {
 				jr.openReduce()
@@ -611,6 +685,114 @@ func (jr *jobRun) handle(ev event) error {
 		jr.reducesDone++
 	}
 	return nil
+}
+
+// leaseFailed concludes a dispatch that died with its worker (StartTask
+// transport error, lease expiry, or the worker dying mid-execution).
+// The dispatch has already been removed and its slot released; this
+// handles the task-level consequences: backups just clear the
+// speculation latch, primaries reassign without consuming an attempt.
+func (jr *jobRun) leaseFailed(ts *taskState, d *dispatch, assign int, err error) {
+	if ts.done {
+		return
+	}
+	ts.lastErr = err
+	if d.backup {
+		ts.specDone = false
+		return
+	}
+	jr.m.registry().Counter(CounterReassigns).Add(1)
+	jr.log.Warn("lease failed, reassigning",
+		"phase", ts.ph.String(), "task", ts.task, "assign", assign,
+		"worker", d.w.id, "err", err)
+	jr.enqueue(ts)
+}
+
+// checkLeases reclaims outstanding dispatches whose worker has died (the
+// watch or heartbeat machinery marked it) or whose lease timed out. This
+// replaces the old per-dispatch timer goroutine: with completions
+// arriving on heartbeats instead of per-task calls, worker death no
+// longer errors an in-flight RPC per task, so the scan is where those
+// leases come back.
+func (jr *jobRun) checkLeases() {
+	now := time.Now()
+	scan := func(tasks []taskState) {
+		for i := range tasks {
+			ts := &tasks[i]
+			for assign, d := range ts.outstanding {
+				alive := jr.m.workerAlive(d.w)
+				expired := now.Sub(d.start) > jr.m.cfg.LeaseTimeout
+				if alive && !expired {
+					continue
+				}
+				delete(ts.outstanding, assign)
+				jr.m.release(d.w)
+				var err error
+				if !alive {
+					err = fmt.Errorf("distmr: worker %d died holding the lease", d.w.id)
+				} else {
+					err = fmt.Errorf("distmr: lease expired after %v", jr.m.cfg.LeaseTimeout)
+					jr.m.markDead(d.w)
+				}
+				jr.leaseFailed(ts, d, assign, err)
+			}
+		}
+	}
+	scan(jr.maps)
+	scan(jr.reduces)
+}
+
+// planWorker predicts (and pins) the worker that will run reduce p, for
+// prefetch targeting. The pin is revisited when the planned worker dies.
+func (jr *jobRun) planWorker(p int) *workerHandle {
+	if jr.prefetchPlan == nil {
+		jr.prefetchPlan = make([]*workerHandle, len(jr.reduces))
+	}
+	if w := jr.prefetchPlan[p]; w != nil && jr.m.workerAlive(w) {
+		return w
+	}
+	jr.prefetchPlan[p] = jr.m.nthLiveWorker(p)
+	return jr.prefetchPlan[p]
+}
+
+// pushPrefetch hints the planned reducer workers about a freshly won map
+// task's segments, so they pull shuffle data while the map phase is
+// still running. Purely advisory: errors and drops are ignored, and the
+// reduce fetch path re-verifies every segment — counters cannot change.
+func (jr *jobRun) pushPrefetch(mt *taskState) {
+	if jr.m.cfg.DisablePrefetch || mt.handoff || mt.winnerW == nil {
+		return
+	}
+	byWorker := make(map[*workerHandle][]MapSource)
+	for p := range jr.reduces {
+		if jr.reduces[p].done || p >= len(mt.winner.Parts) {
+			continue
+		}
+		segs := mt.winner.Parts[p]
+		if len(segs) == 0 {
+			continue
+		}
+		w := jr.planWorker(p)
+		if w == nil || w == mt.winnerW {
+			continue // no live target, or the data is already local there
+		}
+		byWorker[w] = append(byWorker[w], MapSource{
+			MapTask: mt.task, Worker: mt.winnerW.id, Addr: mt.winnerW.addr, Segments: segs,
+		})
+	}
+	for w, srcs := range byWorker {
+		buf := rpcutil.GetBuf()
+		*buf = AppendPrefetch(*buf, &PrefetchDescriptor{JobSeq: jr.seq, Sources: srcs})
+		jr.m.registry().Counter(CounterPrefetchPushes).Add(1)
+		go func(w *workerHandle, buf *[]byte) {
+			call := w.client.Go("Worker.Prefetch", &PrefetchArgs{Desc: *buf}, &PrefetchReply{}, make(chan *rpc.Call, 1))
+			select {
+			case <-call.Done: // advisory: the error, if any, is ignored
+				rpcutil.PutBuf(buf)
+			case <-jr.cancel:
+			}
+		}(w, buf)
+	}
 }
 
 // invalidateMap returns a completed map task to the queue because its
@@ -757,14 +939,9 @@ func (jr *jobRun) persistWinner(ts *taskState) {
 			}
 		}
 	}
-	var buf bytes.Buffer
 	man := taskManifest{Phase: ts.ph, Task: ts.task, Attempt: ts.attempt, Result: *ts.winner}
-	if err := gob.NewEncoder(&buf).Encode(&man); err != nil {
-		jr.log.Warn("winner persist: manifest encode failed", "task", ts.task, "err", err)
-		return
-	}
 	name := fmt.Sprintf("%stask/%s-%05d", statePrefix(jr.job.Name), ts.ph, ts.task)
-	if err := jr.c.FS.WriteFile(name, buf.Bytes()); err != nil {
+	if err := jr.c.FS.WriteFile(name, encodeManifest(&man)); err != nil {
 		jr.log.Warn("winner persist: manifest write failed", "task", ts.task, "err", err)
 		return
 	}
@@ -799,8 +976,8 @@ func (jr *jobRun) restoreState() {
 		if err != nil {
 			continue
 		}
-		var man taskManifest
-		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&man); err != nil {
+		man, err := decodeManifest(data)
+		if err != nil {
 			jr.log.Warn("state restore: corrupt manifest skipped", "name", name, "err", err)
 			continue
 		}

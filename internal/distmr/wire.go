@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"ffmr/internal/spill"
 )
@@ -122,7 +123,9 @@ type TaskDescriptor struct {
 // the custom wire format (EncodeHeartbeat / DecodeHeartbeat). The gauges
 // feed the master's trace registry and the /status view; TasksDone
 // piggybacks per-task progress on the beat, so the master's live status
-// needs no extra RPC traffic.
+// needs no extra RPC traffic. Since wire version 3 the beat is also the
+// task-completion channel: finished attempts ride in Completions instead
+// of each holding its own RPC open for the whole execution.
 type Heartbeat struct {
 	Worker uint64
 	// Instance echoes the master-instance nonce the worker registered
@@ -136,11 +139,50 @@ type Heartbeat struct {
 	StoreObjects int64
 	StoreBytes   int64
 	TasksDone    int64
+	// Prefetched is the cumulative count of shuffle segments this
+	// worker's prefetcher has pulled ahead of reduce dispatch.
+	Prefetched int64
+	// Completions are task results finished since the last acknowledged
+	// beat. The worker retains them across failed beats and resends, so
+	// the master must treat them as at-least-once: stale entries (wrong
+	// job, already-concluded assignment) are discarded on receipt.
+	Completions []Completion
+}
+
+// Completion is one finished task attempt riding on a heartbeat. Result
+// holds the wire-encoded TaskResult (EncodeResult); keeping it encoded
+// inside the heartbeat lets the master discard stale completions on the
+// JobSeq/assignment check without paying for a decode.
+type Completion struct {
+	JobSeq uint64
+	Phase  Phase
+	Task   int
+	// Assign echoes TaskDescriptor.Assign, master-epoch offset included.
+	Assign int
+	Result []byte
+}
+
+// PrefetchDescriptor asks a worker to pull shuffle segments into its
+// local store ahead of reduce dispatch, while the map phase is still
+// running. It is advisory: the worker may drop it under load, and the
+// reduce task's own fetch path skips segments that already arrived —
+// so prefetch changes wall-clock overlap, never bytes or counters.
+type PrefetchDescriptor struct {
+	JobSeq uint64
+	// Sources name the segments to pull, in the same MapSource shape a
+	// reduce descriptor carries.
+	Sources []MapSource
 }
 
 // wireVersion 2 added MapSource.Prefix and the membership messages
-// (JoinRequest, Retire, HandoffDescriptor).
-const wireVersion = 2
+// (JoinRequest, Retire, HandoffDescriptor). Version 3 moved task
+// results and winner manifests off gob (EncodeResult / DecodeResult),
+// added heartbeat completion piggybacks and the Prefetched gauge, and
+// added PrefetchDescriptor. Decoders accept exactly the current
+// version: master and workers ship from one binary (DESIGN.md §13's
+// compatibility rule), so a mismatch means a stale process, and
+// refusing it beats silently misreading frames.
+const wireVersion = 3
 
 // appendString appends a length-prefixed string.
 func appendString(b []byte, s string) []byte {
@@ -176,9 +218,28 @@ func appendSegment(b []byte, s *spill.Segment) []byte {
 	return b
 }
 
-// EncodeTask serializes a task descriptor.
+func appendSource(b []byte, src *MapSource) []byte {
+	b = binary.AppendVarint(b, int64(src.MapTask))
+	b = binary.AppendUvarint(b, src.Worker)
+	b = appendString(b, src.Addr)
+	b = appendString(b, src.Prefix)
+	b = binary.AppendUvarint(b, uint64(len(src.Segments)))
+	for j := range src.Segments {
+		b = appendSegment(b, &src.Segments[j])
+	}
+	return b
+}
+
+// EncodeTask serializes a task descriptor into a fresh buffer. Hot paths
+// use AppendTask with a pooled buffer instead.
 func EncodeTask(d *TaskDescriptor) []byte {
-	b := make([]byte, 0, 64+len(d.Params)+len(d.Split))
+	return AppendTask(make([]byte, 0, 64+len(d.Params)+len(d.Split)), d)
+}
+
+// AppendTask appends a wire-encoded task descriptor to b and returns the
+// extended buffer (the binary.AppendUvarint convention, so callers can
+// encode into pooled buffers without an allocation per message).
+func AppendTask(b []byte, d *TaskDescriptor) []byte {
 	b = append(b, wireVersion)
 	b = binary.AppendUvarint(b, d.JobSeq)
 	b = appendString(b, d.JobName)
@@ -206,22 +267,20 @@ func EncodeTask(d *TaskDescriptor) []byte {
 	b = appendBytes(b, d.Split)
 	b = binary.AppendUvarint(b, uint64(len(d.Sources)))
 	for i := range d.Sources {
-		src := &d.Sources[i]
-		b = binary.AppendVarint(b, int64(src.MapTask))
-		b = binary.AppendUvarint(b, src.Worker)
-		b = appendString(b, src.Addr)
-		b = appendString(b, src.Prefix)
-		b = binary.AppendUvarint(b, uint64(len(src.Segments)))
-		for j := range src.Segments {
-			b = appendSegment(b, &src.Segments[j])
-		}
+		b = appendSource(b, &d.Sources[i])
 	}
 	return b
 }
 
-// EncodeHeartbeat serializes a heartbeat.
+// EncodeHeartbeat serializes a heartbeat into a fresh buffer. Hot paths
+// use AppendHeartbeat with a pooled buffer instead.
 func EncodeHeartbeat(h *Heartbeat) []byte {
-	b := make([]byte, 0, 32)
+	return AppendHeartbeat(make([]byte, 0, 48), h)
+}
+
+// AppendHeartbeat appends a wire-encoded heartbeat, completion
+// piggybacks included, to b and returns the extended buffer.
+func AppendHeartbeat(b []byte, h *Heartbeat) []byte {
 	b = append(b, wireVersion)
 	b = binary.AppendUvarint(b, h.Worker)
 	b = binary.AppendUvarint(b, h.Instance)
@@ -230,6 +289,16 @@ func EncodeHeartbeat(h *Heartbeat) []byte {
 	b = binary.AppendVarint(b, h.StoreObjects)
 	b = binary.AppendVarint(b, h.StoreBytes)
 	b = binary.AppendVarint(b, h.TasksDone)
+	b = binary.AppendVarint(b, h.Prefetched)
+	b = binary.AppendUvarint(b, uint64(len(h.Completions)))
+	for i := range h.Completions {
+		c := &h.Completions[i]
+		b = binary.AppendUvarint(b, c.JobSeq)
+		b = append(b, byte(c.Phase))
+		b = binary.AppendVarint(b, int64(c.Task))
+		b = binary.AppendVarint(b, int64(c.Assign))
+		b = appendBytes(b, c.Result)
+	}
 	return b
 }
 
@@ -546,6 +615,223 @@ func DecodeHandoff(data []byte) (*HandoffDescriptor, error) {
 	return h, nil
 }
 
+// EncodeResult serializes a task result into a fresh buffer. Hot paths
+// use AppendResult with a pooled buffer instead.
+func EncodeResult(r *TaskResult) []byte {
+	return AppendResult(make([]byte, 0, 128+len(r.OutputData)), r)
+}
+
+// AppendResult appends a wire-encoded task result to b and returns the
+// extended buffer. Counters are emitted in sorted key order so equal
+// results encode to identical bytes (the canonical-form invariant the
+// fuzz targets check, DESIGN.md §13).
+func AppendResult(b []byte, r *TaskResult) []byte {
+	b = append(b, wireVersion)
+	b = appendString(b, r.Err)
+	b = binary.AppendVarint(b, r.InRecs)
+	b = binary.AppendVarint(b, r.OutRecs)
+	b = binary.AppendVarint(b, r.RawBytes)
+	b = binary.AppendVarint(b, r.MaxFrame)
+	b = binary.AppendVarint(b, r.Spills)
+	b = binary.AppendUvarint(b, uint64(len(r.Parts)))
+	for _, part := range r.Parts {
+		b = binary.AppendUvarint(b, uint64(len(part)))
+		for j := range part {
+			b = appendSegment(b, &part[j])
+		}
+	}
+	b = appendBytes(b, r.OutputData)
+	b = binary.AppendVarint(b, r.OutBytes)
+	b = binary.AppendVarint(b, r.OutRecords)
+	b = binary.AppendVarint(b, r.Fetch)
+	b = binary.AppendVarint(b, r.Inter)
+	b = binary.AppendVarint(b, r.MergePasses)
+	b = binary.AppendVarint(b, r.MaxMergeFanIn)
+	b = binary.AppendVarint(b, r.MaxGroup)
+	b = binary.AppendUvarint(b, uint64(len(r.LostMaps)))
+	for _, m := range r.LostMaps {
+		b = binary.AppendVarint(b, int64(m))
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.LostFrom)))
+	for _, w := range r.LostFrom {
+		b = binary.AppendUvarint(b, w)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Counters)))
+	if len(r.Counters) > 0 {
+		keys := make([]string, 0, len(r.Counters))
+		for k := range r.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b = appendString(b, k)
+			b = binary.AppendVarint(b, r.Counters[k])
+		}
+	}
+	b = binary.AppendVarint(b, r.DurNanos)
+	return b
+}
+
+// DecodeResult parses an encoded task result. It never panics on
+// malformed input. Empty collections decode to nil (count 0 → nil map
+// and nil slices), so decode∘encode is a fixed point on decoded values.
+func DecodeResult(data []byte) (*TaskResult, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown result wire version %d", v)
+	}
+	r := &TaskResult{}
+	r.Err = d.str("result err")
+	r.InRecs = d.varint("in recs")
+	r.OutRecs = d.varint("out recs")
+	r.RawBytes = d.varint("raw bytes")
+	r.MaxFrame = d.varint("max frame")
+	r.Spills = d.varint("spills")
+	if n := d.count("parts"); n > 0 {
+		r.Parts = make([][]spill.Segment, n)
+		for i := range r.Parts {
+			if m := d.count("part segments"); m > 0 {
+				r.Parts[i] = make([]spill.Segment, m)
+				for j := range r.Parts[i] {
+					d.segment(&r.Parts[i][j])
+				}
+			}
+		}
+	}
+	if out := d.bytes("output data"); len(out) > 0 {
+		r.OutputData = append([]byte(nil), out...)
+	}
+	r.OutBytes = d.varint("out bytes")
+	r.OutRecords = d.varint("out records")
+	r.Fetch = d.varint("fetch")
+	r.Inter = d.varint("inter")
+	r.MergePasses = d.varint("merge passes")
+	r.MaxMergeFanIn = d.varint("max merge fan-in")
+	r.MaxGroup = d.varint("max group")
+	if n := d.count("lost maps"); n > 0 {
+		r.LostMaps = make([]int, n)
+		for i := range r.LostMaps {
+			r.LostMaps[i] = d.intv("lost map")
+		}
+	}
+	if n := d.count("lost from"); n > 0 {
+		r.LostFrom = make([]uint64, n)
+		for i := range r.LostFrom {
+			r.LostFrom[i] = d.uvarint("lost from worker")
+		}
+	}
+	if n := d.count("counters"); n > 0 {
+		r.Counters = make(map[string]int64, n)
+		for i := 0; i < n; i++ {
+			k := d.str("counter key")
+			r.Counters[k] = d.varint("counter value")
+		}
+	}
+	r.DurNanos = d.varint("dur nanos")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after task result", len(data)-d.off)
+	}
+	return r, nil
+}
+
+// EncodePrefetch serializes a prefetch descriptor into a fresh buffer.
+// Hot paths use AppendPrefetch with a pooled buffer instead.
+func EncodePrefetch(p *PrefetchDescriptor) []byte {
+	return AppendPrefetch(make([]byte, 0, 64), p)
+}
+
+// AppendPrefetch appends a wire-encoded prefetch descriptor to b and
+// returns the extended buffer.
+func AppendPrefetch(b []byte, p *PrefetchDescriptor) []byte {
+	b = append(b, wireVersion)
+	b = binary.AppendUvarint(b, p.JobSeq)
+	b = binary.AppendUvarint(b, uint64(len(p.Sources)))
+	for i := range p.Sources {
+		b = appendSource(b, &p.Sources[i])
+	}
+	return b
+}
+
+// DecodePrefetch parses an encoded prefetch descriptor. It never panics
+// on malformed input.
+func DecodePrefetch(data []byte) (*PrefetchDescriptor, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown prefetch wire version %d", v)
+	}
+	p := &PrefetchDescriptor{}
+	p.JobSeq = d.uvarint("prefetch job seq")
+	if n := d.count("prefetch sources"); n > 0 {
+		p.Sources = make([]MapSource, n)
+		for i := range p.Sources {
+			src := &p.Sources[i]
+			src.MapTask = d.intv("prefetch map task")
+			src.Worker = d.uvarint("prefetch worker")
+			src.Addr = d.str("prefetch addr")
+			src.Prefix = d.str("prefetch prefix")
+			if m := d.count("prefetch segments"); m > 0 {
+				src.Segments = make([]spill.Segment, m)
+				for j := range src.Segments {
+					d.segment(&src.Segments[j])
+				}
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after prefetch descriptor", len(data)-d.off)
+	}
+	return p, nil
+}
+
+// encodeManifest serializes a winner manifest for the job's DFS recovery
+// state. Manifests are cold-path (one write per task winner), so the
+// nested result is carried length-prefixed rather than pooled.
+func encodeManifest(m *taskManifest) []byte {
+	b := make([]byte, 0, 160)
+	b = append(b, wireVersion)
+	b = append(b, byte(m.Phase))
+	b = binary.AppendVarint(b, int64(m.Task))
+	b = binary.AppendVarint(b, int64(m.Attempt))
+	b = appendBytes(b, EncodeResult(&m.Result))
+	return b
+}
+
+// decodeManifest parses an encoded winner manifest. It never panics on
+// malformed input.
+func decodeManifest(data []byte) (*taskManifest, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown manifest wire version %d", v)
+	}
+	m := &taskManifest{}
+	phase := d.byte("manifest phase")
+	if d.err == nil && phase > byte(PhaseReduce) {
+		return nil, fmt.Errorf("distmr: unknown manifest phase %d", phase)
+	}
+	m.Phase = Phase(phase)
+	m.Task = d.intv("manifest task")
+	m.Attempt = d.intv("manifest attempt")
+	resBytes := d.bytes("manifest result")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after manifest", len(data)-d.off)
+	}
+	res, err := DecodeResult(resBytes)
+	if err != nil {
+		return nil, err
+	}
+	m.Result = *res
+	return m, nil
+}
+
 // DecodeHeartbeat parses an encoded heartbeat. It never panics on
 // malformed input.
 func DecodeHeartbeat(data []byte) (*Heartbeat, error) {
@@ -561,6 +847,22 @@ func DecodeHeartbeat(data []byte) (*Heartbeat, error) {
 	h.StoreObjects = d.varint("store objects")
 	h.StoreBytes = d.varint("store bytes")
 	h.TasksDone = d.varint("tasks done")
+	h.Prefetched = d.varint("prefetched")
+	if n := d.count("completions"); n > 0 {
+		h.Completions = make([]Completion, n)
+		for i := range h.Completions {
+			c := &h.Completions[i]
+			c.JobSeq = d.uvarint("completion job seq")
+			phase := d.byte("completion phase")
+			if d.err == nil && phase > byte(PhaseReduce) {
+				return nil, fmt.Errorf("distmr: unknown completion phase %d", phase)
+			}
+			c.Phase = Phase(phase)
+			c.Task = d.intv("completion task")
+			c.Assign = d.intv("completion assign")
+			c.Result = d.bytes("completion result")
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}

@@ -46,6 +46,22 @@ type WorkerConfig struct {
 	// worker tolerates before concluding the master is gone and exiting
 	// (default 20).
 	HeartbeatMisses int
+	// PrefetchDepth is how many shuffle segments the worker pulls
+	// concurrently when the master hints upcoming reduce inputs
+	// (Worker.Prefetch), and also bounds the reduce path's own parallel
+	// fetch fan-out. Default 4. Prefetch overlaps shuffle I/O with the
+	// still-running map phase; it never changes bytes or counters
+	// (DESIGN.md §13).
+	PrefetchDepth int
+	// CompletionBatchWindow is how long a finished task waits for
+	// siblings before forcing a heartbeat, so one beat carries a batch of
+	// completions instead of each completion paying its own RPC. The
+	// default (zero or negative) sends immediately: the beat snapshots
+	// every completion queued at send time, which already batches tasks
+	// that finish together, and measured waves turn over faster without
+	// the added wait. A positive window is worth trying when task counts
+	// per wave are much larger than worker count.
+	CompletionBatchWindow time.Duration
 	// DialPolicy configures all of the worker's outbound dials.
 	DialPolicy rpcutil.Policy
 	// Obsv configures the worker's observability surface. FlightDir arms
@@ -75,11 +91,12 @@ type Worker struct {
 	flight  *obsv.FlightRecorder
 	admin   *obsv.Admin
 
-	running   atomic.Int64
-	tasksDone atomic.Int64
-	dead      atomic.Bool
-	crashed   atomic.Bool
-	draining  atomic.Bool
+	running    atomic.Int64
+	tasksDone  atomic.Int64
+	prefetched atomic.Int64
+	dead       atomic.Bool
+	crashed    atomic.Bool
+	draining   atomic.Bool
 	// taskDelay is injected slow-node latency (nanoseconds) applied to
 	// every task attempt before it executes; chaos schedules use it to
 	// manufacture stragglers for the speculation machinery.
@@ -89,10 +106,41 @@ type Worker struct {
 	stop      chan struct{} // closed on death; stops the heartbeat loop
 	done      chan struct{} // closed when the worker is fully down
 
+	// compMu guards the completion queue. Finished attempts park their
+	// wire-encoded result here and kick the heartbeat loop; the queue is
+	// drained only after a beat the master acknowledged, so completions
+	// survive failed beats (at-least-once, deduplicated master-side).
+	compMu   sync.Mutex
+	comps    []pendingComp
+	compKick chan struct{} // cap 1; wakes the heartbeat loop early
+
+	// prefetchCh feeds the prefetch workers. Hints are advisory: the
+	// channel is bounded and enqueue drops on overflow rather than
+	// blocking the RPC handler.
+	prefetchCh chan *PrefetchDescriptor
+
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	jobs    map[uint64]*workerJob
 	fetchCl map[string]*rpc.Client
+	// segFlights is the in-flight segment fetch singleflight: prefetch
+	// and the reduce fetch path never pull the same segment twice
+	// concurrently, and a segment already in the store is never refetched.
+	segFlights map[string]chan struct{}
+	// cleaned remembers recently retired job seqs so a slow prefetch hint
+	// cannot recreate segments CleanJob just removed.
+	cleaned []uint64
+}
+
+// pendingComp is one finished attempt waiting to ride a heartbeat. buf
+// is the pooled wire-encoded TaskResult; it is returned to the pool only
+// after a successful beat (the master has the bytes).
+type pendingComp struct {
+	jobSeq uint64
+	ph     Phase
+	task   int
+	assign int
+	buf    *[]byte
 }
 
 // workerJob is a worker's cached per-job state: the reconstructed code
@@ -122,6 +170,9 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.HeartbeatMisses <= 0 {
 		cfg.HeartbeatMisses = 20
 	}
+	if cfg.PrefetchDepth <= 0 {
+		cfg.PrefetchDepth = 4
+	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("distmr: worker listen: %w", err)
@@ -135,15 +186,18 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 		next = cfg.Obsv.Logger.Handler()
 	}
 	w := &Worker{
-		cfg:     cfg,
-		ln:      ln,
-		log:     slog.New(flight.Handler(next)).With("role", "worker"),
-		flight:  flight,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
-		jobs:    make(map[uint64]*workerJob),
-		fetchCl: make(map[string]*rpc.Client),
+		cfg:        cfg,
+		ln:         ln,
+		log:        slog.New(flight.Handler(next)).With("role", "worker"),
+		flight:     flight,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		compKick:   make(chan struct{}, 1),
+		prefetchCh: make(chan *PrefetchDescriptor, 256),
+		conns:      make(map[net.Conn]struct{}),
+		jobs:       make(map[uint64]*workerJob),
+		fetchCl:    make(map[string]*rpc.Client),
+		segFlights: make(map[string]chan struct{}),
 	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", &workerService{w: w}); err != nil {
@@ -189,6 +243,9 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	// accept loop, so the ordering is safe.
 	go w.accept(srv)
 	go w.heartbeatLoop()
+	for i := 0; i < cfg.PrefetchDepth; i++ {
+		go w.prefetchLoop()
+	}
 	return w, nil
 }
 
@@ -282,6 +339,7 @@ func (w *Worker) Status() *obsv.ClusterStatus {
 		Addr:       w.Addr(),
 		Running:    w.running.Load(),
 		TasksDone:  w.tasksDone.Load(),
+		Prefetched: w.prefetched.Load(),
 		StoreBytes: w.cfg.Store.Bytes(),
 		Dead:       w.dead.Load(),
 	}
@@ -384,12 +442,33 @@ func (w *Worker) accept(srv *rpc.Server) {
 		w.conns[conn] = struct{}{}
 		w.mu.Unlock()
 		go func() {
-			srv.ServeConn(conn)
+			srv.ServeCodec(rpcutil.NewServerCodec(conn))
 			w.mu.Lock()
 			delete(w.conns, conn)
 			w.mu.Unlock()
 			conn.Close()
 		}()
+	}
+}
+
+// queueCompletion parks a finished attempt's wire-encoded result on the
+// completion queue and wakes the heartbeat loop, which batches every
+// completion accumulated by then onto one beat.
+func (w *Worker) queueCompletion(desc *TaskDescriptor, res *TaskResult) {
+	buf := rpcutil.GetBuf()
+	*buf = AppendResult(*buf, res)
+	w.compMu.Lock()
+	w.comps = append(w.comps, pendingComp{
+		jobSeq: desc.JobSeq,
+		ph:     desc.Phase,
+		task:   desc.Task,
+		assign: desc.Assign,
+		buf:    buf,
+	})
+	w.compMu.Unlock()
+	select {
+	case w.compKick <- struct{}{}:
+	default: // a kick is already pending; the next beat carries us too
 	}
 }
 
@@ -399,14 +478,38 @@ func (w *Worker) heartbeatLoop() {
 	defer timer.Stop()
 	var seq uint64
 	misses := 0
+	var hb Heartbeat // reused across beats so the steady state allocates nothing
 	for {
 		select {
 		case <-w.stop:
 			return
 		case <-timer.C:
+		case <-w.compKick:
+			// A task finished: beat early so its completion lands now, but
+			// first give siblings a short window to join the batch (one
+			// beat per task wave instead of one per task).
+			if win := w.cfg.CompletionBatchWindow; win > 0 {
+				select {
+				case <-w.stop:
+					return
+				case <-time.After(win):
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
 		}
 		seq++
-		hb := &Heartbeat{
+		// Snapshot the pending completions; they stay queued until the
+		// master acknowledges the beat, so a lost beat resends them
+		// (at-least-once — the master discards entries it already settled).
+		w.compMu.Lock()
+		pending := w.comps[:len(w.comps):len(w.comps)]
+		w.compMu.Unlock()
+		hb = Heartbeat{
 			Worker:       w.id.Load(),
 			Instance:     w.instance.Load(),
 			Seq:          seq,
@@ -414,9 +517,36 @@ func (w *Worker) heartbeatLoop() {
 			StoreObjects: int64(w.cfg.Store.Objects()),
 			StoreBytes:   w.cfg.Store.Bytes(),
 			TasksDone:    w.tasksDone.Load(),
+			Prefetched:   w.prefetched.Load(),
+			Completions:  hb.Completions[:0],
 		}
+		for i := range pending {
+			pc := &pending[i]
+			hb.Completions = append(hb.Completions, Completion{
+				JobSeq: pc.jobSeq,
+				Phase:  pc.ph,
+				Task:   pc.task,
+				Assign: pc.assign,
+				Result: *pc.buf,
+			})
+		}
+		hbBuf := rpcutil.GetBuf()
+		*hbBuf = AppendHeartbeat(*hbBuf, &hb)
 		var reply HeartbeatReply
-		err := w.master.Load().Call("Master.Heartbeat", &HeartbeatArgs{Data: EncodeHeartbeat(hb)}, &reply)
+		err := w.master.Load().Call("Master.Heartbeat", &HeartbeatArgs{Data: *hbBuf}, &reply)
+		rpcutil.PutBuf(hbBuf)
+		if err == nil && len(pending) > 0 {
+			// The master has the batch (consumed it, or deliberately
+			// discarded stale entries — either way resending is pointless).
+			// Drop the sent prefix; later completions queued during the
+			// call stay for the next beat.
+			w.compMu.Lock()
+			w.comps = w.comps[len(pending):]
+			w.compMu.Unlock()
+			for i := range pending {
+				rpcutil.PutBuf(pending[i].buf)
+			}
+		}
 		if err != nil {
 			misses++
 			if misses >= w.cfg.HeartbeatMisses {
@@ -580,10 +710,12 @@ func (w *Worker) dropFetchClient(addr string) {
 	w.mu.Unlock()
 }
 
-// RunTask executes one task attempt. It is the lease body: the master's
-// in-flight call is the lease, and an RPC-level failure (worker death)
-// triggers reassignment.
-func (s *workerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
+// StartTask accepts one task attempt and executes it asynchronously:
+// the call returns on acceptance, and the result later rides a
+// heartbeat as a Completion. An RPC-level failure here (worker death on
+// the crash draw) still surfaces promptly to the master, which
+// reassigns without consuming an attempt.
+func (s *workerService) StartTask(args *StartTaskArgs, _ *StartTaskReply) error {
 	w := s.w
 	if w.dead.Load() {
 		return fmt.Errorf("distmr: worker %d is dead", w.id.Load())
@@ -597,33 +729,43 @@ func (s *workerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
 	w.log.Debug("task received",
 		"job", desc.JobName, "phase", desc.Phase.String(),
 		"task", desc.Task, "attempt", desc.Attempt, "assign", desc.Assign)
-	// Injected worker crash, drawn at task receipt — before any side
-	// effect — so a crashed attempt has submitted nothing to job services
-	// and re-execution preserves exactly-once semantics. The draw is
-	// keyed by the assignment sequence, so the reassigned attempt draws
-	// fresh.
+	// Injected worker crash, drawn synchronously at task receipt — before
+	// any side effect — so a crashed attempt has submitted nothing to job
+	// services and re-execution preserves exactly-once semantics. The
+	// draw is keyed by the assignment sequence, so the reassigned attempt
+	// draws fresh; staying in the handler keeps the death a prompt
+	// transport error on this very call.
 	if desc.CrashRate > 0 &&
 		mapreduce.InjectHash(desc.Seed, desc.JobName, desc.Phase.String()+"-crash", desc.Task, desc.Assign) < desc.CrashRate {
 		w.die(true)
 		return fmt.Errorf("distmr: worker %d crashed", w.id.Load())
 	}
+	w.running.Add(1)
+	go w.execute(desc)
+	return nil
+}
+
+// execute runs one accepted task attempt to completion and queues its
+// result for the next heartbeat.
+func (w *Worker) execute(desc *TaskDescriptor) {
+	defer w.running.Add(-1)
 	// Injected slow-node latency, applied after the crash draw so the
 	// fault coordinates are unchanged: the attempt runs late but runs the
-	// same. Interruptible by death so a killed straggler's handler exits.
+	// same. Interruptible by death so a killed straggler's goroutine exits.
 	if d := time.Duration(w.taskDelay.Load()); d > 0 {
 		select {
 		case <-time.After(d):
 		case <-w.stop:
-			return fmt.Errorf("distmr: worker %d is dead", w.id.Load())
+			return
 		}
 	}
-	w.running.Add(1)
-	defer w.running.Add(-1)
-
+	if w.dead.Load() {
+		return
+	}
 	j, err := w.jobState(desc)
 	if err != nil {
-		reply.Result.Err = err.Error()
-		return nil
+		w.queueCompletion(desc, &TaskResult{Err: err.Error()})
+		return
 	}
 	sp := w.cfg.Tracer.Start(trace.CatTask, fmt.Sprintf("%s-%05d", desc.Phase, desc.Task), nil)
 	sp.SetInt("task", int64(desc.Task))
@@ -648,8 +790,152 @@ func (s *workerService) RunTask(args *RunTaskArgs, reply *RunTaskReply) error {
 	} else if len(res.LostMaps) == 0 {
 		w.tasksDone.Add(1)
 	}
-	reply.Result = *res
+	w.queueCompletion(desc, res)
+}
+
+// Watch blocks until the worker dies or shuts down: the master keeps one
+// Watch call pending per worker, so a crash surfaces as that call
+// erroring out — the prompt failure signal the old per-task blocking
+// lease provided, without holding an RPC open per running attempt.
+func (s *workerService) Watch(_ *WatchArgs, _ *WatchReply) error {
+	<-s.w.stop
 	return nil
+}
+
+// Prefetch receives an advisory shuffle-prefetch hint. It never fails:
+// under load the hint is dropped and the reduce path fetches on demand.
+func (s *workerService) Prefetch(args *PrefetchArgs, _ *PrefetchReply) error {
+	w := s.w
+	if w.dead.Load() || w.draining.Load() {
+		return nil
+	}
+	p, err := DecodePrefetch(args.Desc)
+	if err != nil {
+		return err
+	}
+	select {
+	case w.prefetchCh <- p:
+	default:
+		w.log.Debug("prefetch hint dropped, queue full", "job", p.JobSeq)
+	}
+	return nil
+}
+
+// prefetchLoop pulls hinted shuffle segments into the local store ahead
+// of reduce dispatch. PrefetchDepth loops run concurrently; the
+// singleflight in ensureSegment keeps them (and the reduce fetch path)
+// from duplicating work. Failures are silently dropped — the reduce
+// task's own fetch retries and reports lost maps authoritatively.
+func (w *Worker) prefetchLoop() {
+	for {
+		var p *PrefetchDescriptor
+		select {
+		case <-w.stop:
+			return
+		case p = <-w.prefetchCh:
+		}
+		if w.jobCleaned(p.JobSeq) {
+			continue
+		}
+		for i := range p.Sources {
+			src := &p.Sources[i]
+			if src.Prefix == "" && src.Worker == w.id.Load() {
+				continue // local map output: already in the store
+			}
+			for s := range src.Segments {
+				if w.dead.Load() || w.jobCleaned(p.JobSeq) {
+					break
+				}
+				fetched, err := w.ensureSegment(src, &src.Segments[s])
+				if err != nil {
+					break // source unreachable; stop hammering it
+				}
+				if fetched {
+					w.prefetched.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// jobCleaned reports whether CleanJob already retired this job, so late
+// prefetch hints cannot recreate removed segments.
+func (w *Worker) jobCleaned(jobSeq uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, seq := range w.cleaned {
+		if seq == jobSeq {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureSegment makes one shuffle segment present in the local store,
+// fetching it if needed. Concurrent callers for the same segment
+// coalesce onto one fetch (singleflight); a segment already stored is
+// never refetched, so prefetch and the reduce path stay idempotent.
+// Returns whether this call performed the fetch.
+func (w *Worker) ensureSegment(src *MapSource, seg *spill.Segment) (bool, error) {
+	for {
+		w.mu.Lock()
+		if w.cfg.Store.Has(seg.Name) {
+			w.mu.Unlock()
+			return false, nil
+		}
+		if ch := w.segFlights[seg.Name]; ch != nil {
+			w.mu.Unlock()
+			select {
+			case <-ch:
+			case <-w.stop:
+				return false, fmt.Errorf("distmr: worker %d is dead", w.id.Load())
+			}
+			continue // re-check: the other flight may have failed
+		}
+		ch := make(chan struct{})
+		w.segFlights[seg.Name] = ch
+		w.mu.Unlock()
+		err := w.fetchSegmentData(src, seg)
+		w.mu.Lock()
+		delete(w.segFlights, seg.Name)
+		w.mu.Unlock()
+		close(ch)
+		return err == nil, err
+	}
+}
+
+// fetchSegmentData pulls one segment's stored bytes — from the owning
+// worker, or from the master's DFS for handed-off sources — into the
+// local store under its original name.
+func (w *Worker) fetchSegmentData(src *MapSource, seg *spill.Segment) error {
+	var data []byte
+	if src.Prefix != "" {
+		d, err := w.readMasterFile(src.Prefix + seg.Name)
+		if err != nil {
+			return err
+		}
+		data = d
+	} else {
+		client, err := w.fetchClient(src.Addr)
+		if err != nil {
+			return err
+		}
+		var reply FetchSegmentReply
+		if err := client.Call("Worker.FetchSegment", &FetchSegmentArgs{Name: seg.Name}, &reply); err != nil {
+			w.dropFetchClient(src.Addr)
+			return err
+		}
+		data = reply.Data
+	}
+	wc, err := w.cfg.Store.Create(seg.Name)
+	if err != nil {
+		return err
+	}
+	if _, err := wc.Write(data); err != nil {
+		wc.Close()
+		return err
+	}
+	return wc.Close()
 }
 
 // runMap executes one map attempt over its split, spilling sorted output
@@ -751,40 +1037,57 @@ func (w *Worker) runMap(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *Tas
 	return res
 }
 
-// runReduce executes one reduce attempt: fetch this partition's segments
-// from their workers into the local store, k-way merge them, and stream
+// runReduce executes one reduce attempt: make this partition's segments
+// present in the local store (fetched in parallel, coalescing with any
+// prefetch already in flight or complete), k-way merge them, and stream
 // the groups through the reducer. Unfetchable segments abort before the
 // reducer runs (so job services see no partial submissions) and are
 // reported as lost map outputs for the master to recover.
 func (w *Worker) runReduce(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *TaskResult {
 	res := &TaskResult{}
+	// Fetch sources concurrently (bounded by PrefetchDepth) but assemble
+	// results in source order below, so segment order — and with it merge
+	// statistics — is independent of fetch timing.
+	errs := make([]error, len(desc.Sources))
+	sem := make(chan struct{}, w.cfg.PrefetchDepth)
+	var wg sync.WaitGroup
+	for i := range desc.Sources {
+		src := &desc.Sources[i]
+		if len(src.Segments) == 0 || (src.Prefix == "" && src.Worker == w.id.Load()) {
+			continue // nothing to fetch: empty, or local map output
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, src *MapSource) {
+			defer func() { <-sem; wg.Done() }()
+			for s := range src.Segments {
+				if _, err := w.ensureSegment(src, &src.Segments[s]); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, src)
+	}
+	wg.Wait()
 	var segs []spill.Segment
 	for i := range desc.Sources {
 		src := &desc.Sources[i]
 		if len(src.Segments) == 0 {
 			continue
 		}
-		if src.Prefix != "" {
-			// Handed-off source: the segments live in the master's DFS, not
-			// on any worker. Same names, same metadata — only the transport
-			// differs, so the shuffle statistics are unchanged.
-			if err := w.fetchStateSegments(src); err != nil {
-				res.LostMaps = append(res.LostMaps, src.MapTask)
-				res.LostFrom = append(res.LostFrom, src.Worker)
-				continue
-			}
-		} else if src.Worker != w.id.Load() {
-			if err := w.fetchSegments(src); err != nil {
-				res.LostMaps = append(res.LostMaps, src.MapTask)
-				res.LostFrom = append(res.LostFrom, src.Worker)
-				continue
-			}
+		if errs[i] != nil {
+			res.LostMaps = append(res.LostMaps, src.MapTask)
+			res.LostFrom = append(res.LostFrom, src.Worker)
+			continue
 		}
 		segs = append(segs, src.Segments...)
 	}
 	if len(res.LostMaps) > 0 {
 		return res
 	}
+	// Shuffle statistics come from segment metadata for every segment,
+	// whether it arrived via prefetch, this attempt's fetch, or was local
+	// all along — so pipelining changes wall-clock overlap, never counters.
 	for _, seg := range segs {
 		res.Fetch += seg.RawBytes
 		if seg.Node != desc.Node {
@@ -846,61 +1149,6 @@ func (w *Worker) runReduce(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *
 	return res
 }
 
-// fetchSegments pulls one map source's segments over the wire into the
-// local store under their original names (globally unique per job, task
-// and assignment), so the merge reads local data only.
-func (w *Worker) fetchSegments(src *MapSource) error {
-	client, err := w.fetchClient(src.Addr)
-	if err != nil {
-		return err
-	}
-	for i := range src.Segments {
-		seg := &src.Segments[i]
-		var reply FetchSegmentReply
-		if err := client.Call("Worker.FetchSegment", &FetchSegmentArgs{Name: seg.Name}, &reply); err != nil {
-			w.dropFetchClient(src.Addr)
-			return err
-		}
-		wc, err := w.cfg.Store.Create(seg.Name)
-		if err != nil {
-			return err
-		}
-		if _, err := wc.Write(reply.Data); err != nil {
-			wc.Close()
-			return err
-		}
-		if err := wc.Close(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// fetchStateSegments pulls a handed-off map source's segments from the
-// master's DFS into the local store, mirroring fetchSegments for
-// worker-held sources: same names, so the merge path is identical.
-func (w *Worker) fetchStateSegments(src *MapSource) error {
-	for i := range src.Segments {
-		seg := &src.Segments[i]
-		data, err := w.readMasterFile(src.Prefix + seg.Name)
-		if err != nil {
-			return err
-		}
-		wc, err := w.cfg.Store.Create(seg.Name)
-		if err != nil {
-			return err
-		}
-		if _, err := wc.Write(data); err != nil {
-			wc.Close()
-			return err
-		}
-		if err := wc.Close(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // FetchSegment serves one locally stored spill segment to a fetching
 // reducer (the network shuffle).
 func (s *workerService) FetchSegment(args *FetchSegmentArgs, reply *FetchSegmentReply) error {
@@ -956,6 +1204,12 @@ func (s *workerService) CleanJob(args *CleanJobArgs, _ *CleanJobReply) error {
 	w.mu.Lock()
 	j := w.jobs[args.JobSeq]
 	delete(w.jobs, args.JobSeq)
+	// Remember the retirement (bounded ring) so a straggling prefetch
+	// hint cannot recreate segments the RemovePrefix below deletes.
+	w.cleaned = append(w.cleaned, args.JobSeq)
+	if len(w.cleaned) > 8 {
+		w.cleaned = w.cleaned[len(w.cleaned)-8:]
+	}
 	w.mu.Unlock()
 	if j != nil {
 		// An attempt the master abandoned (reassigned lease, late backup)

@@ -160,8 +160,8 @@ func RenderDash(w io.Writer, s DashSnapshot) {
 				case wk.State == "drained":
 					mark = "-"
 				}
-				fmt.Fprintf(bw, "  [%s] w%-3d %-21s running %-3d done %-5d store %s  beat %dms ago",
-					mark, wk.ID, wk.Addr, wk.Running, wk.TasksDone, sizeStr(wk.StoreBytes), wk.LastBeatMS)
+				fmt.Fprintf(bw, "  [%s] w%-3d %-21s running %-3d done %-5d store %s  prefetch %-4d beat %dms ago",
+					mark, wk.ID, wk.Addr, wk.Running, wk.TasksDone, sizeStr(wk.StoreBytes), wk.Prefetched, wk.LastBeatMS)
 				if wk.State != "" && wk.State != "live" {
 					fmt.Fprintf(bw, "  %s", wk.State)
 				}

@@ -1,0 +1,282 @@
+package rpcutil
+
+// The frame codec: a drop-in replacement for net/rpc's default gob
+// codec that moves the RPC envelope itself onto length-prefixed varint
+// frames (DESIGN.md §13). The payloads inside the envelopes were
+// already hand-framed bytes; profiling showed the remaining codec tax
+// was gob's reflection and per-connection type negotiation on the
+// envelope structs, paid twice per call on every dispatch, heartbeat
+// and shuffle fetch. Arg/reply types that implement Message encode
+// themselves; anything else falls back to a self-contained per-message
+// gob stream, so cold-path structs (drain handoffs, FF1 sink deltas)
+// need no hand-written framing.
+//
+// Stream layout: each side writes one version byte before its first
+// message, then back-to-back messages.
+//
+//	request  = seq uvarint, method lenBytes, body
+//	response = seq uvarint, method lenBytes, error lenBytes, body
+//	body     = tag byte ('f' framed | 'g' gob), payload lenBytes
+//	lenBytes = len uvarint, len bytes
+//
+// Like the payload codecs, a decoder accepts exactly its own version:
+// master, workers and aug_proc are deployed from one build (DESIGN.md
+// §13), so a mismatch is a deployment bug to surface, not a case to
+// bridge.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/rpc"
+)
+
+// Message is implemented by RPC arg/reply structs that frame themselves
+// on the wire instead of riding the gob fallback. DecodeFrame receives
+// exactly the encoded bytes produced by AppendFrame; the slice is a
+// pooled buffer that is recycled when the call returns, so
+// implementations must copy anything they retain.
+type Message interface {
+	AppendFrame(b []byte) []byte
+	DecodeFrame(b []byte) error
+}
+
+// frameCodecVersion is the connection-stream version. Bump it on any
+// change to the envelope layout above; payload formats version
+// themselves separately (distmr's wireVersion).
+const frameCodecVersion byte = 1
+
+const (
+	tagFramed byte = 'f'
+	tagGob    byte = 'g'
+)
+
+// maxFrameBytes bounds a single body or string read, so a corrupt or
+// hostile length prefix cannot force an arbitrary allocation.
+const maxFrameBytes = 1 << 30
+
+// frameCodec is the transport half shared by both codec roles. net/rpc
+// serializes writes (client request mutex, server sending mutex) and
+// reads from a single goroutine per connection, so the codec itself
+// needs no locking.
+type frameCodec struct {
+	conn    io.Closer
+	r       *bufio.Reader
+	w       *bufio.Writer
+	sentVer bool
+	gotVer  bool
+	// names interns method strings: a connection carries a handful of
+	// distinct methods over thousands of messages, so decoding each
+	// occurrence to a fresh string would be pure garbage.
+	names map[string]string
+}
+
+func newFrameCodec(conn io.ReadWriteCloser) frameCodec {
+	return frameCodec{
+		conn:  conn,
+		r:     bufio.NewReaderSize(conn, 16<<10),
+		w:     bufio.NewWriterSize(conn, 16<<10),
+		names: make(map[string]string, 8),
+	}
+}
+
+// send writes one complete message — header, body tag, body — and
+// flushes. Responses carry an error string; requests do not (hasErr).
+func (c *frameCodec) send(seq uint64, method, errStr string, hasErr bool, body any) error {
+	buf := GetBuf()
+	defer PutBuf(buf)
+	b := (*buf)[:0]
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(len(method)))
+	b = append(b, method...)
+	if hasErr {
+		b = binary.AppendUvarint(b, uint64(len(errStr)))
+		b = append(b, errStr...)
+	}
+	switch m := body.(type) {
+	case Message:
+		bb := GetBuf()
+		enc := m.AppendFrame((*bb)[:0])
+		b = append(b, tagFramed)
+		b = binary.AppendUvarint(b, uint64(len(enc)))
+		b = append(b, enc...)
+		*bb = enc[:0]
+		PutBuf(bb)
+	default:
+		var gb bytes.Buffer
+		if err := gob.NewEncoder(&gb).Encode(body); err != nil {
+			return fmt.Errorf("rpcutil: encode %s body: %w", method, err)
+		}
+		b = append(b, tagGob)
+		b = binary.AppendUvarint(b, uint64(gb.Len()))
+		b = append(b, gb.Bytes()...)
+	}
+	*buf = b[:0]
+	if !c.sentVer {
+		if err := c.w.WriteByte(frameCodecVersion); err != nil {
+			return err
+		}
+		c.sentVer = true
+	}
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// checkVersion consumes the peer's version byte before the first read.
+func (c *frameCodec) checkVersion() error {
+	if c.gotVer {
+		return nil
+	}
+	v, err := c.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if v != frameCodecVersion {
+		return fmt.Errorf("rpcutil: peer speaks frame-codec version %d, this binary speaks %d", v, frameCodecVersion)
+	}
+	c.gotVer = true
+	return nil
+}
+
+func (c *frameCodec) readLen(what string) (int, error) {
+	n, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return 0, err
+	}
+	if n > maxFrameBytes {
+		return 0, fmt.Errorf("rpcutil: %s length %d exceeds limit", what, n)
+	}
+	return int(n), nil
+}
+
+// readString reads a length-prefixed string, interning repeats.
+func (c *frameCodec) readString(what string) (string, error) {
+	n, err := c.readLen(what)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	buf := GetBuf()
+	defer PutBuf(buf)
+	p := *buf
+	if cap(p) < n {
+		p = make([]byte, n)
+		*buf = p[:0]
+	}
+	p = p[:n]
+	if _, err := io.ReadFull(c.r, p); err != nil {
+		return "", err
+	}
+	if s, ok := c.names[string(p)]; ok {
+		return s, nil
+	}
+	s := string(p)
+	c.names[s] = s
+	return s, nil
+}
+
+// readBody reads one tagged body and decodes it into body; a nil body
+// discards the frame (net/rpc's convention for unwanted bodies).
+func (c *frameCodec) readBody(body any) error {
+	tag, err := c.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	n, err := c.readLen("body")
+	if err != nil {
+		return err
+	}
+	if body == nil {
+		_, err := c.r.Discard(n)
+		return err
+	}
+	buf := GetBuf()
+	defer PutBuf(buf)
+	p := *buf
+	if cap(p) < n {
+		p = make([]byte, n)
+		*buf = p[:0]
+	}
+	p = p[:n]
+	if _, err := io.ReadFull(c.r, p); err != nil {
+		return err
+	}
+	switch m := body.(type) {
+	case Message:
+		if tag != tagFramed {
+			return fmt.Errorf("rpcutil: %T expects a framed body, peer sent tag %q", body, tag)
+		}
+		return m.DecodeFrame(p)
+	default:
+		if tag != tagGob {
+			return fmt.Errorf("rpcutil: %T expects a gob body, peer sent tag %q", body, tag)
+		}
+		return gob.NewDecoder(bytes.NewReader(p)).Decode(body)
+	}
+}
+
+func (c *frameCodec) Close() error { return c.conn.Close() }
+
+type clientCodec struct{ frameCodec }
+
+// NewClientCodec wraps conn in the frame codec's client half. The
+// server side must serve with NewServerCodec; DialRPC pairs them.
+func NewClientCodec(conn io.ReadWriteCloser) rpc.ClientCodec {
+	return &clientCodec{newFrameCodec(conn)}
+}
+
+func (c *clientCodec) WriteRequest(r *rpc.Request, body any) error {
+	return c.send(r.Seq, r.ServiceMethod, "", false, body)
+}
+
+func (c *clientCodec) ReadResponseHeader(r *rpc.Response) error {
+	if err := c.checkVersion(); err != nil {
+		return err
+	}
+	seq, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return err
+	}
+	r.Seq = seq
+	if r.ServiceMethod, err = c.readString("method"); err != nil {
+		return err
+	}
+	r.Error, err = c.readString("error")
+	return err
+}
+
+func (c *clientCodec) ReadResponseBody(body any) error { return c.readBody(body) }
+
+type serverCodec struct{ frameCodec }
+
+// NewServerCodec wraps conn in the frame codec's server half, for
+// rpc.Server.ServeCodec.
+func NewServerCodec(conn io.ReadWriteCloser) rpc.ServerCodec {
+	return &serverCodec{newFrameCodec(conn)}
+}
+
+func (c *serverCodec) ReadRequestHeader(r *rpc.Request) error {
+	if err := c.checkVersion(); err != nil {
+		return err
+	}
+	seq, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return err
+	}
+	r.Seq = seq
+	r.ServiceMethod, err = c.readString("method")
+	return err
+}
+
+func (c *serverCodec) ReadRequestBody(body any) error { return c.readBody(body) }
+
+func (c *serverCodec) WriteResponse(r *rpc.Response, body any) error {
+	return c.send(r.Seq, r.ServiceMethod, r.Error, true, body)
+}

@@ -1,13 +1,26 @@
 // Package rpcutil provides the transport plumbing shared by every TCP
-// endpoint in the repo. On the client side that is the dial policy used
-// by the aug_proc client, the distributed master/worker clients, and the
-// worker-to-worker shuffle fetchers: a single dial attempt against a
-// service that is still binding its listener (worker processes racing
-// the master at startup, or a loopback accept queue momentarily full)
-// fails spuriously; the fix everywhere is the same bounded retry with
-// exponential backoff and jitter, so it lives here once. On the server
-// side it is the HTTP harness (see ServeHTTP) behind the obsv admin
-// servers and the flow service's API server.
+// endpoint in the repo, three pieces:
+//
+// Dialing (Dial, DialRPC, Policy): the bounded retry with exponential
+// backoff and jitter used by the aug_proc client, the distributed
+// master/worker clients, and the worker-to-worker shuffle fetchers. A
+// single dial attempt against a service that is still binding its
+// listener (worker processes racing the master at startup, or a
+// loopback accept queue momentarily full) fails spuriously; the fix is
+// the same everywhere, so it lives here once. The netfaults hooks
+// inject partitions into every dial and established connection, which
+// is how the chaos suite severs links without touching the kernel.
+//
+// Serving (ServeHTTP, HTTPConfig): the HTTP harness behind the obsv
+// admin servers (master and worker /metrics, /status, /healthz, pprof)
+// and the flow service's JSON API — listener binding, connection
+// tracking and graceful shutdown in one place. RPC endpoints use
+// net/rpc directly; only the HTTP surfaces share this harness.
+//
+// Buffers (GetBuf, PutBuf): the message-buffer pool behind the
+// hand-rolled wire codecs (DESIGN.md §13). Encoders append into pooled
+// buffers and return them once the transport has consumed the bytes,
+// so the steady-state task hot path allocates nothing per message.
 package rpcutil
 
 import (
@@ -146,11 +159,12 @@ func Dial(addr string, policy Policy) (net.Conn, error) {
 }
 
 // DialRPC connects a net/rpc client to a TCP address with
-// retry/backoff/jitter.
+// retry/backoff/jitter. The connection speaks the frame codec
+// (codec.go), so the server side must serve with NewServerCodec.
 func DialRPC(addr string, policy Policy) (*rpc.Client, error) {
 	conn, err := Dial(addr, policy)
 	if err != nil {
 		return nil, err
 	}
-	return rpc.NewClient(conn), nil
+	return rpc.NewClientWithCodec(NewClientCodec(conn)), nil
 }

@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"ffmr/internal/trace"
 )
@@ -87,7 +88,9 @@ type Config struct {
 	Compress bool
 	// Combine, if non-nil, is applied per spill to each key's values
 	// (Hadoop runs the combiner on every spill, so a multi-spill task
-	// combines each buffer independently).
+	// combines each buffer independently). The key and value slices alias
+	// the writer's internal buffer and are recycled after the spill:
+	// combiners must not retain them past the call.
 	Combine func(key []byte, values [][]byte) ([][]byte, error)
 	// OnCombine, if non-nil, observes each combine application's input
 	// and output record counts (for the engine's combine counters).
@@ -103,6 +106,61 @@ type Config struct {
 
 // rec is one buffered record.
 type rec struct{ key, value []byte }
+
+// arenaChunkSize is the bump allocator's chunk granularity. 64KiB keeps
+// chunks comfortably reusable through sync.Pool while amortizing the
+// per-chunk bookkeeping over thousands of typical records.
+const arenaChunkSize = 64 << 10
+
+var arenaPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, arenaChunkSize)
+	return &b
+}}
+
+// arena is a bump allocator for buffered record bytes. Every Add used to
+// copy its key and value into two fresh heap slices — two allocations
+// per record on the map hot path; the arena copies them into pooled
+// chunks instead, so a steady-state Add allocates nothing. Record slices
+// alias arena memory and die together at reset, which is only called
+// once nothing references them (after a spill consumed the buffer).
+type arena struct {
+	chunks []*[]byte
+}
+
+// copyIn copies b into the arena and returns the full-capacity-clamped
+// copy, so later appends to the returned slice can never clobber a
+// neighboring record.
+func (a *arena) copyIn(b []byte) []byte {
+	n := len(a.chunks)
+	if n == 0 || cap(*a.chunks[n-1])-len(*a.chunks[n-1]) < len(b) {
+		var c *[]byte
+		if len(b) > arenaChunkSize {
+			// Oversize record: a dedicated exact-cap chunk, never pooled.
+			nc := make([]byte, 0, len(b))
+			c = &nc
+		} else {
+			c = arenaPool.Get().(*[]byte)
+		}
+		a.chunks = append(a.chunks, c)
+		n = len(a.chunks)
+	}
+	c := a.chunks[n-1]
+	start := len(*c)
+	*c = append(*c, b...)
+	return (*c)[start:len(*c):len(*c)]
+}
+
+// reset returns regular chunks to the pool and drops oversize ones. The
+// caller must have dropped every slice copyIn handed out.
+func (a *arena) reset() {
+	for _, c := range a.chunks {
+		if cap(*c) == arenaChunkSize {
+			*c = (*c)[:0]
+			arenaPool.Put(c)
+		}
+	}
+	a.chunks = a.chunks[:0]
+}
 
 // sortRecs orders records by (key, value), the engine's shuffle order.
 func sortRecs(recs []rec) {
@@ -120,6 +178,7 @@ func sortRecs(recs []rec) {
 type Writer struct {
 	cfg      Config
 	parts    [][]rec
+	buf      arena
 	buffered int64
 	spillIdx int
 	out      Output
@@ -158,8 +217,8 @@ func (w *Writer) Add(partition int, key, value []byte) error {
 	if partition < 0 || partition >= len(w.parts) {
 		return w.fail(fmt.Errorf("spill: partition %d out of range [0,%d)", partition, len(w.parts)))
 	}
-	k := append([]byte(nil), key...)
-	v := append([]byte(nil), value...)
+	k := w.buf.copyIn(key)
+	v := w.buf.copyIn(value)
 	w.parts[partition] = append(w.parts[partition], rec{key: k, value: v})
 	w.buffered += FramedSize(k, v)
 	if w.buffered >= w.cfg.MemoryBudget {
@@ -222,6 +281,10 @@ func (w *Writer) spill() error {
 		w.parts[p] = w.parts[p][:0]
 	}
 	w.buffered = 0
+	// Every buffered record has been written out (or combined away), so
+	// nothing aliases arena memory anymore; recycle the chunks. Failure
+	// paths skip this — the poisoned writer just lets the GC collect them.
+	w.buf.reset()
 	w.out.Spills++
 	sp.SetInt("records", spillRecs)
 	sp.SetInt("raw_bytes", spillRaw)

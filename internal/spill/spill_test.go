@@ -371,3 +371,51 @@ func TestMergeEmptyAndSingleSegment(t *testing.T) {
 		t.Error("single-segment merge does not equal sorted input")
 	}
 }
+
+// TestAddSteadyStateAllocs is the allocation-regression gate for the map
+// hot path: buffering a record must not allocate per record. The arena
+// amortizes key/value copies over pooled 64KiB chunks and the partition
+// slices grow geometrically, so the measured rate is a small fraction of
+// an allocation per Add; the old copy-per-record path measured 2+.
+func TestAddSteadyStateAllocs(t *testing.T) {
+	store := NewMemRunStore()
+	w, err := NewWriter(Config{
+		Partitions:   4,
+		MemoryBudget: 1 << 30, // never spill during the measurement
+		Store:        store,
+		NamePrefix:   "t/alloc/a0/",
+	})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	key := []byte("steady-state-key")
+	value := []byte("steady-state-value-payload")
+	p := 0
+	allocs := testing.AllocsPerRun(20000, func() {
+		if err := w.Add(p&3, key, value); err != nil {
+			t.Fatal(err)
+		}
+		p++
+	})
+	if allocs > 0.1 {
+		t.Errorf("Add: %.3f allocs/op on the steady-state path, want ~0", allocs)
+	}
+}
+
+// TestArenaIsolatesRecords pins the arena's no-clobber contract: slices
+// handed out by copyIn must tolerate appends without corrupting their
+// neighbors, and spilled output must match what was added.
+func TestArenaIsolatesRecords(t *testing.T) {
+	var a arena
+	first := a.copyIn([]byte("alpha"))
+	second := a.copyIn([]byte("beta"))
+	_ = append(first, 'X') // must reallocate, not overwrite "beta"
+	if string(second) != "beta" {
+		t.Fatalf("append through an arena slice clobbered the next record: %q", second)
+	}
+	big := a.copyIn(make([]byte, arenaChunkSize+1))
+	if len(big) != arenaChunkSize+1 {
+		t.Fatalf("oversize copyIn returned %d bytes", len(big))
+	}
+	a.reset()
+}

@@ -27,6 +27,10 @@ type RunStore interface {
 	Create(name string) (io.WriteCloser, error)
 	// Open streams a previously created object.
 	Open(name string) (io.ReadCloser, error)
+	// Has reports whether a named object exists (created and committed).
+	// The distributed shuffle uses it to skip refetching segments that a
+	// prefetch already landed.
+	Has(name string) bool
 	// Remove deletes one object (missing names are not an error).
 	Remove(name string) error
 	// RemovePrefix deletes every object whose name starts with prefix
@@ -85,6 +89,14 @@ func (s *MemRunStore) Open(name string) (io.ReadCloser, error) {
 		return nil, fmt.Errorf("spill: run %q does not exist", name)
 	}
 	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// Has implements RunStore.
+func (s *MemRunStore) Has(name string) bool {
+	s.mu.Lock()
+	_, ok := s.objs[name]
+	s.mu.Unlock()
+	return ok
 }
 
 // Remove implements RunStore.
@@ -225,6 +237,16 @@ func (s *DiskRunStore) Open(name string) (io.ReadCloser, error) {
 		return nil, fmt.Errorf("spill: run %q: %w", name, err)
 	}
 	return f, nil
+}
+
+// Has implements RunStore. The sizes index is authoritative: a file
+// still being written has no entry yet, so Has only reports committed
+// objects, matching MemRunStore's close-to-commit semantics.
+func (s *DiskRunStore) Has(name string) bool {
+	s.mu.Lock()
+	_, ok := s.sizes[name]
+	s.mu.Unlock()
+	return ok
 }
 
 // Remove implements RunStore.
