@@ -103,6 +103,17 @@ func run(args []string, stdout io.Writer) error {
 		tracer = trace.New()
 		sc.Tracer = tracer
 	}
+	if *traceOut != "" {
+		// Deferred immediately so the trace survives a failed or
+		// interrupted experiment — exactly when it matters most.
+		defer func() {
+			if err := writeTrace(tracer, *traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write trace: %v\n", err)
+				return
+			}
+			fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
+		}()
+	}
 	var master *distmr.Master
 	if *dist {
 		h, err := distmr.StartHarness(distmr.HarnessConfig{Workers: *distWork, Tracer: tracer})
@@ -260,19 +271,18 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		if err := tracer.WriteChromeTrace(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "trace written to %s\n", *traceOut)
-	}
 	return nil
+}
+
+// writeTrace flushes the tracer's Chrome trace to path.
+func writeTrace(tracer *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -58,6 +58,7 @@ func run() error {
 		real     = flag.Bool("realistic", false, "charge Hadoop-like per-round overhead in simulated time")
 		logFmt   = flag.String("log", "text", "structured logs to stderr: text|json|off")
 		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		trOut    = flag.String("trace", "", "write a Chrome trace_event JSON file of the service's lifetime on shutdown")
 	)
 	flag.Parse()
 
@@ -66,6 +67,27 @@ func run() error {
 		logger = obsv.NewLogger(os.Stderr, *logFmt, obsv.ParseLevel(*logLevel))
 	}
 	tracer := trace.New()
+	if *trOut != "" {
+		// Deferred immediately so the trace survives startup failures and
+		// drain errors, not just clean shutdowns.
+		defer func() {
+			f, err := os.Create(*trOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ffmr-service: write trace: %v\n", err)
+				return
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "ffmr-service: write trace: %v\n", err)
+				return
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ffmr-service: write trace: %v\n", err)
+				return
+			}
+			fmt.Printf("trace written to %s\n", *trOut)
+		}()
+	}
 
 	fs := dfs.New(dfs.Config{Nodes: *nodes, BlockSize: 4 << 20, Replication: 2})
 	cluster := mapreduce.NewCluster(*nodes, *slots, fs)

@@ -27,7 +27,6 @@ import (
 	"ffmr/internal/distmr"
 	"ffmr/internal/obsv"
 	"ffmr/internal/spill"
-	"ffmr/internal/trace"
 )
 
 func main() {
@@ -55,17 +54,15 @@ func main() {
 	if *logFmt != "" {
 		logger = obsv.NewLogger(os.Stderr, *logFmt, obsv.ParseLevel(*logLevel))
 	}
+	// The worker always owns a private tracer: task/spill/shuffle spans
+	// ship to the master on heartbeats, and the -admin /metrics endpoint
+	// (when enabled) scrapes the same registry.
 	cfg := distmr.WorkerConfig{
 		MasterAddr:            *master,
 		ListenAddr:            *listen,
 		PrefetchDepth:         *prefetch,
 		CompletionBatchWindow: *batchWin,
 		Obsv:                  obsv.Options{Logger: logger, AdminAddr: *admin, FlightDir: *flightDir},
-	}
-	if *admin != "" {
-		// The admin /metrics endpoint scrapes the worker's own registry,
-		// so give the worker a tracer to publish task/spill metrics into.
-		cfg.Tracer = trace.New()
 	}
 	if *dir != "" {
 		store, err := spill.NewDiskRunStore(*dir)

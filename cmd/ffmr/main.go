@@ -34,6 +34,11 @@
 //
 //	# Render the merged crash timeline afterwards.
 //	ffmr -postmortem ./flight
+//
+//	# Analyze a recorded trace: per-round critical path, wall-time
+//	# attribution (map/shuffle/reduce/rpc/idle) and straggler report.
+//	ffmr -gen ws -n 5000 -distributed -trace run.json
+//	ffmr -analyze run.json
 package main
 
 import (
@@ -119,6 +124,7 @@ func run() error {
 		watch     = flag.Bool("watch", false, "render a live dashboard of round progress, counters and worker state")
 		flightDir = flag.String("flight-dir", "", "arm flight recorders; crashed workers dump their recent events here")
 		postmort  = flag.String("postmortem", "", "render a merged timeline from the flight dumps in this directory and exit")
+		analyze   = flag.String("analyze", "", "analyze a Chrome trace file written with -trace: per-round critical path, wall-time attribution and stragglers; then exit")
 	)
 	flag.Parse()
 
@@ -128,6 +134,22 @@ func run() error {
 			return err
 		}
 		return obsv.RenderPostmortem(os.Stdout, dumps)
+	}
+	if *analyze != "" {
+		data, err := os.ReadFile(*analyze)
+		if err != nil {
+			return err
+		}
+		events, err := trace.ParseChromeTrace(data)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", *analyze, err)
+		}
+		rep, err := trace.Analyze(events)
+		if err != nil {
+			return err
+		}
+		rep.Format(os.Stdout)
+		return nil
 	}
 
 	var logger *slog.Logger

@@ -129,7 +129,6 @@ func (s *Supervisor) AddWorker() (*distmr.Worker, error) {
 	s.mu.Unlock()
 	wcfg := distmr.WorkerConfig{
 		MasterAddr:      addr,
-		Tracer:          s.cfg.Tracer,
 		HeartbeatMisses: s.cfg.HeartbeatMisses,
 	}
 	if s.cfg.NewStore != nil {

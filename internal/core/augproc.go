@@ -29,6 +29,9 @@ const (
 	// batches — their ratio is the mean accept latency per batch.
 	MetricAugAcceptNS = "augproc accept ns"
 	MetricAugBatches  = "augproc batches"
+	// HistAugAcceptNS is the per-batch accept-latency histogram: the
+	// distribution behind the MetricAugAcceptNS/MetricAugBatches mean.
+	HistAugAcceptNS = "augproc accept latency ns"
 )
 
 // This file implements aug_proc, the FF2 "stateful extension for MR"
@@ -56,6 +59,11 @@ type SubmitArgs struct {
 	Round int
 	Task  int
 	Exec  int
+	// Ctx is the submitting job's trace context (zero when the caller is
+	// untraced, e.g. the in-process simulated engine). It identifies the
+	// run/job/round that produced the batch for cross-process trace
+	// stitching; Round above stays the authoritative staleness fence.
+	Ctx   trace.Context
 	Paths [][]byte
 }
 
@@ -71,6 +79,10 @@ func (a *SubmitArgs) AppendFrame(b []byte) []byte {
 	b = binary.AppendVarint(b, int64(a.Round))
 	b = binary.AppendVarint(b, int64(a.Task))
 	b = binary.AppendVarint(b, int64(a.Exec))
+	b = binary.AppendVarint(b, a.Ctx.Run)
+	b = binary.AppendVarint(b, a.Ctx.Job)
+	b = binary.AppendVarint(b, a.Ctx.Round)
+	b = binary.AppendVarint(b, a.Ctx.Span)
 	b = binary.AppendUvarint(b, uint64(len(a.Paths)))
 	for _, p := range a.Paths {
 		b = binary.AppendUvarint(b, uint64(len(p)))
@@ -103,6 +115,18 @@ func (a *SubmitArgs) DecodeFrame(b []byte) error {
 		return err
 	}
 	a.Exec = int(v)
+	if a.Ctx.Run, err = next("ctx run"); err != nil {
+		return err
+	}
+	if a.Ctx.Job, err = next("ctx job"); err != nil {
+		return err
+	}
+	if a.Ctx.Round, err = next("ctx round"); err != nil {
+		return err
+	}
+	if a.Ctx.Span, err = next("ctx span"); err != nil {
+		return err
+	}
 	n, w := binary.Uvarint(b)
 	if w <= 0 || n > uint64(len(b)) {
 		return fmt.Errorf("core: corrupt submit path count")
@@ -189,9 +213,10 @@ type AugProcServer struct {
 	// Trace instrumentation, installed by SetTracer (atomic pointers so
 	// RPC goroutines and the consumer need no extra locking; the nil
 	// defaults are valid no-op handles).
-	qGauge   atomic.Pointer[trace.Gauge]
-	acceptNS atomic.Pointer[trace.Counter]
-	batches  atomic.Pointer[trace.Counter]
+	qGauge     atomic.Pointer[trace.Gauge]
+	acceptNS   atomic.Pointer[trace.Counter]
+	batches    atomic.Pointer[trace.Counter]
+	acceptHist atomic.Pointer[trace.Histogram]
 
 	// log, installed by SetLogger, receives per-round accept summaries
 	// (atomic for the same reason as the trace handles).
@@ -247,6 +272,7 @@ func (s *AugProcServer) SetTracer(t *trace.Tracer) {
 	s.qGauge.Store(reg.Gauge(MetricAugQueueDepth))
 	s.acceptNS.Store(reg.Counter(MetricAugAcceptNS))
 	s.batches.Store(reg.Counter(MetricAugBatches))
+	s.acceptHist.Store(reg.Histogram(HistAugAcceptNS))
 }
 
 // SetLogger installs a structured logger that receives one summary
@@ -375,7 +401,9 @@ func (s *AugProcServer) consume() {
 				}
 				s.mu.Unlock()
 			}
-			s.acceptNS.Load().Add(time.Since(t0).Nanoseconds())
+			dt := time.Since(t0).Nanoseconds()
+			s.acceptNS.Load().Add(dt)
+			s.acceptHist.Load().Observe(dt)
 			s.batches.Load().Add(1)
 			s.qGauge.Load().Set(s.queued.Add(-int64(len(item.paths))))
 			s.drainMu.Lock()
@@ -512,6 +540,19 @@ func (s *AugProcServer) Close() error {
 // multiplexes calls over one connection).
 type AugProcClient struct {
 	c *rpc.Client
+
+	// ctx is the job-level trace context stamped onto every Submit
+	// (atomic: a distributed worker installs it via SetTraceContext from
+	// a task-lease goroutine while reducers submit concurrently).
+	ctx atomic.Pointer[trace.Context]
+}
+
+// SetTraceContext installs the trace context the client stamps onto
+// every subsequent Submit. The distmr worker calls it with the leasing
+// job's context when it builds the job's service; untraced callers (the
+// simulated engine, the FF2 driver's local dial) leave it zero.
+func (c *AugProcClient) SetTraceContext(ctx trace.Context) {
+	c.ctx.Store(&ctx)
 }
 
 // DialAugProc connects to an aug_proc server, retrying transient dial
@@ -533,6 +574,9 @@ func (c *AugProcClient) Submit(round, task, exec int, paths []graph.ExcessPath) 
 		return nil
 	}
 	args := &SubmitArgs{Round: round, Task: task, Exec: exec, Paths: make([][]byte, len(paths))}
+	if ctx := c.ctx.Load(); ctx != nil {
+		args.Ctx = *ctx
+	}
 	for i := range paths {
 		args.Paths[i] = graph.EncodePath(&paths[i])
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -99,23 +100,53 @@ func TestDistributedMetricsEndpointParity(t *testing.T) {
 		t.Error("/status reports zero heartbeat-piggybacked tasks done after a full run")
 	}
 
-	// The parity assertion: the registry the run's counters live in is
-	// snapshotted, then /metrics is scraped over real HTTP; the Prometheus
-	// totals must match the snapshot for every counter. Counters only
-	// advance during jobs (gauges keep moving with heartbeats), so with
-	// the run complete the two views must be identical.
+	// The parity assertion: /metrics is scraped over real HTTP until two
+	// consecutive scrapes agree (worker telemetry — counters, histograms,
+	// span batches — keeps landing on heartbeats for a short tail after
+	// the run returns), then the registry is snapshotted; the Prometheus
+	// totals must match the snapshot for every counter and every
+	// histogram's _count/_sum.
+	scrape := func() map[string]int64 {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		parsed, err := obsv.ParseMetrics(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/metrics unparseable: %v", err)
+		}
+		return parsed
+	}
+	// The heartbeat-RTT histogram gains a sample on every beat forever,
+	// so it can never quiesce; it is excluded from the equality loop and
+	// checked with bounds below.
+	rttPrefix := obsv.MetricName(distmr.HistHeartbeatRTTNS)
+	settled := func(a, b map[string]int64) bool {
+		for k, v := range b {
+			if strings.HasPrefix(k, rttPrefix) {
+				continue
+			}
+			if av, ok := a[k]; !ok || av != v {
+				return false
+			}
+		}
+		return len(a) >= len(b)
+	}
+	parsed := scrape()
+	for quiet := time.Now().Add(5 * time.Second); time.Now().Before(quiet); {
+		time.Sleep(150 * time.Millisecond) // > the heartbeat cadence
+		next := scrape()
+		done := settled(parsed, next) && settled(next, parsed)
+		parsed = next
+		if done {
+			break
+		}
+	}
+
 	snap := tr.Registry().CounterSnapshot()
 	if len(snap) == 0 {
 		t.Fatal("registry holds no counters after a distributed run")
-	}
-	resp, err := http.Get("http://" + addr + "/metrics")
-	if err != nil {
-		t.Fatalf("GET /metrics: %v", err)
-	}
-	parsed, err := obsv.ParseMetrics(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatalf("/metrics unparseable: %v", err)
 	}
 	for name, want := range snap {
 		key := obsv.MetricName(name) + "_total"
@@ -123,6 +154,33 @@ func TestDistributedMetricsEndpointParity(t *testing.T) {
 			t.Errorf("counter %q (%s) missing from /metrics", name, key)
 		} else if got != want {
 			t.Errorf("%s = %d, registry says %d", key, got, want)
+		}
+	}
+
+	// Histogram parity: every registry histogram's _count and _sum must
+	// appear in the exposition with the exact registry values. The
+	// worker-side service-time histogram must be populated — that is the
+	// span/telemetry shipping path working over the real wire.
+	hists := tr.Registry().HistogramSnapshot()
+	if hv, ok := hists[distmr.HistTaskServiceNS]; !ok || hv.Count == 0 {
+		t.Errorf("histogram %q not shipped from workers (count %d)",
+			distmr.HistTaskServiceNS, hv.Count)
+	}
+	for name, hv := range hists {
+		mn := obsv.MetricName(name)
+		if name == distmr.HistHeartbeatRTTNS {
+			// Still advancing with every beat: the scrape preceded the
+			// snapshot, so scraped ≤ registry, and both must be populated.
+			if got := parsed[mn+"_count"]; got == 0 || got > hv.Count {
+				t.Errorf("%s_count = %d, want in (0, %d]", mn, got, hv.Count)
+			}
+			continue
+		}
+		if got, ok := parsed[mn+"_count"]; !ok || got != hv.Count {
+			t.Errorf("%s_count = %d (present %v), registry says %d", mn, got, ok, hv.Count)
+		}
+		if got, ok := parsed[mn+"_sum"]; !ok || got != hv.Sum {
+			t.Errorf("%s_sum = %d (present %v), registry says %d", mn, got, ok, hv.Sum)
 		}
 	}
 

@@ -25,7 +25,9 @@ type HarnessConfig struct {
 	// for an ephemeral loopback port; set it to also accept external
 	// worker processes on a known address.
 	Master Config
-	// Tracer is handed to the master and every worker.
+	// Tracer is handed to the master. Workers own private tracers whose
+	// spans and histograms ship back on heartbeats (DESIGN.md §14), so
+	// the master's trace ends up showing both sides either way.
 	Tracer *trace.Tracer
 	// NewStore builds each worker's segment store (default in-memory).
 	NewStore func() spill.RunStore
@@ -77,7 +79,6 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 func (h *Harness) startWorker() (*Worker, error) {
 	wcfg := WorkerConfig{
 		MasterAddr: h.Master.Addr(),
-		Tracer:     h.cfg.Tracer,
 		Obsv:       h.cfg.WorkerObsv,
 	}
 	if h.cfg.NewStore != nil {

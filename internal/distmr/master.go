@@ -47,6 +47,23 @@ const (
 	// one task completion; comparing it against total completions shows
 	// how well the batching amortizes the per-completion RPC tax.
 	CounterCompletionBatches = "distmr completion batches"
+
+	// Latency histogram names (nanoseconds, DESIGN.md §14). The worker-
+	// side ones are recorded on each worker's private registry and merged
+	// into the cluster registry — under the same names — as absolute
+	// snapshots shipped on heartbeats; the master-side ones are recorded
+	// directly.
+	//
+	// HistTaskServiceNS is worker task service time (receipt to result);
+	// HistShuffleFetchNS is one shuffle segment fetch (prefetch or reduce
+	// path); HistHeartbeatRTTNS is the worker-measured heartbeat round
+	// trip; HistStartTaskNS is the master-measured Worker.StartTask round
+	// trip; HistQueueWaitNS is scheduler queue wait (enqueue to launch).
+	HistTaskServiceNS  = "distmr task service ns"
+	HistShuffleFetchNS = "distmr shuffle fetch ns"
+	HistHeartbeatRTTNS = "distmr heartbeat rtt ns"
+	HistStartTaskNS    = "distmr rpc start task ns"
+	HistQueueWaitNS    = "distmr queue wait ns"
 )
 
 // Config parameterizes a Master. The zero value gets usable defaults.
@@ -197,6 +214,21 @@ type workerHandle struct {
 	gaugeReg *trace.Registry
 	gRunning *trace.Gauge
 	gStoreB  *trace.Gauge
+
+	// Telemetry-shipping state (§14). Worker beats are synchronous (one
+	// in flight per worker), but telMu still guards this block: a
+	// re-registration hands the maps to the successor handle while a last
+	// stale beat may be in the handler. lastSpanSeq dedups at-least-once
+	// span batches; lastCounters/lastHists hold the worker's previous
+	// absolute snapshots so only diffs merge into the registry; bestRTT
+	// and clockOffset estimate the worker's wall-clock skew from the
+	// lowest-RTT beat sample (offset = recv - (sent + rtt/2)).
+	telMu        sync.Mutex
+	lastSpanSeq  uint64
+	lastCounters map[string]int64
+	lastHists    map[string]trace.HistogramValue
+	bestRTT      int64
+	clockOffset  int64
 }
 
 // alive reports whether the worker still participates in the cluster
@@ -238,6 +270,7 @@ type Master struct {
 	// admin server never reads scheduler internals.
 	statusMu  sync.Mutex
 	jobStatus *obsv.JobStatus
+	jobIdle   float64 // running job's live idle-fraction estimate
 
 	shutOnce sync.Once
 	shutCh   chan struct{}
@@ -460,10 +493,12 @@ func (m *Master) registry() *trace.Registry {
 }
 
 // setJobStatus publishes (or, with nil, retires) the running job's status
-// snapshot for the admin server. Snapshots are immutable once handed over.
-func (m *Master) setJobStatus(js *obsv.JobStatus) {
+// snapshot for the admin server, along with the scheduler's live idle-
+// fraction estimate. Snapshots are immutable once handed over.
+func (m *Master) setJobStatus(js *obsv.JobStatus, idle float64) {
 	m.statusMu.Lock()
 	m.jobStatus = js
+	m.jobIdle = idle
 	m.statusMu.Unlock()
 }
 
@@ -507,10 +542,16 @@ func (m *Master) Status() *obsv.ClusterStatus {
 	m.mu.Unlock()
 	m.statusMu.Lock()
 	st.Job = m.jobStatus
+	hints.IdleFraction = m.jobIdle
 	m.statusMu.Unlock()
 	if st.Job != nil {
 		hints.QueueDepth = st.Job.Queued
 		hints.InFlight = st.Job.InFlight
+	}
+	// p95 scheduler queue wait: the under-provisioning half of the signal
+	// (a deep queue AND growing waits mean the cluster wants workers).
+	if hv, ok := reg.HistogramSnapshot()[HistQueueWaitNS]; ok && hv.Count > 0 {
+		hints.QueueWaitP95NS = hv.Quantile(0.95)
 	}
 	// Straggler ratio: speculative backups launched per completed task, a
 	// scale-up signal (stragglers mean the fleet is unevenly loaded). The
@@ -816,6 +857,19 @@ func (s *masterService) Register(args *RegisterArgs, reply *RegisterReply) error
 	}
 	m.nextID++
 	w := &workerHandle{id: m.nextID, addr: join.Addr, client: client, lastBeat: time.Now()}
+	if old := m.workers[join.PrevWorker]; join.PrevWorker != 0 && old != nil {
+		// The same worker PROCESS re-registering under a fresh id (the
+		// master expired its old record): its absolute telemetry snapshots
+		// continue from where they were, so the new handle inherits the old
+		// one's last-seen state. Without the carry-over the first beat's
+		// snapshot would re-merge totals the old handle already applied.
+		old.telMu.Lock()
+		w.lastCounters, w.lastHists = old.lastCounters, old.lastHists
+		w.lastSpanSeq = old.lastSpanSeq
+		w.bestRTT, w.clockOffset = old.bestRTT, old.clockOffset
+		old.lastCounters, old.lastHists = nil, nil
+		old.telMu.Unlock()
+	}
 	m.workers[w.id] = w
 	m.mu.Unlock()
 	go m.watchWorker(w)
@@ -863,6 +917,7 @@ func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) er
 	if err != nil {
 		return err
 	}
+	recv := time.Now()
 	healthy := false
 	var gRunning, gStoreB *trace.Gauge
 	m.mu.Lock()
@@ -899,6 +954,13 @@ func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) er
 	}
 	gRunning.Set(hb.Running)
 	gStoreB.Set(hb.StoreBytes)
+	// Import shipped telemetry BEFORE routing completions: a winning
+	// attempt drains its spans before queueing its completion, so this
+	// ordering guarantees the spans are stitched into the job tracer by
+	// the time the scheduler consumes the completion — RunJob's return
+	// always sees every winner's spans. Runs outside m.mu (the tracer and
+	// registry carry their own locks).
+	m.importTelemetry(w, hb, recv)
 	if len(hb.Completions) > 0 {
 		reg.Counter(CounterCompletionBatches).Add(1)
 		// Deliver outside m.mu: the scheduler takes m.mu (pickWorker,
@@ -909,6 +971,65 @@ func (s *masterService) Heartbeat(args *HeartbeatArgs, reply *HeartbeatReply) er
 		}
 	}
 	return nil
+}
+
+// importTelemetry merges one beat's shipped telemetry (§14): the clock
+// offset estimate is refreshed from the lowest-RTT sample, counter and
+// histogram snapshots are diffed against the worker's last-seen values
+// and the deltas merged into the current registry, and span batches —
+// deduplicated by their drain sequence — are stitched into the running
+// job's tracer. Every step is idempotent under at-least-once beat
+// delivery.
+func (m *Master) importTelemetry(w *workerHandle, hb *Heartbeat, recv time.Time) {
+	w.telMu.Lock()
+	defer w.telMu.Unlock()
+	if hb.SentUnixNano != 0 && (w.bestRTT == 0 || (hb.RTTNanos > 0 && hb.RTTNanos <= w.bestRTT)) {
+		// The worker stamped the beat with its wall clock at send plus the
+		// previous beat's measured round trip; assuming the send leg took
+		// half the round trip, the offset maps worker wall time onto the
+		// master's. The lowest-RTT sample bounds the error tightest, so
+		// only those refresh the estimate.
+		w.bestRTT = hb.RTTNanos
+		w.clockOffset = recv.UnixNano() - (hb.SentUnixNano + hb.RTTNanos/2)
+	}
+	if len(hb.Counters) > 0 || len(hb.Hists) > 0 {
+		reg := m.registry()
+		if w.lastCounters == nil && len(hb.Counters) > 0 {
+			w.lastCounters = make(map[string]int64, len(hb.Counters))
+		}
+		for i := range hb.Counters {
+			c := &hb.Counters[i]
+			if d := c.Value - w.lastCounters[c.Name]; d > 0 {
+				reg.Counter(c.Name).Add(d)
+			}
+			w.lastCounters[c.Name] = c.Value
+		}
+		if w.lastHists == nil && len(hb.Hists) > 0 {
+			w.lastHists = make(map[string]trace.HistogramValue, len(hb.Hists))
+		}
+		for i := range hb.Hists {
+			h := &hb.Hists[i]
+			cur := trace.HistogramValue{Count: h.Count, Sum: h.Sum, Buckets: h.Buckets}
+			if d := cur.Sub(w.lastHists[h.Name]); d.Count > 0 {
+				reg.Histogram(h.Name).Absorb(d)
+			}
+			w.lastHists[h.Name] = cur
+		}
+	}
+	if len(hb.SpanBatches) == 0 {
+		return
+	}
+	jr := m.getSink()
+	for i := range hb.SpanBatches {
+		sb := &hb.SpanBatches[i]
+		if sb.Seq <= w.lastSpanSeq {
+			continue // resent batch; already applied
+		}
+		w.lastSpanSeq = sb.Seq
+		if jr != nil {
+			jr.importSpans(sb.Spans, w.clockOffset)
+		}
+	}
 }
 
 // Retire starts a graceful drain for a worker (normally requested by the
@@ -966,12 +1087,20 @@ func (m *Master) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Re
 	}
 	m.mu.Unlock()
 
+	// The job records into the cluster's tracer when the caller carries
+	// one, else the master's own: shipped worker spans and master-side
+	// dispatch spans must land in the same trace the registry deltas do,
+	// or a harness that only traces the master would silently lose them.
+	tracer := c.Tracer
+	if tracer == nil {
+		tracer = m.cfg.Tracer
+	}
 	jr := &jobRun{
 		m:      m,
 		c:      c,
 		job:    job,
 		seq:    seq,
-		tracer: c.Tracer,
+		tracer: tracer,
 		log:    m.log.With("job", job.Name, "round", job.Round, "seq", seq),
 		events: make(chan event, 64),
 		cancel: make(chan struct{}),
@@ -982,7 +1111,7 @@ func (m *Master) RunJob(c *mapreduce.Cluster, job *mapreduce.Job) (*mapreduce.Re
 	m.mu.Lock()
 	m.jobActive = false
 	m.mu.Unlock()
-	m.setJobStatus(nil)
+	m.setJobStatus(nil, 0)
 	m.cleanJob(seq)
 	if err == nil && m.cfg.PersistState {
 		// The job finished; its persisted recovery state (and any drain

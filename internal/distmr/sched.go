@@ -56,6 +56,9 @@ type taskState struct {
 	queued bool
 	parked bool // reduce waiting for lost map outputs to be re-created
 	done   bool
+	// enqueuedAt is when the task last entered the run queue; launch
+	// observes enqueue-to-dispatch into the queue-wait histogram.
+	enqueuedAt time.Time
 
 	winner  *TaskResult
 	winnerW *workerHandle
@@ -84,6 +87,14 @@ type jobRun struct {
 	log    *slog.Logger
 	events chan event
 	cancel chan struct{}
+
+	// jobSpan is the master-side span worker-shipped spans stitch under;
+	// its id travels to workers in every descriptor's trace context.
+	// started and busyNS (winning attempts' summed execution time) feed
+	// the live idle-fraction scaling hint.
+	jobSpan *trace.Span
+	started time.Time
+	busyNS  int64
 
 	counters    *mapreduce.Counters // master-side: "task failures"
 	maxAttempts int
@@ -154,6 +165,8 @@ func (jr *jobRun) run() (*mapreduce.Result, error) {
 	start := time.Now()
 	jobSpan := jr.tracer.Start(trace.CatJob, job.Name, job.Parent)
 	defer jobSpan.End()
+	jr.jobSpan = jobSpan
+	jr.started = start
 
 	jr.counters = mapreduce.NewCounters()
 	jr.maxAttempts = c.Fault.MaxAttempts
@@ -336,7 +349,24 @@ func (jr *jobRun) publishStatus() {
 			js.Parked++
 		}
 	}
-	jr.m.setJobStatus(js)
+	// Live idle fraction: 1 - (winning execution time) / (live workers x
+	// job elapsed), clamped. It under-counts busy time (running attempts
+	// and losers are excluded), so it is an upper bound — the offline
+	// analyzer computes the exact per-round figure from the stitched
+	// trace; this is the cheap always-on scaling hint.
+	idle := 0.0
+	if live := jr.m.LiveWorkers(); live > 0 && !jr.started.IsZero() {
+		if elapsed := time.Since(jr.started).Nanoseconds(); elapsed > 0 {
+			idle = 1 - float64(jr.busyNS)/float64(int64(live)*elapsed)
+			if idle < 0 {
+				idle = 0
+			}
+			if idle > 1 {
+				idle = 1
+			}
+		}
+	}
+	jr.m.setJobStatus(js, idle)
 }
 
 // openReduce transitions the job into its reduce phase: the output prefix
@@ -353,6 +383,7 @@ func (jr *jobRun) openReduce() {
 func (jr *jobRun) enqueue(ts *taskState) {
 	if !ts.queued && !ts.done {
 		ts.queued = true
+		ts.enqueuedAt = time.Now()
 		jr.queue = append(jr.queue, ts)
 	}
 }
@@ -461,16 +492,29 @@ func (jr *jobRun) launch(ts *taskState, w *workerHandle, backup bool) {
 		jr.m.registry().Counter(CounterBackups).Add(1)
 		jr.log.Info("speculative backup launched",
 			"phase", ts.ph.String(), "task", ts.task, "assign", assign, "worker", w.id)
+	} else if !ts.enqueuedAt.IsZero() {
+		// Queue wait: enqueue to dispatch. Backups never queued, and a
+		// re-enqueue restamps, so each observation is one queue pass.
+		jr.tracer.Registry().Histogram(HistQueueWaitNS).ObserveSince(ts.enqueuedAt)
+		ts.enqueuedAt = time.Time{}
 	}
 	buf := rpcutil.GetBuf()
 	*buf = AppendTask(*buf, jr.descriptor(ts, assign))
 	args := &StartTaskArgs{Desc: *buf}
 	ph, task := ts.ph, ts.task
+	// The dispatch RPC gets its own master-side span and round-trip
+	// histogram entry: against the worker-side task span it shows how
+	// much of a wave is transport versus execution.
+	rpcSpan := jr.tracer.Start(trace.CatRPC, fmt.Sprintf("start-task %s-%05d", ph, task), jr.jobSpan)
+	rpcSpan.SetInt("to_worker", int64(w.id))
+	rpcStart := time.Now()
 	go func() {
 		call := w.client.Go("Worker.StartTask", args, &StartTaskReply{}, make(chan *rpc.Call, 1))
 		select {
 		case <-call.Done:
 			rpcutil.PutBuf(buf) // the transport wrote (or abandoned) the bytes
+			jr.tracer.Registry().Histogram(HistStartTaskNS).ObserveSince(rpcStart)
+			rpcSpan.End()
 			if call.Error == nil {
 				return // accepted; the result will ride a heartbeat
 			}
@@ -481,6 +525,7 @@ func (jr *jobRun) launch(ts *taskState, w *workerHandle, backup bool) {
 			}
 		case <-jr.cancel:
 			// The codec may still reference buf; let the GC take it.
+			rpcSpan.End()
 		}
 	}()
 }
@@ -550,6 +595,7 @@ func (jr *jobRun) descriptor(ts *taskState, assign int) *TaskDescriptor {
 		Seed:         c.Fault.Seed,
 		CrashRate:    c.Fault.WorkerCrashRate,
 		SideFiles:    job.SideFiles,
+		Ctx:          jr.ctx(),
 	}
 	// The simulated engine only draws spill failures on its out-of-core
 	// path; the distributed worker always spills, so the draw is gated on
@@ -565,6 +611,49 @@ func (jr *jobRun) descriptor(ts *taskState, assign int) *TaskDescriptor {
 		d.Sources = jr.sources(ts.task)
 	}
 	return d
+}
+
+// ctx is the trace position every descriptor of this job carries (§14):
+// worker-recorded root spans stitch under the job span named here.
+func (jr *jobRun) ctx() trace.Context {
+	return trace.Context{
+		Run:   jr.job.Parent.ID(),
+		Job:   int64(jr.seq),
+		Round: int64(jr.job.Round),
+		Span:  jr.jobSpan.ID(),
+	}
+}
+
+// importSpans stitches one worker span batch into the job tracer. Spans
+// arrive in id order with parents before children (Drain's contract), so
+// one forward pass remaps worker-local parent ids; root spans attach
+// under the master-side span their shipped context names. offset is the
+// worker's estimated clock offset; spans from another job sequence (a
+// late batch outliving its job) are dropped. Runs on the heartbeat
+// handler's goroutine — the tracer carries its own lock.
+func (jr *jobRun) importSpans(spans []trace.ShippedSpan, offset int64) {
+	remap := make(map[int64]int64, len(spans))
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Remote.Job != int64(jr.seq) {
+			continue
+		}
+		parent := sp.Remote.Span
+		if sp.Parent != 0 {
+			if p, ok := remap[sp.Parent]; ok {
+				parent = p
+			}
+		}
+		remap[sp.ID] = jr.tracer.Import(&trace.ImportedSpan{
+			Parent: parent,
+			Name:   sp.Name,
+			Cat:    sp.Cat,
+			TID:    sp.TID,
+			Start:  time.Unix(0, sp.Start.UnixNano()+offset),
+			Dur:    sp.Dur,
+			Attrs:  sp.Attrs,
+		})
+	}
 }
 
 // sources lists, in map-task order, where a reduce partition's segments
@@ -668,6 +757,7 @@ func (jr *jobRun) handle(ev event) error {
 	ts.winner = res
 	ts.winnerW = ev.w
 	ts.dur = time.Duration(res.DurNanos)
+	jr.busyNS += res.DurNanos
 	if jr.m.cfg.PersistState {
 		jr.persistWinner(ts)
 	}
@@ -782,7 +872,7 @@ func (jr *jobRun) pushPrefetch(mt *taskState) {
 	}
 	for w, srcs := range byWorker {
 		buf := rpcutil.GetBuf()
-		*buf = AppendPrefetch(*buf, &PrefetchDescriptor{JobSeq: jr.seq, Sources: srcs})
+		*buf = AppendPrefetch(*buf, &PrefetchDescriptor{JobSeq: jr.seq, Ctx: jr.ctx(), Sources: srcs})
 		jr.m.registry().Counter(CounterPrefetchPushes).Add(1)
 		go func(w *workerHandle, buf *[]byte) {
 			call := w.client.Go("Worker.Prefetch", &PrefetchArgs{Desc: *buf}, &PrefetchReply{}, make(chan *rpc.Call, 1))

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"ffmr/internal/spill"
+	"ffmr/internal/trace"
 )
 
 // Phase identifies which half of a job a task belongs to.
@@ -117,6 +118,11 @@ type TaskDescriptor struct {
 	Split []byte
 	// Sources are the reduce task's shuffle inputs, in map-task order.
 	Sources []MapSource
+
+	// Ctx is the master-trace position this task executes under: worker
+	// task spans are tagged with it and stitched under Ctx.Span (the job
+	// span) when shipped back. Zero when the master runs untraced.
+	Ctx trace.Context
 }
 
 // Heartbeat is the periodic worker-to-master liveness report, carried in
@@ -147,6 +153,24 @@ type Heartbeat struct {
 	// the master must treat them as at-least-once: stale entries (wrong
 	// job, already-concluded assignment) are discarded on receipt.
 	Completions []Completion
+
+	// SentUnixNano is the worker's wall clock at send; RTTNanos is the
+	// worker-measured round-trip of its previous successful beat.
+	// Together they give the master one clock-offset sample per beat
+	// (offset = recv - (sent + rtt/2)); the master keeps the sample with
+	// the smallest RTT, whose midpoint error is tightest, and uses it to
+	// place shipped span timestamps on its own clock (DESIGN.md §14).
+	SentUnixNano int64
+	RTTNanos     int64
+	// SpanBatches carry drained trace spans under the same at-least-once
+	// queue-until-acked discipline as Completions, deduplicated on the
+	// master by (worker, batch Seq).
+	SpanBatches []SpanBatch
+	// Counters and Hists are absolute snapshots of the worker's registry
+	// (sorted by name); the master merges value-minus-last-seen, which a
+	// redelivered beat cannot double-count.
+	Counters []MetricSample
+	Hists    []HistSample
 }
 
 // Completion is one finished task attempt riding on a heartbeat. Result
@@ -172,17 +196,24 @@ type PrefetchDescriptor struct {
 	// Sources name the segments to pull, in the same MapSource shape a
 	// reduce descriptor carries.
 	Sources []MapSource
+	// Ctx is the master-trace position (job span) background prefetch
+	// spans are stitched under.
+	Ctx trace.Context
 }
 
 // wireVersion 2 added MapSource.Prefix and the membership messages
 // (JoinRequest, Retire, HandoffDescriptor). Version 3 moved task
 // results and winner manifests off gob (EncodeResult / DecodeResult),
 // added heartbeat completion piggybacks and the Prefetched gauge, and
-// added PrefetchDescriptor. Decoders accept exactly the current
-// version: master and workers ship from one binary (DESIGN.md §13's
-// compatibility rule), so a mismatch means a stale process, and
-// refusing it beats silently misreading frames.
-const wireVersion = 3
+// added PrefetchDescriptor. Version 4 added trace-context propagation
+// (TaskDescriptor.Ctx, PrefetchDescriptor.Ctx) and telemetry shipping
+// on heartbeats (SentUnixNano/RTTNanos clock samples, SpanBatches, and
+// absolute Counter/Hist snapshots — wire_span.go, DESIGN.md §14).
+// Decoders accept exactly the current version: master and workers ship
+// from one binary (DESIGN.md §13's compatibility rule), so a mismatch
+// means a stale process, and refusing it beats silently misreading
+// frames.
+const wireVersion = 4
 
 // appendString appends a length-prefixed string.
 func appendString(b []byte, s string) []byte {
@@ -269,6 +300,7 @@ func AppendTask(b []byte, d *TaskDescriptor) []byte {
 	for i := range d.Sources {
 		b = appendSource(b, &d.Sources[i])
 	}
+	b = appendCtx(b, &d.Ctx)
 	return b
 }
 
@@ -298,6 +330,28 @@ func AppendHeartbeat(b []byte, h *Heartbeat) []byte {
 		b = binary.AppendVarint(b, int64(c.Task))
 		b = binary.AppendVarint(b, int64(c.Assign))
 		b = appendBytes(b, c.Result)
+	}
+	b = binary.AppendVarint(b, h.SentUnixNano)
+	b = binary.AppendVarint(b, h.RTTNanos)
+	b = binary.AppendUvarint(b, uint64(len(h.SpanBatches)))
+	for i := range h.SpanBatches {
+		b = appendSpanBatchBody(b, &h.SpanBatches[i])
+	}
+	b = binary.AppendUvarint(b, uint64(len(h.Counters)))
+	for i := range h.Counters {
+		b = appendString(b, h.Counters[i].Name)
+		b = binary.AppendVarint(b, h.Counters[i].Value)
+	}
+	b = binary.AppendUvarint(b, uint64(len(h.Hists)))
+	for i := range h.Hists {
+		hs := &h.Hists[i]
+		b = appendString(b, hs.Name)
+		b = binary.AppendVarint(b, hs.Count)
+		b = binary.AppendVarint(b, hs.Sum)
+		b = binary.AppendUvarint(b, uint64(len(hs.Buckets)))
+		for _, n := range hs.Buckets {
+			b = binary.AppendVarint(b, n)
+		}
 	}
 	return b
 }
@@ -477,6 +531,7 @@ func DecodeTask(data []byte) (*TaskDescriptor, error) {
 			}
 		}
 	}
+	d.ctx(&t.Ctx)
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -752,6 +807,7 @@ func AppendPrefetch(b []byte, p *PrefetchDescriptor) []byte {
 	for i := range p.Sources {
 		b = appendSource(b, &p.Sources[i])
 	}
+	b = appendCtx(b, &p.Ctx)
 	return b
 }
 
@@ -780,6 +836,7 @@ func DecodePrefetch(data []byte) (*PrefetchDescriptor, error) {
 			}
 		}
 	}
+	d.ctx(&p.Ctx)
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -861,6 +918,36 @@ func DecodeHeartbeat(data []byte) (*Heartbeat, error) {
 			c.Task = d.intv("completion task")
 			c.Assign = d.intv("completion assign")
 			c.Result = d.bytes("completion result")
+		}
+	}
+	h.SentUnixNano = d.varint("sent unix nano")
+	h.RTTNanos = d.varint("rtt nanos")
+	if n := d.count("span batches"); n > 0 {
+		h.SpanBatches = make([]SpanBatch, n)
+		for i := range h.SpanBatches {
+			d.spanBatchBody(&h.SpanBatches[i])
+		}
+	}
+	if n := d.count("metric samples"); n > 0 {
+		h.Counters = make([]MetricSample, n)
+		for i := range h.Counters {
+			h.Counters[i].Name = d.str("metric name")
+			h.Counters[i].Value = d.varint("metric value")
+		}
+	}
+	if n := d.count("hist samples"); n > 0 {
+		h.Hists = make([]HistSample, n)
+		for i := range h.Hists {
+			hs := &h.Hists[i]
+			hs.Name = d.str("hist name")
+			hs.Count = d.varint("hist count")
+			hs.Sum = d.varint("hist sum")
+			if m := d.count("hist buckets"); m > 0 {
+				hs.Buckets = make([]int64, m)
+				for j := range hs.Buckets {
+					hs.Buckets[j] = d.varint("hist bucket")
+				}
+			}
 		}
 	}
 	if d.err != nil {

@@ -1,0 +1,187 @@
+package distmr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ffmr/internal/trace"
+)
+
+// Wire encoding for the telemetry-shipping payloads that ride heartbeats
+// since wire version 4: drained trace spans (SpanBatch), and absolute
+// counter/histogram snapshots of the worker's registry. DESIGN.md §14
+// specifies the protocol; the framing follows the §13 conventions
+// (version byte on standalone frames, uvarint counts bounded by the
+// remaining input, canonical field order).
+
+// SpanBatch is one drain of a worker's tracer, shipped at-least-once on
+// heartbeats until a beat is acknowledged. Seq is assigned at drain time
+// and is strictly increasing per worker process, so the master can
+// discard re-delivered batches by sequence alone: a batch is applied
+// exactly once even when the acknowledgement of the beat that carried it
+// was lost.
+type SpanBatch struct {
+	Seq   uint64
+	Spans []trace.ShippedSpan
+}
+
+// MetricSample is one worker registry counter's absolute value. Shipping
+// absolute values (the master applies value - lastSeen) keeps the merge
+// idempotent under at-least-once beat delivery, where shipping deltas
+// would double-count on a resend.
+type MetricSample struct {
+	Name  string
+	Value int64
+}
+
+// HistSample is one worker registry histogram's absolute snapshot, same
+// absolute-value discipline as MetricSample. Buckets may be trimmed of
+// trailing zeros.
+type HistSample struct {
+	Name    string
+	Count   int64
+	Sum     int64
+	Buckets []int64
+}
+
+func appendShippedSpan(b []byte, s *trace.ShippedSpan) []byte {
+	b = binary.AppendVarint(b, s.ID)
+	b = binary.AppendVarint(b, s.Parent)
+	b = appendString(b, s.Cat)
+	b = appendString(b, s.Name)
+	b = binary.AppendVarint(b, s.TID)
+	b = binary.AppendVarint(b, s.Start.UnixNano())
+	b = binary.AppendVarint(b, int64(s.Dur))
+	b = binary.AppendVarint(b, s.Remote.Run)
+	b = binary.AppendVarint(b, s.Remote.Job)
+	b = binary.AppendVarint(b, s.Remote.Round)
+	b = binary.AppendVarint(b, s.Remote.Span)
+	b = binary.AppendUvarint(b, uint64(len(s.Attrs)))
+	for i := range s.Attrs {
+		a := &s.Attrs[i]
+		b = appendString(b, a.Key)
+		b = appendBool(b, a.IsStr)
+		if a.IsStr {
+			b = appendString(b, a.Str)
+		} else {
+			b = binary.AppendVarint(b, a.Int)
+		}
+	}
+	return b
+}
+
+func (d *decoder) shippedSpan(s *trace.ShippedSpan) {
+	s.ID = d.varint("span id")
+	s.Parent = d.varint("span parent")
+	s.Cat = d.str("span cat")
+	s.Name = d.str("span name")
+	s.TID = d.varint("span tid")
+	s.Start = time.Unix(0, d.varint("span start"))
+	s.Dur = time.Duration(d.varint("span dur"))
+	s.Remote.Run = d.varint("span ctx run")
+	s.Remote.Job = d.varint("span ctx job")
+	s.Remote.Round = d.varint("span ctx round")
+	s.Remote.Span = d.varint("span ctx span")
+	if n := d.count("span attrs"); n > 0 {
+		s.Attrs = make([]trace.Attr, n)
+		for i := range s.Attrs {
+			a := &s.Attrs[i]
+			a.Key = d.str("attr key")
+			a.IsStr = d.boolean("attr kind")
+			if a.IsStr {
+				a.Str = d.str("attr str")
+			} else {
+				a.Int = d.varint("attr int")
+			}
+		}
+	}
+}
+
+func appendSpanBatchBody(b []byte, sb *SpanBatch) []byte {
+	b = binary.AppendUvarint(b, sb.Seq)
+	b = binary.AppendUvarint(b, uint64(len(sb.Spans)))
+	for i := range sb.Spans {
+		b = appendShippedSpan(b, &sb.Spans[i])
+	}
+	return b
+}
+
+func (d *decoder) spanBatchBody(sb *SpanBatch) {
+	sb.Seq = d.uvarint("span batch seq")
+	if n := d.count("span batch spans"); n > 0 {
+		sb.Spans = make([]trace.ShippedSpan, n)
+		for i := range sb.Spans {
+			d.shippedSpan(&sb.Spans[i])
+		}
+	}
+}
+
+// AppendSpanBatch appends a standalone wire-encoded span batch to b.
+func AppendSpanBatch(b []byte, sb *SpanBatch) []byte {
+	b = append(b, wireVersion)
+	return appendSpanBatchBody(b, sb)
+}
+
+// EncodeSpanBatch serializes a span batch into a fresh buffer.
+func EncodeSpanBatch(sb *SpanBatch) []byte {
+	return AppendSpanBatch(make([]byte, 0, 64), sb)
+}
+
+// DecodeSpanBatch parses a standalone encoded span batch. It never
+// panics on malformed input.
+func DecodeSpanBatch(data []byte) (*SpanBatch, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown span batch wire version %d", v)
+	}
+	sb := &SpanBatch{}
+	d.spanBatchBody(sb)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after span batch", len(data)-d.off)
+	}
+	return sb, nil
+}
+
+// appendCtx appends a trace context (four varints, §14 frame order).
+func appendCtx(b []byte, c *trace.Context) []byte {
+	b = binary.AppendVarint(b, c.Run)
+	b = binary.AppendVarint(b, c.Job)
+	b = binary.AppendVarint(b, c.Round)
+	b = binary.AppendVarint(b, c.Span)
+	return b
+}
+
+func (d *decoder) ctx(c *trace.Context) {
+	c.Run = d.varint("ctx run")
+	c.Job = d.varint("ctx job")
+	c.Round = d.varint("ctx round")
+	c.Span = d.varint("ctx span")
+}
+
+// AppendContext appends a standalone wire-encoded trace context frame.
+func AppendContext(b []byte, c *trace.Context) []byte {
+	b = append(b, wireVersion)
+	return appendCtx(b, c)
+}
+
+// DecodeContext parses a standalone encoded trace context frame. It
+// never panics on malformed input.
+func DecodeContext(data []byte) (*trace.Context, error) {
+	d := &decoder{b: data}
+	if v := d.byte("version"); d.err == nil && v != wireVersion {
+		return nil, fmt.Errorf("distmr: unknown context wire version %d", v)
+	}
+	c := &trace.Context{}
+	d.ctx(c)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("distmr: %d trailing bytes after context", len(data)-d.off)
+	}
+	return c, nil
+}

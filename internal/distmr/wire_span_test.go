@@ -1,0 +1,208 @@
+package distmr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ffmr/internal/trace"
+)
+
+func sampleSpanBatch() *SpanBatch {
+	return &SpanBatch{
+		Seq: 7,
+		Spans: []trace.ShippedSpan{
+			{
+				ID:     3,
+				Parent: 0,
+				Cat:    "task",
+				Name:   "reduce-00004",
+				TID:    6,
+				Start:  time.Unix(0, 1700000000123456789),
+				Dur:    42 * time.Millisecond,
+				Remote: trace.Context{Run: 1, Job: 9, Round: 3, Span: 11},
+				Attrs: []trace.Attr{
+					{Key: "worker", Int: 2},
+					{Key: "phase", IsStr: true, Str: "reduce"},
+				},
+			},
+			{
+				ID:     4,
+				Parent: 3,
+				Cat:    "shuffle",
+				Name:   "shuffle-fetch",
+				TID:    6,
+				Start:  time.Unix(0, 1700000000123956789),
+				Dur:    500 * time.Microsecond,
+				Remote: trace.Context{Run: 1, Job: 9, Round: 3, Span: 11},
+				Attrs:  []trace.Attr{{Key: "bytes", Int: 65536}},
+			},
+		},
+	}
+}
+
+func TestSpanBatchRoundTrip(t *testing.T) {
+	for _, want := range []*SpanBatch{sampleSpanBatch(), {Seq: 1}, {}} {
+		enc := EncodeSpanBatch(want)
+		got, err := DecodeSpanBatch(enc)
+		if err != nil {
+			t.Fatalf("DecodeSpanBatch(seq %d): %v", want.Seq, err)
+		}
+		if re := EncodeSpanBatch(got); string(re) != string(enc) {
+			t.Errorf("span batch seq %d does not re-encode canonically", want.Seq)
+		}
+		if len(want.Spans) > 0 && !reflect.DeepEqual(got, want) {
+			t.Errorf("span batch round trip mismatch:\n got  %+v\n want %+v", got, want)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	for _, want := range []*trace.Context{
+		{Run: 5, Job: 17, Round: 3, Span: 99},
+		{},
+		{Run: -1, Job: -2, Round: -3, Span: -4}, // varints are signed
+	} {
+		enc := AppendContext(nil, want)
+		got, err := DecodeContext(enc)
+		if err != nil {
+			t.Fatalf("DecodeContext(%+v): %v", want, err)
+		}
+		if *got != *want {
+			t.Errorf("context round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestHeartbeatTelemetryRoundTrip pins the telemetry fields added in wire
+// version 4: clock samples, span batches and the absolute counter and
+// histogram snapshots.
+func TestHeartbeatTelemetryRoundTrip(t *testing.T) {
+	want := &Heartbeat{
+		Worker:       3,
+		Instance:     12345,
+		Seq:          88,
+		Running:      1,
+		TasksDone:    17,
+		SentUnixNano: 1700000000987654321,
+		RTTNanos:     250_000,
+		SpanBatches:  []SpanBatch{*sampleSpanBatch(), {Seq: 8}},
+		Counters: []MetricSample{
+			{Name: "distmr tasks done", Value: 17},
+			{Name: "spilled bytes", Value: 1 << 20},
+		},
+		Hists: []HistSample{
+			{Name: HistTaskServiceNS, Count: 4, Sum: 4000, Buckets: []int64{0, 0, 1, 3}},
+			{Name: HistShuffleFetchNS, Count: 1, Sum: 9},
+		},
+	}
+	enc := EncodeHeartbeat(want)
+	got, err := DecodeHeartbeat(enc)
+	if err != nil {
+		t.Fatalf("DecodeHeartbeat: %v", err)
+	}
+	if re := EncodeHeartbeat(got); string(re) != string(enc) {
+		t.Error("telemetry heartbeat does not re-encode canonically")
+	}
+	if got.SentUnixNano != want.SentUnixNano || got.RTTNanos != want.RTTNanos {
+		t.Errorf("clock sample: got (%d, %d), want (%d, %d)",
+			got.SentUnixNano, got.RTTNanos, want.SentUnixNano, want.RTTNanos)
+	}
+	if !reflect.DeepEqual(got.SpanBatches[:1], want.SpanBatches[:1]) ||
+		got.SpanBatches[1].Seq != 8 {
+		t.Errorf("span batches mismatch:\n got  %+v\n want %+v", got.SpanBatches, want.SpanBatches)
+	}
+	if !reflect.DeepEqual(got.Counters, want.Counters) {
+		t.Errorf("counters mismatch: got %+v, want %+v", got.Counters, want.Counters)
+	}
+	if !reflect.DeepEqual(got.Hists, want.Hists) {
+		t.Errorf("hists mismatch: got %+v, want %+v", got.Hists, want.Hists)
+	}
+}
+
+func TestSpanBatchRejectsCorruptInput(t *testing.T) {
+	enc := EncodeSpanBatch(sampleSpanBatch())
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeSpanBatch(enc[:n]); err == nil {
+			t.Fatalf("DecodeSpanBatch accepted a %d-byte truncation of %d bytes", n, len(enc))
+		}
+	}
+	if _, err := DecodeSpanBatch(append(append([]byte(nil), enc...), 0)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing byte: got %v, want trailing-bytes error", err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = wireVersion + 1
+	if _, err := DecodeSpanBatch(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: got %v, want version error", err)
+	}
+
+	// An oversize count (a span count far beyond the remaining input)
+	// must fail the bounds check instead of attempting the allocation.
+	oversize := []byte{wireVersion, 1 /* seq */, 0xff, 0xff, 0xff, 0xff, 0x7f /* ~34G spans */}
+	if _, err := DecodeSpanBatch(oversize); err == nil {
+		t.Error("DecodeSpanBatch accepted an oversize span count")
+	}
+
+	ctx := AppendContext(nil, &trace.Context{Run: 1, Job: 2, Round: 3, Span: 4})
+	for n := 0; n < len(ctx); n++ {
+		if _, err := DecodeContext(ctx[:n]); err == nil {
+			t.Fatalf("DecodeContext accepted a %d-byte truncation", n)
+		}
+	}
+	if _, err := DecodeContext(append(append([]byte(nil), ctx...), 9)); err == nil {
+		t.Error("DecodeContext accepted trailing bytes")
+	}
+	badCtx := append([]byte(nil), ctx...)
+	badCtx[0] = wireVersion + 1
+	if _, err := DecodeContext(badCtx); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("context bad version: got %v, want version error", err)
+	}
+}
+
+// FuzzDecodeSpanBatch asserts the span-batch decoder never panics and
+// that accepted input survives a stable re-encode (the same fixed-point
+// property FuzzDecodeTask pins for task descriptors).
+func FuzzDecodeSpanBatch(f *testing.F) {
+	f.Add(EncodeSpanBatch(sampleSpanBatch()))
+	f.Add(EncodeSpanBatch(&SpanBatch{Seq: 1}))
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sb, err := DecodeSpanBatch(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeSpanBatch(sb)
+		sb2, err := DecodeSpanBatch(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input does not decode: %v", err)
+		}
+		if re := EncodeSpanBatch(sb2); string(re) != string(enc) {
+			t.Errorf("re-encode is not a fixed point:\n enc %x\n re  %x", enc, re)
+		}
+	})
+}
+
+// FuzzDecodeContext is the trace-context counterpart.
+func FuzzDecodeContext(f *testing.F) {
+	f.Add(AppendContext(nil, &trace.Context{Run: 5, Job: 17, Round: 3, Span: 99}))
+	f.Add(AppendContext(nil, &trace.Context{}))
+	f.Add([]byte{wireVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeContext(data)
+		if err != nil {
+			return
+		}
+		enc := AppendContext(nil, c)
+		c2, err := DecodeContext(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input does not decode: %v", err)
+		}
+		if re := AppendContext(nil, c2); string(re) != string(enc) {
+			t.Errorf("re-encode is not a fixed point:\n enc %x\n re  %x", enc, re)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/rpc"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,8 +37,6 @@ type WorkerConfig struct {
 	// disk in Hadoop terms. Default: an in-memory store. Worker processes
 	// should use spill.NewDiskRunStore.
 	Store spill.RunStore
-	// Tracer, if non-nil, records worker-side task and spill spans.
-	Tracer *trace.Tracer
 	// OnDeath is invoked (once, on its own goroutine) when the worker
 	// dies from injected WorkerCrashRate — the harness uses it to start a
 	// replacement, the way a cluster re-provisions a dead tasktracker.
@@ -90,6 +89,12 @@ type Worker struct {
 	log     *slog.Logger
 	flight  *obsv.FlightRecorder
 	admin   *obsv.Admin
+	// tracer is the worker's private tracer: task, spill and shuffle
+	// spans are recorded here with their remote trace.Context attached,
+	// drained in complete subtrees, and shipped to the master on
+	// heartbeats (DESIGN.md §14). Its registry also backs the worker
+	// admin server's /metrics and carries the worker-side histograms.
+	tracer *trace.Tracer
 
 	running    atomic.Int64
 	tasksDone  atomic.Int64
@@ -113,6 +118,15 @@ type Worker struct {
 	compMu   sync.Mutex
 	comps    []pendingComp
 	compKick chan struct{} // cap 1; wakes the heartbeat loop early
+
+	// spanMu guards the drained-but-unacknowledged span batches. Each
+	// batch carries a strictly increasing Seq assigned at drain time; the
+	// queue drops its sent prefix only after a beat the master
+	// acknowledged, so batches survive failed beats exactly like
+	// completions (at-least-once, deduplicated master-side by Seq).
+	spanMu       sync.Mutex
+	spanBatches  []SpanBatch
+	spanBatchSeq uint64
 
 	// prefetchCh feeds the prefetch workers. Hints are advisory: the
 	// channel is bounded and enqueue drops on overflow rather than
@@ -190,6 +204,7 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 		ln:         ln,
 		log:        slog.New(flight.Handler(next)).With("role", "worker"),
 		flight:     flight,
+		tracer:     trace.New(),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		compKick:   make(chan struct{}, 1),
@@ -223,7 +238,7 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Obsv.AdminAddr != "" {
 		admin, err := obsv.StartAdmin(obsv.AdminConfig{
 			Addr:    cfg.Obsv.AdminAddr,
-			Metrics: func() *trace.Registry { return cfg.Tracer.Registry() },
+			Metrics: func() *trace.Registry { return w.tracer.Registry() },
 			Status:  w.Status,
 			Flight:  flight,
 			Logger:  w.log,
@@ -472,13 +487,60 @@ func (w *Worker) queueCompletion(desc *TaskDescriptor, res *TaskResult) {
 	}
 }
 
+// drainSpans moves every complete span subtree out of the worker's
+// tracer into a sequenced batch on the shipping queue. Called when a
+// task attempt concludes — before its completion is queued, so the
+// attempt's spans ride the same (or an earlier) beat — and on every
+// beat, to pick up spans that end outside task attempts, like prefetch
+// fetches.
+func (w *Worker) drainSpans() {
+	spans := w.tracer.Drain()
+	if len(spans) == 0 {
+		return
+	}
+	w.spanMu.Lock()
+	w.spanBatchSeq++
+	w.spanBatches = append(w.spanBatches, SpanBatch{Seq: w.spanBatchSeq, Spans: spans})
+	w.spanMu.Unlock()
+}
+
+// telemetrySamples snapshots the worker registry's counters and
+// histograms as absolute values for one beat. The master diffs each
+// against its last-seen snapshot for this worker before merging, so a
+// beat resent after a lost acknowledgement merges nothing twice
+// (DESIGN.md §14). Sorted for deterministic wire bytes.
+func (w *Worker) telemetrySamples() ([]MetricSample, []HistSample) {
+	reg := w.tracer.Registry()
+	cs := reg.CounterSnapshot()
+	var counters []MetricSample
+	if len(cs) > 0 {
+		counters = make([]MetricSample, 0, len(cs))
+		for name, v := range cs {
+			counters = append(counters, MetricSample{Name: name, Value: v})
+		}
+		sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	}
+	hs := reg.HistogramSnapshot()
+	var hists []HistSample
+	if len(hs) > 0 {
+		hists = make([]HistSample, 0, len(hs))
+		for name, hv := range hs {
+			hists = append(hists, HistSample{Name: name, Count: hv.Count, Sum: hv.Sum, Buckets: hv.Buckets})
+		}
+		sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	}
+	return counters, hists
+}
+
 func (w *Worker) heartbeatLoop() {
 	// Staggered start so a fleet of workers does not beat in lock-step.
 	timer := time.NewTimer(rpcutil.Jitter(w.hbEvery))
 	defer timer.Stop()
 	var seq uint64
 	misses := 0
-	var hb Heartbeat // reused across beats so the steady state allocates nothing
+	var lastRTT int64 // previous successful beat's measured round-trip
+	var hb Heartbeat  // reused across beats so the steady state allocates nothing
+	rttHist := w.tracer.Registry().Histogram(HistHeartbeatRTTNS)
 	for {
 		select {
 		case <-w.stop:
@@ -506,9 +568,17 @@ func (w *Worker) heartbeatLoop() {
 		// Snapshot the pending completions; they stay queued until the
 		// master acknowledges the beat, so a lost beat resends them
 		// (at-least-once — the master discards entries it already settled).
+		// The completion snapshot comes first: an attempt drains its spans
+		// before queueing its completion, so a snapshot taken in this order
+		// never carries a completion whose spans are not also aboard.
 		w.compMu.Lock()
 		pending := w.comps[:len(w.comps):len(w.comps)]
 		w.compMu.Unlock()
+		w.drainSpans() // pick up spans that ended since the last beat
+		w.spanMu.Lock()
+		batches := w.spanBatches[:len(w.spanBatches):len(w.spanBatches)]
+		w.spanMu.Unlock()
+		counters, hists := w.telemetrySamples()
 		hb = Heartbeat{
 			Worker:       w.id.Load(),
 			Instance:     w.instance.Load(),
@@ -519,6 +589,11 @@ func (w *Worker) heartbeatLoop() {
 			TasksDone:    w.tasksDone.Load(),
 			Prefetched:   w.prefetched.Load(),
 			Completions:  hb.Completions[:0],
+			SentUnixNano: time.Now().UnixNano(),
+			RTTNanos:     lastRTT,
+			SpanBatches:  batches,
+			Counters:     counters,
+			Hists:        hists,
 		}
 		for i := range pending {
 			pc := &pending[i]
@@ -533,8 +608,16 @@ func (w *Worker) heartbeatLoop() {
 		hbBuf := rpcutil.GetBuf()
 		*hbBuf = AppendHeartbeat(*hbBuf, &hb)
 		var reply HeartbeatReply
+		t0 := time.Now()
 		err := w.master.Load().Call("Master.Heartbeat", &HeartbeatArgs{Data: *hbBuf}, &reply)
 		rpcutil.PutBuf(hbBuf)
+		if err == nil {
+			// The measured round-trip rides the NEXT beat: the master pairs
+			// it with that beat's send timestamp to estimate this worker's
+			// clock offset (midpoint model, DESIGN.md §14).
+			lastRTT = time.Since(t0).Nanoseconds()
+			rttHist.Observe(lastRTT)
+		}
 		if err == nil && len(pending) > 0 {
 			// The master has the batch (consumed it, or deliberately
 			// discarded stale entries — either way resending is pointless).
@@ -546,6 +629,13 @@ func (w *Worker) heartbeatLoop() {
 			for i := range pending {
 				rpcutil.PutBuf(pending[i].buf)
 			}
+		}
+		if err == nil && len(batches) > 0 {
+			// Same ack discipline for span batches: the sent prefix is done,
+			// batches drained during the call wait for the next beat.
+			w.spanMu.Lock()
+			w.spanBatches = w.spanBatches[len(batches):]
+			w.spanMu.Unlock()
 		}
 		if err != nil {
 			misses++
@@ -668,6 +758,12 @@ func (w *Worker) jobState(desc *TaskDescriptor) (*workerJob, error) {
 			}
 			side[name] = data
 		}
+		// A service that understands trace contexts (the aug_proc client)
+		// gets the job's context stamped on it so its RPCs carry the
+		// run/job/round identity for cross-process stitching.
+		if tc, ok := code.Service.(interface{ SetTraceContext(trace.Context) }); ok {
+			tc.SetTraceContext(desc.Ctx)
+		}
 		j.code = code
 		j.side = side
 	})
@@ -767,12 +863,14 @@ func (w *Worker) execute(desc *TaskDescriptor) {
 		w.queueCompletion(desc, &TaskResult{Err: err.Error()})
 		return
 	}
-	sp := w.cfg.Tracer.Start(trace.CatTask, fmt.Sprintf("%s-%05d", desc.Phase, desc.Task), nil)
+	sp := w.tracer.Start(trace.CatTask, fmt.Sprintf("%s-%05d", desc.Phase, desc.Task), nil)
+	sp.SetRemote(desc.Ctx)
 	sp.SetInt("task", int64(desc.Task))
 	sp.SetInt("assign", int64(desc.Assign))
 	sp.SetInt("node", int64(desc.Node))
+	sp.SetInt("worker", int64(w.id.Load()))
+	sp.SetStr("phase", desc.Phase.String())
 	sp.SetTID(int64(desc.Node) + 2)
-	defer sp.End()
 
 	t0 := time.Now()
 	var res *TaskResult
@@ -782,6 +880,7 @@ func (w *Worker) execute(desc *TaskDescriptor) {
 		res = w.runReduce(desc, j, sp)
 	}
 	res.DurNanos = time.Since(t0).Nanoseconds()
+	w.tracer.Registry().Histogram(HistTaskServiceNS).Observe(res.DurNanos)
 	if res.Err != "" {
 		sp.SetStr("error", res.Err)
 		w.log.Warn("task failed",
@@ -790,6 +889,12 @@ func (w *Worker) execute(desc *TaskDescriptor) {
 	} else if len(res.LostMaps) == 0 {
 		w.tasksDone.Add(1)
 	}
+	// End and drain before queueing the completion: the beat that carries
+	// the completion (or an earlier one) then also carries this attempt's
+	// spans, and the master imports spans before routing completions — so
+	// by the time RunJob returns, every winner's spans are stitched.
+	sp.End()
+	w.drainSpans()
 	w.queueCompletion(desc, res)
 }
 
@@ -846,7 +951,7 @@ func (w *Worker) prefetchLoop() {
 				if w.dead.Load() || w.jobCleaned(p.JobSeq) {
 					break
 				}
-				fetched, err := w.ensureSegment(src, &src.Segments[s])
+				fetched, err := w.ensureSegment(src, &src.Segments[s], p.Ctx)
 				if err != nil {
 					break // source unreachable; stop hammering it
 				}
@@ -875,8 +980,9 @@ func (w *Worker) jobCleaned(jobSeq uint64) bool {
 // fetching it if needed. Concurrent callers for the same segment
 // coalesce onto one fetch (singleflight); a segment already stored is
 // never refetched, so prefetch and the reduce path stay idempotent.
-// Returns whether this call performed the fetch.
-func (w *Worker) ensureSegment(src *MapSource, seg *spill.Segment) (bool, error) {
+// ctx is the job's trace position, so the fetch span stitches under the
+// master's job span. Returns whether this call performed the fetch.
+func (w *Worker) ensureSegment(src *MapSource, seg *spill.Segment, ctx trace.Context) (bool, error) {
 	for {
 		w.mu.Lock()
 		if w.cfg.Store.Has(seg.Name) {
@@ -895,7 +1001,7 @@ func (w *Worker) ensureSegment(src *MapSource, seg *spill.Segment) (bool, error)
 		ch := make(chan struct{})
 		w.segFlights[seg.Name] = ch
 		w.mu.Unlock()
-		err := w.fetchSegmentData(src, seg)
+		err := w.fetchSegmentData(src, seg, ctx)
 		w.mu.Lock()
 		delete(w.segFlights, seg.Name)
 		w.mu.Unlock()
@@ -906,8 +1012,20 @@ func (w *Worker) ensureSegment(src *MapSource, seg *spill.Segment) (bool, error)
 
 // fetchSegmentData pulls one segment's stored bytes — from the owning
 // worker, or from the master's DFS for handed-off sources — into the
-// local store under its original name.
-func (w *Worker) fetchSegmentData(src *MapSource, seg *spill.Segment) error {
+// local store under its original name. Every fetch records a shuffle
+// span (stitched under the master's job span via ctx) and lands in the
+// shuffle-fetch latency histogram, error paths included.
+func (w *Worker) fetchSegmentData(src *MapSource, seg *spill.Segment, ctx trace.Context) error {
+	sp := w.tracer.Start(trace.CatShuffle, "shuffle-fetch", nil)
+	sp.SetRemote(ctx)
+	sp.SetInt("worker", int64(w.id.Load()))
+	sp.SetStr("segment", seg.Name)
+	sp.SetInt("bytes", seg.RawBytes)
+	t0 := time.Now()
+	defer func() {
+		w.tracer.Registry().Histogram(HistShuffleFetchNS).ObserveSince(t0)
+		sp.End()
+	}()
 	var data []byte
 	if src.Prefix != "" {
 		d, err := w.readMasterFile(src.Prefix + seg.Name)
@@ -956,7 +1074,7 @@ func (w *Worker) runMap(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *Tas
 		NamePrefix:   fmt.Sprintf("j%05d/map-%05d/a%d/", desc.JobSeq, desc.Task, desc.Assign),
 		Node:         desc.Node,
 		Compress:     desc.Compress,
-		Tracer:       w.cfg.Tracer,
+		Tracer:       w.tracer,
 		Parent:       sp,
 	}
 	if j.code.NewCombiner != nil {
@@ -1061,7 +1179,7 @@ func (w *Worker) runReduce(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *
 		go func(i int, src *MapSource) {
 			defer func() { <-sem; wg.Done() }()
 			for s := range src.Segments {
-				if _, err := w.ensureSegment(src, &src.Segments[s]); err != nil {
+				if _, err := w.ensureSegment(src, &src.Segments[s], desc.Ctx); err != nil {
 					errs[i] = err
 					return
 				}
@@ -1117,7 +1235,7 @@ func (w *Worker) runReduce(desc *TaskDescriptor, j *workerJob, sp *trace.Span) *
 			FanIn:     desc.MergeFanIn,
 			Compress:  desc.Compress,
 			TmpPrefix: fmt.Sprintf("j%05d/reduce-%05d/a%d/", desc.JobSeq, desc.Task, desc.Assign),
-			Tracer:    w.cfg.Tracer,
+			Tracer:    w.tracer,
 			Parent:    sp,
 		})
 		if err != nil {

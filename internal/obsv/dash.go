@@ -90,6 +90,7 @@ func (d *Dashboard) snapshot(final bool) DashSnapshot {
 		if reg := d.cfg.Metrics(); reg != nil {
 			snap.Counters = reg.CounterSnapshot()
 			snap.Gauges = reg.GaugeSnapshot()
+			snap.Hists = reg.HistogramSnapshot()
 		}
 	}
 	if d.cfg.Status != nil {
@@ -115,6 +116,7 @@ type DashSnapshot struct {
 	Final    bool
 	Counters map[string]int64
 	Gauges   map[string]trace.GaugeValue
+	Hists    map[string]trace.HistogramValue
 	Status   *ClusterStatus
 }
 
@@ -168,8 +170,15 @@ func RenderDash(w io.Writer, s DashSnapshot) {
 				fmt.Fprintln(bw)
 			}
 		}
-		if h := st.Hints; h != nil && (h.QueueDepth > 0 || h.StragglerRatio > 0) {
-			fmt.Fprintf(bw, "scaling: queue %d  stragglers %.2f\n", h.QueueDepth, h.StragglerRatio)
+		if h := st.Hints; h != nil && (h.QueueDepth > 0 || h.StragglerRatio > 0 || h.QueueWaitP95NS > 0 || h.IdleFraction > 0) {
+			fmt.Fprintf(bw, "scaling: queue %d  stragglers %.2f", h.QueueDepth, h.StragglerRatio)
+			if h.QueueWaitP95NS > 0 {
+				fmt.Fprintf(bw, "  queue-wait p95 %s", time.Duration(h.QueueWaitP95NS).Round(10*time.Microsecond))
+			}
+			if h.IdleFraction > 0 {
+				fmt.Fprintf(bw, "  idle %.0f%%", 100*h.IdleFraction)
+			}
+			fmt.Fprintln(bw)
 		}
 	}
 
@@ -201,6 +210,23 @@ func RenderDash(w io.Writer, s DashSnapshot) {
 			fmt.Fprintf(bw, "  %-32s %12d\n", name, s.Counters[name])
 		}
 	}
+	if len(s.Hists) > 0 {
+		names := sortedKeys(s.Hists)
+		fmt.Fprintln(bw, "latency (p50/p95/p99):")
+		for _, name := range names {
+			hv := s.Hists[name]
+			if hv.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(bw, "  %-32s %10s %10s %10s  (n=%d)\n", name,
+				durStr(hv.Quantile(0.50)), durStr(hv.Quantile(0.95)), durStr(hv.Quantile(0.99)), hv.Count)
+		}
+	}
+}
+
+// durStr renders a nanosecond quantile compactly for the latency panel.
+func durStr(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
 // bar renders "done/total" with a small progress bar.

@@ -74,6 +74,33 @@ func WriteMetrics(w io.Writer, reg *trace.Registry) error {
 		fmt.Fprintf(bw, "# TYPE %s_max gauge\n", mn)
 		fmt.Fprintf(bw, "%s_max %d\n", mn, gv.Max)
 	}
+	hists := reg.HistogramSnapshot()
+	names = names[:0]
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := MetricName(name)
+		hv := hists[name]
+		fmt.Fprintf(bw, "# HELP %s Registry histogram %q (nanoseconds).\n", mn, name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", mn)
+		// Cumulative buckets over the power-of-two bounds; empty leading/
+		// trailing buckets are elided but cumulation keeps the series
+		// valid. Bounds and counts are integers, so ParseMetrics's
+		// integer-only contract holds for every line.
+		var cum int64
+		for i, n := range hv.Buckets {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", mn, trace.BucketBound(i), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", mn, hv.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", mn, hv.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", mn, hv.Count)
+	}
 	return bw.Flush()
 }
 

@@ -59,6 +59,16 @@ type TenantStatus struct {
 	// VTime is the tenant's weighted fair-queueing virtual time; the
 	// dispatcher always serves the eligible tenant with the lowest.
 	VTime float64 `json:"vtime"`
+	// Submit-to-done latency percentiles (nanoseconds) over this
+	// tenant's completed jobs, from the service's per-tenant histogram.
+	SubmitP50NS int64 `json:"submit_p50_ns,omitempty"`
+	SubmitP95NS int64 `json:"submit_p95_ns,omitempty"`
+	SubmitP99NS int64 `json:"submit_p99_ns,omitempty"`
+	// Query latency percentiles (nanoseconds) over this tenant's
+	// snapshot queries.
+	QueryP50NS int64 `json:"query_p50_ns,omitempty"`
+	QueryP95NS int64 `json:"query_p95_ns,omitempty"`
+	QueryP99NS int64 `json:"query_p99_ns,omitempty"`
 }
 
 // HandleStatus describes one resident snapshot the query API serves.
@@ -90,6 +100,17 @@ type ScalingHints struct {
 	// StragglerRatio is speculative backups launched per completed task —
 	// a high ratio means slow nodes are dragging rounds out.
 	StragglerRatio float64 `json:"straggler_ratio"`
+	// QueueWaitP95NS is the 95th-percentile scheduler queue wait
+	// (enqueue to dispatch) in nanoseconds, from the master's queue-wait
+	// histogram. A growing p95 with live workers means the cluster is
+	// under-provisioned.
+	QueueWaitP95NS int64 `json:"queue_wait_p95_ns,omitempty"`
+	// IdleFraction estimates the running job's critical-path idle share:
+	// 1 - (sum of winning task execution time) / (live workers x job
+	// elapsed), clamped to [0,1]. High idle with a shallow queue means
+	// the cluster could shrink; the offline analyzer computes the exact
+	// per-round counterpart from the stitched trace.
+	IdleFraction float64 `json:"idle_fraction,omitempty"`
 }
 
 // WorkerStatus is the master's live view of one registered worker.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"ffmr/internal/graph"
 )
@@ -200,10 +201,28 @@ func (s *Service) apiMux() *http.ServeMux {
 	mux.HandleFunc("/v1/submit", s.handleSubmit)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/handles", s.handleHandles)
-	mux.HandleFunc("/v1/query/flow", s.handleQueryFlow)
-	mux.HandleFunc("/v1/query/cut", s.handleQueryCut)
-	mux.HandleFunc("/v1/query/residual", s.handleQueryResidual)
+	mux.HandleFunc("/v1/query/flow", s.timedQuery(s.handleQueryFlow))
+	mux.HandleFunc("/v1/query/cut", s.timedQuery(s.handleQueryCut))
+	mux.HandleFunc("/v1/query/residual", s.timedQuery(s.handleQueryResidual))
 	return mux
+}
+
+// timedQuery wraps a query handler with latency observation: every hit
+// lands in the service-wide histogram, and hits whose handle resolves to
+// an owner land in that tenant's histogram too (the percentiles /status
+// reports per tenant). Measured around the whole handler, so view
+// computation (e.g. a min-cut walk) is included, not just the lookup.
+func (s *Service) timedQuery(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		d := time.Since(t0).Nanoseconds()
+		reg := s.tracer.Registry()
+		reg.Histogram(HistServiceQueryNS).Observe(d)
+		if res := s.store.get(r.URL.Query().Get("handle")); res != nil {
+			reg.Histogram(tenantQueryHist(res.tenant)).Observe(d)
+		}
+	}
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -9,7 +9,18 @@ import (
 	"time"
 
 	"ffmr/internal/obsv"
+	"ffmr/internal/trace"
 )
+
+// Per-tenant latency histogram names. The tenant ID rides in the metric
+// name (the registry has no label dimension); obsv.MetricName sanitizes
+// it for the Prometheus exposition, and /status reports the percentiles
+// directly per tenant.
+func tenantSubmitHist(tenant string) string { return "service submit latency ns tenant " + tenant }
+func tenantQueryHist(tenant string) string  { return "service query latency ns tenant " + tenant }
+
+// HistServiceQueryNS aggregates query-API latency across all tenants.
+const HistServiceQueryNS = "service query latency ns"
 
 // This file is the service's admission and dispatch layer. Jobs enter
 // per-tenant queues (admission: a tenant whose queue is full is rejected
@@ -162,6 +173,7 @@ func (t *tenantState) pop() *job {
 type scheduler struct {
 	q   Quotas
 	log *slog.Logger
+	reg *trace.Registry // latency histograms (nil: uninstrumented)
 
 	mu      sync.Mutex
 	tenants map[string]*tenantState
@@ -170,9 +182,9 @@ type scheduler struct {
 	wg      sync.WaitGroup
 }
 
-func newScheduler(q Quotas, log *slog.Logger) *scheduler {
+func newScheduler(q Quotas, log *slog.Logger, reg *trace.Registry) *scheduler {
 	q.applyDefaults()
-	return &scheduler{q: q, log: obsv.Or(log), tenants: make(map[string]*tenantState)}
+	return &scheduler{q: q, log: obsv.Or(log), reg: reg, tenants: make(map[string]*tenantState)}
 }
 
 // submit admits a job into its tenant's queue (or rejects it on quota)
@@ -280,8 +292,12 @@ func (s *scheduler) exec(t *tenantState, j *job) {
 		j.state, j.result = JobDone, res
 	}
 	dur := j.finished.Sub(j.started)
+	e2e := j.finished.Sub(j.enqueued)
 	j.mu.Unlock()
 	close(j.done)
+	// Submit-to-done latency, queue wait included — the figure a tenant
+	// actually experiences, regardless of outcome.
+	s.reg.Histogram(tenantSubmitHist(j.tenant)).Observe(e2e.Nanoseconds())
 	if err != nil {
 		s.log.Warn("job failed", "job", j.id, "tenant", j.tenant, "err", err, "dur", dur)
 	} else {
@@ -338,13 +354,14 @@ func (s *scheduler) status() *obsv.ServiceStatus {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	hists := s.reg.HistogramSnapshot()
 	for _, id := range ids {
 		t := s.tenants[id]
 		st.Queued += len(t.queue)
 		st.Running += t.running
 		st.Done += t.done
 		st.Failed += t.failed
-		st.Tenants = append(st.Tenants, obsv.TenantStatus{
+		ts := obsv.TenantStatus{
 			Tenant:       id,
 			Queued:       len(t.queue),
 			Running:      t.running,
@@ -353,7 +370,18 @@ func (s *scheduler) status() *obsv.ServiceStatus {
 			QuotaQueued:  s.q.MaxQueuedPerTenant,
 			QuotaRunning: s.q.MaxRunningPerTenant,
 			VTime:        t.vtime,
-		})
+		}
+		if hv, ok := hists[tenantSubmitHist(id)]; ok && hv.Count > 0 {
+			ts.SubmitP50NS = hv.Quantile(0.50)
+			ts.SubmitP95NS = hv.Quantile(0.95)
+			ts.SubmitP99NS = hv.Quantile(0.99)
+		}
+		if hv, ok := hists[tenantQueryHist(id)]; ok && hv.Count > 0 {
+			ts.QueryP50NS = hv.Quantile(0.50)
+			ts.QueryP95NS = hv.Quantile(0.95)
+			ts.QueryP99NS = hv.Quantile(0.99)
+		}
+		st.Tenants = append(st.Tenants, ts)
 	}
 	return st
 }

@@ -74,7 +74,7 @@ func waitJob(t *testing.T, j *job) {
 func TestSchedulerQueueQuota(t *testing.T) {
 	defer leakcheck.Check(t)()
 	g := newGate()
-	s := newScheduler(Quotas{MaxConcurrent: 1, MaxQueuedPerTenant: 2}, nil)
+	s := newScheduler(Quotas{MaxConcurrent: 1, MaxQueuedPerTenant: 2}, nil, nil)
 
 	var jobs []*job
 	// One runs, two queue; the fourth must bounce off the quota.
@@ -114,7 +114,7 @@ func TestSchedulerQueueQuota(t *testing.T) {
 func TestSchedulerFairShareInterleaves(t *testing.T) {
 	defer leakcheck.Check(t)()
 	g := newGate()
-	s := newScheduler(Quotas{MaxConcurrent: 1, MaxQueuedPerTenant: 100}, nil)
+	s := newScheduler(Quotas{MaxConcurrent: 1, MaxQueuedPerTenant: 100}, nil, nil)
 
 	// Tenant A floods first; tenant B arrives after. With one slot and
 	// equal weights, WFQ must alternate dispatches rather than draining
@@ -174,7 +174,7 @@ func TestSchedulerWeightsSkewDispatch(t *testing.T) {
 		MaxConcurrent:      1,
 		MaxQueuedPerTenant: 100,
 		Weights:            map[string]float64{"heavy": 2},
-	}, nil)
+	}, nil, nil)
 
 	hold := g.fakeJob("heavy", "hold", 0, 0)
 	if err := s.submit(hold); err != nil {
@@ -218,7 +218,7 @@ func TestSchedulerWeightsSkewDispatch(t *testing.T) {
 func TestSchedulerPriorityWithinTenant(t *testing.T) {
 	defer leakcheck.Check(t)()
 	g := newGate()
-	s := newScheduler(Quotas{MaxConcurrent: 1, MaxQueuedPerTenant: 100}, nil)
+	s := newScheduler(Quotas{MaxConcurrent: 1, MaxQueuedPerTenant: 100}, nil, nil)
 
 	hold := g.fakeJob("acme", "hold", 0, 0)
 	s.submit(hold)
@@ -250,7 +250,7 @@ func TestSchedulerPriorityWithinTenant(t *testing.T) {
 func TestSchedulerPerTenantRunningCap(t *testing.T) {
 	defer leakcheck.Check(t)()
 	g := newGate()
-	s := newScheduler(Quotas{MaxConcurrent: 2, MaxQueuedPerTenant: 100, MaxRunningPerTenant: 1}, nil)
+	s := newScheduler(Quotas{MaxConcurrent: 2, MaxQueuedPerTenant: 100, MaxRunningPerTenant: 1}, nil, nil)
 
 	a0 := g.fakeJob("acme", "a0", 0, 0)
 	a1 := g.fakeJob("acme", "a1", 0, 1)
@@ -278,7 +278,7 @@ func TestSchedulerPerTenantRunningCap(t *testing.T) {
 func TestSchedulerCloseFailsQueued(t *testing.T) {
 	defer leakcheck.Check(t)()
 	g := newGate()
-	s := newScheduler(Quotas{MaxConcurrent: 1, MaxQueuedPerTenant: 100}, nil)
+	s := newScheduler(Quotas{MaxConcurrent: 1, MaxQueuedPerTenant: 100}, nil, nil)
 
 	running := g.fakeJob("acme", "running", 0, 0)
 	queued := g.fakeJob("acme", "queued", 0, 1)

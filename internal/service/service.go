@@ -109,7 +109,7 @@ func Start(cfg Config) (*Service, error) {
 		cfg:    cfg,
 		log:    obsv.Or(cfg.Logger),
 		tracer: tracer,
-		sched:  newScheduler(cfg.Quotas, cfg.Logger),
+		sched:  newScheduler(cfg.Quotas, cfg.Logger, tracer.Registry()),
 		store:  newStore(),
 		jobs:   make(map[string]*job),
 	}

@@ -36,10 +36,14 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
 	var endTS int64
 	for _, sn := range t.snapshots() {
-		args := make(map[string]any, len(sn.attrs)+1)
+		args := make(map[string]any, len(sn.attrs)+2)
 		for i := range sn.attrs {
 			args[sn.attrs[i].Key] = sn.attrs[i].Value()
 		}
+		// The span's own id travels in the args so tools reading the
+		// exported file (the critical-path analyzer) can rebuild the
+		// span DAG from parent_span references.
+		args["span"] = sn.id
 		if sn.parent != 0 {
 			args["parent_span"] = sn.parent
 		}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// counts observations v with bucketIndex(v) == i: bucket 0 takes v <= 0
+// and bucket i >= 1 takes v in [2^(i-1), 2^i - 1]. 64 buckets cover the
+// whole non-negative int64 range, so nanosecond latencies from
+// sub-microsecond to centuries land without per-histogram configuration,
+// and every histogram in the system shares one bucket layout — which is
+// what lets worker-shipped snapshots merge into master histograms by
+// plain bucket-wise addition.
+const histBuckets = 64
+
+// Histogram is a fixed-log-bucket latency histogram. An observation is
+// three uncontended atomic adds (count, sum, one bucket), cheap enough
+// for RPC and task hot paths. All methods are safe for concurrent use
+// and on nil receivers.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBound returns bucket i's inclusive upper bound (2^i - 1, with
+// the last bucket unbounded). Prometheus rendering uses these as the
+// cumulative `le` edges.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one value (by convention, nanoseconds).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
+}
+
+// Absorb adds a snapshot's counts into the histogram: the merge
+// primitive the master uses to fold a worker-shipped histogram delta
+// into its own registry. Absorbing a Sub of two snapshots of the same
+// monotone histogram is idempotent-safe under at-least-once delivery
+// because the caller diffs against its last-applied snapshot.
+func (h *Histogram) Absorb(v HistogramValue) {
+	if h == nil || v.Count == 0 {
+		return
+	}
+	h.count.Add(v.Count)
+	h.sum.Add(v.Sum)
+	for i, n := range v.Buckets {
+		if n != 0 && i < histBuckets {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
+// Value snapshots the histogram (zero value on nil). Concurrent
+// observers may land between the count and bucket loads, so a snapshot
+// is only guaranteed exact once the histogram is quiescent — the same
+// contract as CounterSnapshot.
+func (h *Histogram) Value() HistogramValue {
+	if h == nil {
+		return HistogramValue{}
+	}
+	v := HistogramValue{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]int64, histBuckets),
+	}
+	for i := range h.buckets {
+		v.Buckets[i] = h.buckets[i].Load()
+	}
+	return v
+}
+
+// HistogramValue is one histogram's exported state: total count, sum,
+// and per-bucket counts (len histBuckets, indexed by bucketIndex).
+type HistogramValue struct {
+	Count   int64
+	Sum     int64
+	Buckets []int64
+}
+
+// Mean returns the mean observation (0 when empty).
+func (v HistogramValue) Mean() int64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return v.Sum / v.Count
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// holding the rank-q observation and interpolating linearly inside it.
+// With power-of-two buckets the estimate is within 2x of the true value,
+// which is all a p95/p99 dashboard needs.
+func (v HistogramValue) Quantile(q float64) int64 {
+	if v.Count <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(v.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > v.Count {
+		rank = v.Count
+	}
+	var cum int64
+	for i, n := range v.Buckets {
+		if n <= 0 {
+			continue
+		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		lo := BucketBound(i - 1)
+		hi := BucketBound(i)
+		if hi == math.MaxInt64 {
+			return lo // unbounded tail: report its lower edge
+		}
+		frac := float64(rank-(cum-n)) / float64(n)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return BucketBound(histBuckets - 1)
+}
+
+// Sub returns the bucket-wise difference v - prev. With v and prev two
+// snapshots of the same (monotone) histogram, the result is the
+// observations recorded between them and every field is non-negative;
+// the master uses it to turn a worker's absolute shipped snapshot into
+// the delta to Absorb.
+func (v HistogramValue) Sub(prev HistogramValue) HistogramValue {
+	out := HistogramValue{
+		Count:   v.Count - prev.Count,
+		Sum:     v.Sum - prev.Sum,
+		Buckets: make([]int64, histBuckets),
+	}
+	for i := range out.Buckets {
+		var a, b int64
+		if i < len(v.Buckets) {
+			a = v.Buckets[i]
+		}
+		if i < len(prev.Buckets) {
+			b = prev.Buckets[i]
+		}
+		out.Buckets[i] = a - b
+	}
+	return out
+}

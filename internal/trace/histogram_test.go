@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	v := h.Value()
+	if v.Count != 8 {
+		t.Fatalf("count = %d, want 8", v.Count)
+	}
+	var sum int64
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 1000, 1 << 40} {
+		sum += v
+	}
+	if v.Sum != sum {
+		t.Fatalf("sum = %d, want %d", v.Sum, sum)
+	}
+	// -5 and 0 land in bucket 0; 1 in bucket 1; 2,3 in bucket 2; 4 in
+	// bucket 3; 1000 in bucket 10; 1<<40 in bucket 41.
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 1, 10: 1, 41: 1}
+	for i, n := range v.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	var total int64
+	for _, n := range v.Buckets {
+		total += n
+	}
+	if total != v.Count {
+		t.Fatalf("bucket total %d != count %d", total, v.Count)
+	}
+}
+
+func TestBucketBoundCoversRange(t *testing.T) {
+	if BucketBound(0) != 0 {
+		t.Fatalf("BucketBound(0) = %d", BucketBound(0))
+	}
+	if BucketBound(histBuckets-1) != math.MaxInt64 {
+		t.Fatalf("last bound = %d", BucketBound(histBuckets-1))
+	}
+	for i := 1; i < histBuckets-1; i++ {
+		lo, hi := BucketBound(i-1), BucketBound(i)
+		// Every v in (lo, hi] must land in bucket i.
+		if bucketIndex(lo+1) != i || bucketIndex(hi) != i {
+			t.Fatalf("bucket %d bounds (%d, %d] disagree with bucketIndex", i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	v := h.Value()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 500}, {0.95, 950}, {0.99, 990},
+	} {
+		got := float64(v.Quantile(tc.q))
+		// Log buckets bound the error by 2x.
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Fatalf("Quantile(%v) = %v, want within 2x of %v", tc.q, got, tc.want)
+		}
+	}
+	if (HistogramValue{}).Quantile(0.5) != 0 {
+		t.Fatal("empty quantile != 0")
+	}
+}
+
+func TestHistogramSubAbsorb(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(10)
+	h.Observe(100)
+	prev := h.Value()
+	h.Observe(1000)
+	h.Observe(7)
+	cur := h.Value()
+
+	delta := cur.Sub(prev)
+	if delta.Count != 2 || delta.Sum != 1007 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	merged := &Histogram{}
+	merged.Absorb(prev)
+	merged.Absorb(delta)
+	got := merged.Value()
+	if got.Count != cur.Count || got.Sum != cur.Sum {
+		t.Fatalf("absorbed = %+v, want %+v", got, cur)
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != cur.Buckets[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got.Buckets[i], cur.Buckets[i])
+		}
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.Absorb(HistogramValue{Count: 1})
+	if h.Value().Count != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+	var r *Registry
+	r.Histogram("x").Observe(1)
+	if len(r.HistogramSnapshot()) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.Histogram("shared")
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	v := r.HistogramSnapshot()["shared"]
+	if v.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", v.Count)
+	}
+}

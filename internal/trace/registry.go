@@ -16,6 +16,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
@@ -23,6 +24,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -128,6 +130,36 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// Histogram interns and returns the named histogram (nil on a nil
+// registry; the nil Histogram's methods are no-ops).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot copies every histogram into a plain map.
+func (r *Registry) HistogramSnapshot() map[string]HistogramValue {
+	if r == nil {
+		return map[string]HistogramValue{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistogramValue, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Value()
+	}
+	return out
 }
 
 // CounterSnapshot copies every counter into a plain map.

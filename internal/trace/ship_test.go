@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDrainCompleteSubtreesOnly(t *testing.T) {
+	tr := New()
+	a := tr.Start(CatTask, "map 0", nil)
+	spill := tr.Start(CatSpill, "spill", a)
+	spill.End()
+	b := tr.Start(CatTask, "map 1", nil)
+	b.End()
+
+	got := tr.Drain()
+	// Only b is drainable: spill has ended but its parent a has not.
+	if len(got) != 1 || got[0].Name != "map 1" {
+		t.Fatalf("drain = %+v, want just map 1", got)
+	}
+	a.End()
+	got = tr.Drain()
+	if len(got) != 2 {
+		t.Fatalf("second drain = %d spans, want 2", len(got))
+	}
+	// Parents come before children (id order).
+	if got[0].Name != "map 0" || got[1].Name != "spill" {
+		t.Fatalf("drain order = %q, %q", got[0].Name, got[1].Name)
+	}
+	if got[1].Parent != got[0].ID {
+		t.Fatalf("spill parent = %d, want %d", got[1].Parent, got[0].ID)
+	}
+	if len(tr.Drain()) != 0 {
+		t.Fatal("third drain not empty")
+	}
+}
+
+func TestDrainCarriesRemoteAndAttrs(t *testing.T) {
+	tr := New()
+	s := tr.Start(CatTask, "reduce 3", nil)
+	s.SetRemote(Context{Run: 7, Job: 9, Round: 2, Span: 41})
+	s.SetInt("task", 3)
+	s.SetStr("kind", "ffmr")
+	s.End()
+	got := tr.Drain()
+	if len(got) != 1 {
+		t.Fatalf("drained %d spans", len(got))
+	}
+	sp := got[0]
+	if sp.Remote != (Context{Run: 7, Job: 9, Round: 2, Span: 41}) {
+		t.Fatalf("remote = %+v", sp.Remote)
+	}
+	if len(sp.Attrs) != 2 || sp.Attrs[0].Key != "task" || sp.Attrs[1].Str != "ffmr" {
+		t.Fatalf("attrs = %+v", sp.Attrs)
+	}
+	if sp.Dur <= 0 && sp.Dur != 0 {
+		t.Fatalf("dur = %v", sp.Dur)
+	}
+}
+
+func TestImportStitchesUnderParent(t *testing.T) {
+	master := New()
+	job := master.Start(CatJob, "job", nil)
+
+	// A worker records a task with a child shuffle span, drains, and the
+	// master imports the batch in order, remapping local ids.
+	worker := New()
+	task := worker.Start(CatTask, "reduce 0", nil)
+	task.SetRemote(Context{Job: 1, Span: job.ID()})
+	sh := worker.Start(CatShuffle, "shuffle", task)
+	sh.End()
+	task.End()
+	batch := worker.Drain()
+
+	remap := map[int64]int64{}
+	for i := range batch {
+		sp := &batch[i]
+		parent := sp.Remote.Span
+		if sp.Parent != 0 {
+			parent = remap[sp.Parent]
+		}
+		remap[sp.ID] = master.Import(&ImportedSpan{
+			Parent: parent, Name: sp.Name, Cat: sp.Cat, TID: sp.TID,
+			Start: sp.Start, Dur: sp.Dur, Attrs: sp.Attrs,
+		})
+	}
+	job.End()
+
+	var buf bytes.Buffer
+	if err := master.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*ParsedEvent{}
+	for i := range events {
+		e := &events[i]
+		byName[e.Cat+"/"+e.Name] = e
+	}
+	jobID, _ := byName["job/job"].Int("span")
+	taskParent, _ := byName["task/reduce 0"].Int("parent_span")
+	if taskParent != jobID {
+		t.Fatalf("task parent %d, want job span %d", taskParent, jobID)
+	}
+	taskID, _ := byName["task/reduce 0"].Int("span")
+	shParent, _ := byName["shuffle/shuffle"].Int("parent_span")
+	if shParent != taskID {
+		t.Fatalf("shuffle parent %d, want task span %d", shParent, taskID)
+	}
+}
+
+func TestImportNilSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Import(&ImportedSpan{Name: "x"}); id != 0 {
+		t.Fatalf("nil import id = %d", id)
+	}
+	if tr.Drain() != nil {
+		t.Fatal("nil drain not nil")
+	}
+	var s *Span
+	if s.ID() != 0 {
+		t.Fatal("nil span id != 0")
+	}
+	s.SetRemote(Context{})
+}
+
+func TestAnalyzeRoundTrip(t *testing.T) {
+	// Build the whole tree via Import with controlled timestamps, the
+	// way a master's tracer looks after a distributed run: master spans
+	// (run/round/job) plus worker-shipped task spans stitched under the
+	// job, one map straggling hard.
+	tr := New()
+	base := time.Now()
+	mk := func(parent int64, cat, name string, start, durUS int64, attrs ...Attr) int64 {
+		return tr.Import(&ImportedSpan{
+			Parent: parent, Cat: cat, Name: name,
+			Start: base.Add(time.Duration(start) * time.Microsecond),
+			Dur:   time.Duration(durUS) * time.Microsecond,
+			Attrs: attrs,
+		})
+	}
+	worker := Attr{Key: "worker", Int: 1}
+	run := mk(0, CatRun, "run", 0, 4000)
+	round := mk(run, CatRound, "round 0", 0, 4000, Attr{Key: AttrRound, Int: 0})
+	job := mk(round, CatJob, "job", 0, 3600)
+	mk(job, CatTask, "map 0", 0, 1000, worker)
+	mk(job, CatTask, "map 1", 0, 1100, worker)
+	mk(job, CatTask, "map 2", 0, 900, worker)
+	red := mk(job, CatTask, "reduce 0", 1200, 2000, worker)
+	mk(red, CatShuffle, "shuffle", 1200, 400, worker)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorkerSpans != 5 {
+		t.Fatalf("worker spans = %d, want 5", rep.WorkerSpans)
+	}
+	if len(rep.Rounds) != 1 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+	rr := rep.Rounds[0]
+	if rr.CriticalUS <= 0 {
+		t.Fatalf("critical path = %d", rr.CriticalUS)
+	}
+	if rr.TaskSpans != 4 {
+		t.Fatalf("task spans = %d, want 4", rr.TaskSpans)
+	}
+	if rr.BucketUS[BucketMap] == 0 || rr.BucketUS[BucketReduce] == 0 {
+		t.Fatalf("attribution missing map/reduce: %+v", rr.BucketUS)
+	}
+	// The reduce overlaps its shuffle child and wins by priority, so the
+	// shuffle bucket stays empty here; total attribution covers wall.
+	var total int64
+	for _, v := range rr.BucketUS {
+		total += v
+	}
+	if total != rr.WallUS {
+		t.Fatalf("attribution total %d != wall %d", total, rr.WallUS)
+	}
+
+	var out strings.Builder
+	rep.Format(&out)
+	for _, want := range []string{"critical path", "worker-side", "attribution"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -34,6 +34,12 @@ const (
 	CatSpill = "spill" // one map-side spill (sort + write of a buffer)
 	CatMerge = "merge" // one reduce-side intermediate merge pass
 
+	// CatShuffle spans a reduce task's shuffle-fetch window on a worker;
+	// CatRPC spans one RPC round-trip on the caller's side. Both feed
+	// the analyzer's shuffle/rpc attribution buckets.
+	CatShuffle = "shuffle"
+	CatRPC     = "rpc"
+
 	// CatRepair spans the dynamic-update repair phase between two runs:
 	// one span per update batch, parenting the apply and drain job spans
 	// and annotated with batch size, violation count and cancelled flow.
@@ -132,6 +138,9 @@ type Span struct {
 	dur    time.Duration
 	ended  bool
 	attrs  []Attr
+	// remote is the master-trace position a shipped root span stitches
+	// under (zero for local-only spans). See ship.go.
+	remote Context
 }
 
 // Tracer records spans and hosts the metrics registry. Create with New;
